@@ -1,0 +1,66 @@
+// Command kbench regenerates the tables and figures of the Kaleido paper's
+// evaluation (§6) on the scaled synthetic datasets.
+//
+// Usage:
+//
+//	kbench -exp table2            # one experiment
+//	kbench -exp all -quick        # the full suite, reduced grids
+//
+// Experiments: table2 (+fig10), table3, fig11, fig12, fig13, fig14, table4,
+// fig16 (+fig15), fig17 (+fig18). See EXPERIMENTS.md for the paper-vs-
+// measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"kaleido/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	quick := flag.Bool("quick", false, "reduced grids (CI-sized)")
+	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+	cache := flag.String("cache", defaultCache(), "dataset cache directory")
+	spill := flag.String("spill", os.TempDir(), "scratch directory for hybrid storage")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := bench.RunConfig{
+		Threads:  *threads,
+		CacheDir: *cache,
+		SpillDir: *spill,
+		Quick:    *quick,
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.Experiments()
+	}
+	for _, id := range ids {
+		results, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Println(r.Render())
+		}
+	}
+}
+
+func defaultCache() string {
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return dir + "/kaleido-datasets"
+}

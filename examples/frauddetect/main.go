@@ -1,0 +1,72 @@
+// Fraud-ring detection in a financial transaction network — one of the
+// motivating workloads of the paper's introduction ("we discover cliques in
+// financial networks to detect frauds").
+//
+// The example synthesizes an account graph whose background traffic is a
+// sparse power-law network, then plants a handful of dense collusion rings
+// (near-cliques). Clique discovery surfaces the rings: the planted accounts
+// dominate the 4- and 5-clique counts, while the background graph contributes
+// almost none.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"kaleido"
+)
+
+func main() {
+	const (
+		accounts = 4000
+		payments = 9000
+		rings    = 5
+		ringSize = 6
+	)
+	rng := rand.New(rand.NewSource(42))
+	b := kaleido.NewGraphBuilder(accounts)
+	for i := 0; i < payments; i++ {
+		// Skewed background: preferential-style endpoints.
+		u := uint32(rng.Intn(accounts))
+		v := uint32(rng.Intn(1 + rng.Intn(accounts)))
+		b.AddEdge(u, v)
+	}
+	// Plant collusion rings: groups of accounts that all transact with each
+	// other.
+	var planted [][]uint32
+	for r := 0; r < rings; r++ {
+		members := map[uint32]bool{}
+		for len(members) < ringSize {
+			members[uint32(rng.Intn(accounts))] = true
+		}
+		ring := make([]uint32, 0, ringSize)
+		for m := range members {
+			ring = append(ring, m)
+		}
+		planted = append(planted, ring)
+		for i := 0; i < ringSize; i++ {
+			for j := i + 1; j < ringSize; j++ {
+				b.AddEdge(ring[i], ring[j])
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transaction graph: %d accounts, %d relationships\n", g.N(), g.M())
+	fmt.Printf("planted %d rings of %d mutually transacting accounts\n", rings, ringSize)
+
+	cfg := kaleido.Config{}
+	for k := 3; k <= 5; k++ {
+		n, err := g.Cliques(k, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d-cliques found: %d\n", k, n)
+	}
+	// Each planted ring of 6 contributes C(6,5)=6 5-cliques; random sparse
+	// background essentially none — so the 5-clique count localizes fraud.
+	fmt.Printf("expected ≥ %d 5-cliques from the planted rings alone\n", rings*6)
+}

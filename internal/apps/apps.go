@@ -1,0 +1,292 @@
+// Package apps implements the four mining applications of §5.1 on top of the
+// exploration engine: frequent subgraph mining (edge-induced, MNI support),
+// motif counting, clique discovery, and triangle counting. Each follows the
+// paper's two-phase shape — embedding exploration, then pattern aggregation
+// with per-worker PatternMaps merged by a Reducer.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"kaleido/internal/blisslike"
+	"kaleido/internal/eigen"
+	"kaleido/internal/explore"
+	"kaleido/internal/graph"
+	"kaleido/internal/memtrack"
+	"kaleido/internal/pattern"
+)
+
+// IsoAlgo selects the isomorphism backend of the pattern aggregation phase.
+type IsoAlgo int
+
+const (
+	// IsoEigen is Kaleido's Algorithm 1 (the default).
+	IsoEigen IsoAlgo = iota
+	// IsoBliss is the bliss-like search-tree canonical labeler — the §6.3
+	// baseline.
+	IsoBliss
+	// IsoEigenExact is Algorithm 1 with exact big-integer characteristic
+	// polynomials (ablation).
+	IsoEigenExact
+)
+
+// Options configures an application run.
+type Options struct {
+	Threads      int
+	MemoryBudget int64
+	SpillDir     string
+	Predict      bool
+	BufSize      int
+	BlockSize    int
+	Iso          IsoAlgo
+	Tracker      *memtrack.Tracker
+}
+
+func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config {
+	return explore.Config{
+		Graph: g, Mode: mode, Threads: o.Threads,
+		MemoryBudget: o.MemoryBudget, SpillDir: o.SpillDir,
+		Predict: o.Predict, BufSize: o.BufSize, BlockSize: o.BlockSize,
+		Tracker: o.Tracker,
+	}
+}
+
+// hasher is the per-worker isomorphism hash state. Hash must sort the
+// pattern by (label, degree) as Algorithm 1 does.
+type hasher interface {
+	Hash(p *pattern.Pattern) uint64
+}
+
+type blissHasher struct{}
+
+func (blissHasher) Hash(p *pattern.Pattern) uint64 {
+	p.SortByLabelDegree() // keep position semantics identical across backends
+	return blisslike.Hash(p)
+}
+
+func newHasher(a IsoAlgo) hasher {
+	switch a {
+	case IsoBliss:
+		return blissHasher{}
+	case IsoEigenExact:
+		return eigen.NewExact()
+	default:
+		return eigen.New()
+	}
+}
+
+// PatternCount is one aggregated pattern: a representative (normalized)
+// pattern, its embedding count, and — for FSM — its MNI support.
+type PatternCount struct {
+	Pattern *pattern.Pattern
+	Count   uint64
+	Support uint64
+}
+
+// sortCounts orders results descending by count then by encoding, making
+// outputs deterministic across thread counts.
+func sortCounts(out []PatternCount) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Pattern.Encode() < out[j].Pattern.Encode()
+	})
+}
+
+// TriangleCount counts triangles (§5.1): explore canonical 2-embeddings,
+// then each Mapper counts common neighbors beyond the larger endpoint so
+// every triangle is counted exactly once.
+func TriangleCount(g *graph.Graph, opt Options) (uint64, error) {
+	e, err := explore.New(opt.exploreConfig(g, explore.VertexInduced))
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	if err := e.InitVertices(nil); err != nil {
+		return 0, err
+	}
+	if err := e.Expand(nil, nil); err != nil {
+		return 0, err
+	}
+	counts := make([]uint64, threadsOf(opt))
+	err = e.ForEach(func(w int, emb []uint32) error {
+		u, v := emb[0], emb[1]
+		nu, nv := g.Neighbors(u), g.Neighbors(v)
+		i, j := 0, 0
+		var c uint64
+		for i < len(nu) && j < len(nv) {
+			switch {
+			case nu[i] < nv[j]:
+				i++
+			case nu[i] > nv[j]:
+				j++
+			default:
+				if nu[i] > v {
+					c++
+				}
+				i++
+				j++
+			}
+		}
+		counts[w] += c
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// CliqueCount counts k-cliques (§5.1): the EmbeddingFilter admits only
+// candidates adjacent to every embedding vertex, so after k−1 expansions
+// every embedding is a k-clique and no pattern computation is needed.
+func CliqueCount(g *graph.Graph, k int, opt Options) (uint64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("apps: clique size %d < 2", k)
+	}
+	e, err := explore.New(opt.exploreConfig(g, explore.VertexInduced))
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	if err := e.InitVertices(nil); err != nil {
+		return 0, err
+	}
+	filter := func(emb []uint32, cand uint32) bool {
+		for _, v := range emb {
+			if !g.HasEdge(v, cand) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 1; i < k; i++ {
+		if err := e.Expand(filter, nil); err != nil {
+			return 0, err
+		}
+	}
+	return uint64(e.Count()), nil
+}
+
+// MotifCount counts the frequency of every k-motif (§5.1): exploration stops
+// at (k−1)-embeddings; the Mapper explores each one's canonical extensions
+// on the fly and aggregates pattern hashes. Labels are ignored: motifs are
+// structural.
+func MotifCount(g *graph.Graph, k int, opt Options) ([]PatternCount, error) {
+	if k < 2 || k > pattern.MaxK {
+		return nil, fmt.Errorf("apps: motif size %d out of [2,%d]", k, pattern.MaxK)
+	}
+	e, err := explore.New(opt.exploreConfig(g, explore.VertexInduced))
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	if err := e.InitVertices(nil); err != nil {
+		return nil, err
+	}
+	// k-Motif stores only k−1 levels (§6.5): the last expansion happens
+	// inside the Mapper.
+	for i := 1; i < k-1; i++ {
+		if err := e.Expand(nil, nil); err != nil {
+			return nil, err
+		}
+	}
+	nw := threadsOf(opt)
+	maps := make([]map[uint64]*motifAgg, nw)
+	hashers := make([]hasher, nw)
+	for i := range maps {
+		maps[i] = map[uint64]*motifAgg{}
+		hashers[i] = newHasher(opt.Iso)
+	}
+	verts := make([][]uint32, nw)
+	pats := make([]pattern.Pattern, nw)
+	for i := range verts {
+		verts[i] = make([]uint32, k)
+	}
+	err = e.ForEachExpansion(nil, func(w int, emb []uint32, cand uint32) error {
+		vs := verts[w]
+		copy(vs, emb)
+		vs[k-1] = cand
+		p := &pats[w]
+		if err := fillPatternOfVertices(g, vs, true, p); err != nil {
+			return err
+		}
+		h := hashers[w].Hash(p)
+		if agg, ok := maps[w][h]; ok {
+			agg.count++
+		} else {
+			maps[w][h] = &motifAgg{pat: p.Clone(), count: 1}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := map[uint64]*motifAgg{}
+	for _, m := range maps {
+		for h, agg := range m {
+			if prev, ok := merged[h]; ok {
+				prev.count += agg.count
+			} else {
+				merged[h] = agg
+			}
+		}
+	}
+	out := make([]PatternCount, 0, len(merged))
+	for _, agg := range merged {
+		out = append(out, PatternCount{Pattern: agg.pat, Count: agg.count})
+	}
+	sortCounts(out)
+	return out, nil
+}
+
+type motifAgg struct {
+	pat   *pattern.Pattern
+	count uint64
+}
+
+// patternOfVertices builds the vertex-induced pattern of verts; unlabeled
+// strips labels (motif counting treats the graph as unlabeled, §6.2).
+func patternOfVertices(g *graph.Graph, verts []uint32, unlabeled bool) (*pattern.Pattern, error) {
+	p, err := pattern.New(len(verts))
+	if err != nil {
+		return nil, err
+	}
+	if err := fillPatternOfVertices(g, verts, unlabeled, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// fillPatternOfVertices is patternOfVertices into a reused Pattern value.
+func fillPatternOfVertices(g *graph.Graph, verts []uint32, unlabeled bool, p *pattern.Pattern) error {
+	if err := p.Reset(len(verts)); err != nil {
+		return err
+	}
+	if !unlabeled {
+		for i, v := range verts {
+			p.Labels[i] = g.Label(v)
+		}
+	}
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if g.HasEdge(verts[i], verts[j]) {
+				p.SetEdge(i, j)
+			}
+		}
+	}
+	return nil
+}
+
+func threadsOf(opt Options) int {
+	if opt.Threads > 0 {
+		return opt.Threads
+	}
+	return defaultThreads()
+}

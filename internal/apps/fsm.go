@@ -1,0 +1,262 @@
+package apps
+
+import (
+	"fmt"
+	"runtime"
+
+	"kaleido/internal/explore"
+	"kaleido/internal/graph"
+	"kaleido/internal/mni"
+	"kaleido/internal/pattern"
+)
+
+func defaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// FSM mines frequent subgraphs with the minimum image-based (MNI) support
+// metric (§5.1): k-FSM returns frequent patterns with k−1 edges and at most
+// k vertices, exploring edge-induced embeddings and pruning infrequent
+// patterns level-synchronously. Following the paper's implementation (§6.2),
+// the exact MNI support is not computed: as soon as a pattern's support
+// reaches the threshold it is marked frequent and its domain tracking is
+// dropped, which is why FSM run time is non-monotonic in the support
+// (Fig. 11).
+func FSM(g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, error) {
+	if k < 2 || k > pattern.MaxK {
+		return nil, fmt.Errorf("apps: FSM size %d out of [2,%d]", k, pattern.MaxK)
+	}
+	if support == 0 {
+		return nil, fmt.Errorf("apps: FSM support must be positive")
+	}
+
+	// Init (§5.1): MNI support of every single-edge pattern; infrequent
+	// edges are eliminated before exploration starts.
+	freqPairs, edgeCounts := frequentEdgePatterns(g, support)
+	if k == 2 {
+		out := edgeCounts
+		sortCounts(out)
+		return out, nil
+	}
+
+	e, err := explore.New(opt.exploreConfig(g, explore.EdgeInduced))
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	err = e.InitEdges(func(eid uint32) bool {
+		ed := g.EdgeAt(eid)
+		return freqPairs[pairKey(g.Label(ed.U), g.Label(ed.V))]
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// EmbeddingFilter: the candidate edge must itself be frequent and the
+	// embedding must not exceed k distinct vertices.
+	filter := func(emb []uint32, verts []uint32, cand uint32) bool {
+		ed := g.EdgeAt(cand)
+		if !freqPairs[pairKey(g.Label(ed.U), g.Label(ed.V))] {
+			return false
+		}
+		nv := 0
+		if !sortedContains(verts, ed.U) {
+			nv++
+		}
+		if !sortedContains(verts, ed.V) {
+			nv++
+		}
+		return len(verts)+nv <= k
+	}
+
+	var result []PatternCount
+	for level := 2; level <= k-1; level++ {
+		if err := e.Expand(nil, filter); err != nil {
+			return nil, err
+		}
+		merged, err := aggregateFSM(g, e, support, opt)
+		if err != nil {
+			return nil, err
+		}
+		if level < k-1 {
+			// Reducer pruning: drop embeddings of infrequent patterns.
+			nw := threadsOf(opt)
+			hashers := make([]hasher, nw)
+			bufs := make([][]uint32, nw)
+			for i := range hashers {
+				hashers[i] = newHasher(opt.Iso)
+				bufs[i] = make([]uint32, 0, 2*k)
+			}
+			err = e.FilterTop(func(w int, emb []uint32) bool {
+				p, verts, err := patternOfEdges(g, emb, bufs[w])
+				bufs[w] = verts[:0]
+				if err != nil {
+					return false
+				}
+				h := hashers[w].Hash(p)
+				agg, ok := merged[h]
+				return ok && agg.Frequent()
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Final level: emit frequent patterns.
+		for _, agg := range merged {
+			if !agg.Frequent() {
+				continue
+			}
+			result = append(result, PatternCount{
+				Pattern: agg.Pat,
+				Count:   agg.Count,
+				Support: agg.Support(),
+			})
+		}
+	}
+	sortCounts(result)
+	return result, nil
+}
+
+// pairKey packs an unordered label pair.
+func pairKey(a, b graph.Label) uint32 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint32(a)<<16 | uint32(b)
+}
+
+// frequentEdgePatterns computes the MNI support of every 1-edge pattern.
+// For label pairs (a, a) the two pattern positions are automorphic, so both
+// share one domain; for (a, b) the domains are per label — both exact.
+func frequentEdgePatterns(g *graph.Graph, support uint64) (map[uint32]bool, []PatternCount) {
+	type dom struct {
+		a, b map[uint32]struct{}
+		n    uint64
+	}
+	doms := map[uint32]*dom{}
+	for _, ed := range g.Edges() {
+		la, lb := g.Label(ed.U), g.Label(ed.V)
+		key := pairKey(la, lb)
+		d, ok := doms[key]
+		if !ok {
+			d = &dom{a: map[uint32]struct{}{}, b: map[uint32]struct{}{}}
+			doms[key] = d
+		}
+		d.n++
+		if la == lb {
+			d.a[ed.U] = struct{}{}
+			d.a[ed.V] = struct{}{}
+		} else {
+			// Domain a holds the smaller label's endpoint.
+			u, v := ed.U, ed.V
+			if la > lb {
+				u, v = v, u
+			}
+			d.a[u] = struct{}{}
+			d.b[v] = struct{}{}
+		}
+	}
+	freq := map[uint32]bool{}
+	var counts []PatternCount
+	for key, d := range doms {
+		mni := uint64(len(d.a))
+		if len(d.b) > 0 && uint64(len(d.b)) < mni {
+			mni = uint64(len(d.b))
+		}
+		if mni >= support {
+			freq[key] = true
+			la := graph.Label(key >> 16)
+			lb := graph.Label(key & 0xffff)
+			p, _ := pattern.New(2)
+			p.Labels[0], p.Labels[1] = la, lb
+			p.SetEdge(0, 1)
+			counts = append(counts, PatternCount{Pattern: p, Count: d.n, Support: mni})
+		}
+	}
+	return freq, counts
+}
+
+// aggregateFSM runs the Mapper over all top-level embeddings with per-worker
+// PatternMaps, then Reduces them into one map keyed by isomorphism hash.
+func aggregateFSM(g *graph.Graph, e *explore.Explorer, support uint64, opt Options) (map[uint64]*mni.Agg, error) {
+	nw := threadsOf(opt)
+	maps := make([]map[uint64]*mni.Agg, nw)
+	hashers := make([]hasher, nw)
+	bufs := make([][]uint32, nw)
+	for i := range maps {
+		maps[i] = map[uint64]*mni.Agg{}
+		hashers[i] = newHasher(opt.Iso)
+		bufs[i] = make([]uint32, 0, 16)
+	}
+	err := e.ForEach(func(w int, emb []uint32) error {
+		p, verts, err := patternOfEdges(g, emb, bufs[w])
+		bufs[w] = verts[:0]
+		if err != nil {
+			return err
+		}
+		var perm [pattern.MaxK]uint8
+		p.SortByLabelDegreeTracked(&perm)
+		h := hashers[w].Hash(p) // already sorted; hash only
+		agg, ok := maps[w][h]
+		if !ok {
+			agg = mni.NewAgg(p)
+			maps[w][h] = agg
+		}
+		agg.Insert(verts, &perm, support)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Reducer: merge per-worker maps (the paper notes this merge is the
+	// scalability cost of FSM, Fig. 14).
+	return mni.MergeMaps(maps, support), nil
+}
+
+// patternOfEdges builds the labeled pattern of an edge-induced embedding.
+// verts (reusing vbuf) lists the distinct vertices in pattern-index order.
+func patternOfEdges(g *graph.Graph, emb []uint32, vbuf []uint32) (*pattern.Pattern, []uint32, error) {
+	verts := vbuf[:0]
+	idx := func(v uint32) int {
+		for i, u := range verts {
+			if u == v {
+				return i
+			}
+		}
+		verts = append(verts, v)
+		return len(verts) - 1
+	}
+	type pe struct{ a, b int }
+	var edges [pattern.MaxK * (pattern.MaxK - 1) / 2]pe
+	if len(emb) > len(edges) {
+		return nil, verts, fmt.Errorf("apps: %d edges exceed pattern capacity", len(emb))
+	}
+	for i, eid := range emb {
+		ed := g.EdgeAt(eid)
+		edges[i] = pe{idx(ed.U), idx(ed.V)}
+	}
+	p, err := pattern.New(len(verts))
+	if err != nil {
+		return nil, verts, err
+	}
+	for i, v := range verts {
+		p.Labels[i] = g.Label(v)
+	}
+	for i := range emb {
+		p.SetEdge(edges[i].a, edges[i].b)
+	}
+	return p, verts, nil
+}
+
+// sortedContains reports membership in a sorted slice.
+func sortedContains(s []uint32, v uint32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
+}

@@ -1,0 +1,123 @@
+package blisslike
+
+import (
+	"math/rand"
+	"testing"
+
+	"kaleido/internal/graph"
+	"kaleido/internal/iso"
+	"kaleido/internal/pattern"
+)
+
+func randPattern(rng *rand.Rand, k, labels int) *pattern.Pattern {
+	p, _ := pattern.New(k)
+	for i := 0; i < k; i++ {
+		p.Labels[i] = graph.Label(rng.Intn(labels))
+		for j := i + 1; j < k; j++ {
+			if rng.Intn(2) == 0 {
+				p.SetEdge(i, j)
+			}
+		}
+	}
+	return p
+}
+
+func TestCanonicalInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		k := 1 + rng.Intn(pattern.MaxK)
+		p := randPattern(rng, k, 3)
+		q := p.Permuted(rng.Perm(k))
+		cp, cq := Canonical(p), Canonical(q)
+		if !cp.Equal(cq) {
+			t.Fatalf("trial %d: canonical forms differ\n p=%v → %v\n q=%v → %v", trial, p, cp, q, cq)
+		}
+	}
+}
+
+func TestCanonicalSeparatesNonIsomorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		k := 2 + rng.Intn(pattern.MaxK-1)
+		p := randPattern(rng, k, 2)
+		q := randPattern(rng, k, 2)
+		canonEq := Canonical(p).Equal(Canonical(q))
+		isoEq := iso.Isomorphic(p, q)
+		if canonEq != isoEq {
+			t.Fatalf("trial %d: canonical eq=%v, iso=%v\n p=%v\n q=%v", trial, canonEq, isoEq, p, q)
+		}
+	}
+}
+
+func TestCanonicalIsIsomorphicToInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		p := randPattern(rng, 1+rng.Intn(pattern.MaxK), 4)
+		c := Canonical(p)
+		if !iso.Isomorphic(p, c) {
+			t.Fatalf("trial %d: canonical form not isomorphic to input\n p=%v\n c=%v", trial, p, c)
+		}
+	}
+}
+
+func TestHashMatchesIsomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(pattern.MaxK-1)
+		p := randPattern(rng, k, 2)
+		q := p.Permuted(rng.Perm(k))
+		if Hash(p) != Hash(q) {
+			t.Fatalf("trial %d: isomorphic patterns hash differently", trial)
+		}
+	}
+}
+
+func TestCanonicalRegularGraph(t *testing.T) {
+	// C6 is vertex-transitive: refinement alone cannot split it, forcing the
+	// individualization search tree to do the work.
+	p, _ := pattern.New(6)
+	for i := 0; i < 6; i++ {
+		p.SetEdge(i, (i+1)%6)
+	}
+	q := p.Permuted([]int{3, 5, 1, 0, 4, 2})
+	if !Canonical(p).Equal(Canonical(q)) {
+		t.Fatal("C6 canonical form not invariant")
+	}
+	// K3,3 vs C6: both 3-regular on 6 vertices but not isomorphic.
+	k33, _ := pattern.New(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			k33.SetEdge(i, j)
+		}
+	}
+	prism, _ := pattern.New(6) // triangular prism is the other cubic graph on 6 vertices
+	prism.SetEdge(0, 1)
+	prism.SetEdge(1, 2)
+	prism.SetEdge(2, 0)
+	prism.SetEdge(3, 4)
+	prism.SetEdge(4, 5)
+	prism.SetEdge(5, 3)
+	prism.SetEdge(0, 3)
+	prism.SetEdge(1, 4)
+	prism.SetEdge(2, 5)
+	if Canonical(k33).Equal(Canonical(prism)) {
+		t.Fatal("K3,3 and prism share canonical form")
+	}
+}
+
+func BenchmarkBlissCanonical5(b *testing.B) {
+	benchmarkCanonical(b, 5)
+}
+
+func BenchmarkBlissCanonical8(b *testing.B) {
+	benchmarkCanonical(b, 8)
+}
+
+func benchmarkCanonical(b *testing.B, k int) {
+	rng := rand.New(rand.NewSource(1))
+	p := randPattern(rng, k, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Canonical(p)
+	}
+}

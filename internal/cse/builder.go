@@ -1,0 +1,124 @@
+package cse
+
+import "fmt"
+
+// LevelBuilder assembles a new CSE level from t ordered parts — the output
+// side of one exploration iteration (paper Fig. 7). Part i receives the
+// child groups of the i-th contiguous range of parent embeddings; distinct
+// parts may be written concurrently, each by a single goroutine. Finish
+// stitches the parts into a LevelData in part order.
+type LevelBuilder interface {
+	// Part returns the writer for part i in [0, Parts()).
+	Part(i int) PartWriter
+	// Parts returns the number of parts.
+	Parts() int
+	// Finish completes the level. All parts must have been flushed.
+	Finish() (LevelData, error)
+	// Abort discards the partially built level.
+	Abort() error
+}
+
+// PartWriter receives the children of consecutive parent embeddings.
+type PartWriter interface {
+	// AppendGroup appends the children of the next parent embedding. preds
+	// optionally carries each child's predicted candidate size for the
+	// §4.2 load balancer; it must be all-nil or always len(children) within
+	// a level.
+	AppendGroup(children []uint32, preds []uint32) error
+	// Flush completes the part.
+	Flush() error
+}
+
+// MemLevelBuilder builds an in-memory level.
+type MemLevelBuilder struct {
+	parts []memPart
+}
+
+// NewMemLevelBuilder returns a builder with n parts.
+func NewMemLevelBuilder(n int) *MemLevelBuilder {
+	return &MemLevelBuilder{parts: make([]memPart, n)}
+}
+
+type memPart struct {
+	verts  []uint32
+	counts []uint32 // children per parent group
+	segs   []PredSeg
+	open   PredSeg
+	pred   bool
+}
+
+// Part implements LevelBuilder.
+func (b *MemLevelBuilder) Part(i int) PartWriter { return &b.parts[i] }
+
+// Parts implements LevelBuilder.
+func (b *MemLevelBuilder) Parts() int { return len(b.parts) }
+
+// Finish implements LevelBuilder.
+func (b *MemLevelBuilder) Finish() (LevelData, error) {
+	total, groups := 0, 0
+	pred := false
+	for i := range b.parts {
+		total += len(b.parts[i].verts)
+		groups += len(b.parts[i].counts)
+		if b.parts[i].pred {
+			pred = true
+		}
+	}
+	m := &MemLevel{
+		Verts: make([]uint32, 0, total),
+		Offs:  make([]uint64, 1, groups+1),
+	}
+	for i := range b.parts {
+		p := &b.parts[i]
+		if pred != p.pred && len(p.verts) > 0 {
+			return nil, fmt.Errorf("cse: mixed prediction state across parts")
+		}
+		m.Verts = append(m.Verts, p.verts...)
+		for _, c := range p.counts {
+			m.Offs = append(m.Offs, m.Offs[len(m.Offs)-1]+uint64(c))
+		}
+		if pred {
+			m.Pred = append(m.Pred, p.segs...)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Abort implements LevelBuilder.
+func (b *MemLevelBuilder) Abort() error {
+	b.parts = nil
+	return nil
+}
+
+// AppendGroup implements PartWriter.
+func (p *memPart) AppendGroup(children []uint32, preds []uint32) error {
+	p.verts = append(p.verts, children...)
+	p.counts = append(p.counts, uint32(len(children)))
+	if preds != nil {
+		if len(preds) != len(children) {
+			return fmt.Errorf("cse: %d preds for %d children", len(preds), len(children))
+		}
+		p.pred = true
+		for _, w := range preds {
+			p.open.Leaves++
+			p.open.Work += uint64(w)
+			if p.open.Leaves == PredictChunk {
+				p.segs = append(p.segs, p.open)
+				p.open = PredSeg{}
+			}
+		}
+	}
+	return nil
+}
+
+// Flush implements PartWriter.
+func (p *memPart) Flush() error {
+	if p.open.Leaves > 0 {
+		p.segs = append(p.segs, p.open)
+		p.open = PredSeg{}
+	}
+	return nil
+}

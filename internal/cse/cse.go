@@ -1,0 +1,309 @@
+// Package cse implements Kaleido's Compressed Sparse Embedding structure
+// (§3.1.1, Fig. 4): the set of k-embeddings viewed as a sparse k-dimensional
+// tensor and stored level by level. Level l holds two arrays:
+//
+//	vert[l] — the last unit (vertex or edge id) of every l-embedding;
+//	off[l]  — one entry per (l−1)-embedding: off[l][i] .. off[l][i+1] is the
+//	          slice of vert[l] holding the extensions of embedding i.
+//
+// Each exploration iteration ascends one dimension of the tensor by pushing
+// one more level. The same structure stores vertex-induced embeddings
+// (units are vertex ids) and edge-induced embeddings (units are edge ids).
+//
+// Levels are accessed through the LevelData interface so that a level can
+// live in memory (MemLevel) or on disk (internal/storage.DiskLevel) — the
+// half-memory-half-disk hybrid storage of §4.1.
+package cse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LevelData is one level of a CSE: a verts array plus the offs array that
+// groups it under the previous level. Implementations must support cheap
+// sequential cursors (the hot path) and occasional random access (used only
+// to locate the t partition boundaries of parallel exploration).
+type LevelData interface {
+	// Len is the number of embeddings in this level (length of verts).
+	Len() int
+	// Groups is the number of parent embeddings (length of offs minus 1).
+	// Level 1 has no parents and returns 0.
+	Groups() int
+	// VertCursor returns a sequential cursor over verts[lo:hi].
+	VertCursor(lo, hi int) VertCursor
+	// BoundCursor returns a sequential cursor over the group end boundaries
+	// offs[first+1 ... ], i.e. successive values of offs[i+1] starting at
+	// parent index first. Level 1 implementations may return nil.
+	BoundCursor(first int) BoundCursor
+	// ParentOf returns the parent index of embedding i: the unique p with
+	// offs[p] <= i < offs[p+1]. Level 1 implementations may return 0.
+	ParentOf(i int) int
+	// GroupStart returns offs[g], the index of the first child of group g;
+	// g may equal Groups(), addressing one past the last child. Level 1
+	// implementations may return 0.
+	GroupStart(g int) (uint64, error)
+	// Predicted returns the §4.2 load-balance summaries: an ordered list of
+	// segments covering all embeddings of the level, each with its total
+	// predicted candidate size. Nil when no prediction was recorded.
+	Predicted() []PredSeg
+	// Bytes is the in-memory footprint of this level (disk levels report
+	// only their resident buffers and summaries).
+	Bytes() int64
+	// Close releases any resources (files, prefetch goroutines).
+	Close() error
+}
+
+// VertCursor iterates units sequentially.
+type VertCursor interface {
+	// Next returns the next unit; ok is false once the range is exhausted
+	// or a stream error occurred (check Err).
+	Next() (unit uint32, ok bool)
+	// Err returns the first stream error, if any.
+	Err() error
+	// Close releases cursor resources.
+	Close() error
+}
+
+// BoundCursor iterates successive group end positions.
+type BoundCursor interface {
+	Next() (bound uint64, ok bool)
+	Err() error
+	Close() error
+}
+
+// PredictChunk is the granularity of the load balancer's predicted-work
+// summaries: one segment per this many embeddings (segments at part seams
+// may be shorter).
+const PredictChunk = 4096
+
+// PredSeg summarizes the predicted expansion work of a run of consecutive
+// embeddings: Leaves embeddings whose predicted candidate sizes sum to Work.
+type PredSeg struct {
+	Leaves uint32
+	Work   uint64
+}
+
+// CSE is a stack of levels. Level 1 (index 0) is the base unit list.
+type CSE struct {
+	levels []LevelData
+}
+
+// New returns a CSE with the given base level.
+func New(base LevelData) *CSE {
+	return &CSE{levels: []LevelData{base}}
+}
+
+// Depth returns the number of levels (the current embedding size).
+func (c *CSE) Depth() int { return len(c.levels) }
+
+// Level returns level l (1-based, matching the paper's notation).
+func (c *CSE) Level(l int) LevelData { return c.levels[l-1] }
+
+// Top returns the deepest level.
+func (c *CSE) Top() LevelData { return c.levels[len(c.levels)-1] }
+
+// Push appends a new deepest level. The new level's group count must match
+// the current top's embedding count.
+func (c *CSE) Push(l LevelData) error {
+	if l.Groups() != c.Top().Len() {
+		return fmt.Errorf("cse: new level has %d groups, top has %d embeddings", l.Groups(), c.Top().Len())
+	}
+	c.levels = append(c.levels, l)
+	return nil
+}
+
+// PopTop removes and closes the deepest level (used by level-synchronous
+// pruning in FSM).
+func (c *CSE) PopTop() error {
+	if len(c.levels) == 1 {
+		return fmt.Errorf("cse: cannot pop base level")
+	}
+	top := c.levels[len(c.levels)-1]
+	c.levels = c.levels[:len(c.levels)-1]
+	return top.Close()
+}
+
+// ReplaceTop swaps the deepest level for a filtered version with the same
+// group count.
+func (c *CSE) ReplaceTop(l LevelData) error {
+	if l.Groups() != c.levels[len(c.levels)-2].Len() {
+		return fmt.Errorf("cse: replacement has %d groups, want %d", l.Groups(), c.levels[len(c.levels)-2].Len())
+	}
+	old := c.levels[len(c.levels)-1]
+	c.levels[len(c.levels)-1] = l
+	return old.Close()
+}
+
+// Bytes sums the resident footprint of all levels.
+func (c *CSE) Bytes() int64 {
+	var total int64
+	for _, l := range c.levels {
+		total += l.Bytes()
+	}
+	return total
+}
+
+// Close releases all levels.
+func (c *CSE) Close() error {
+	var first error
+	for _, l := range c.levels {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Extract materializes the embedding at index idx of the top level — the
+// §3.1.1 "obtain an arbitrary embedding" operation, O(k·log) via per-level
+// parent searches. The result is written into dst (length Depth()).
+func (c *CSE) Extract(idx int, dst []uint32) error {
+	if len(dst) != c.Depth() {
+		return fmt.Errorf("cse: dst length %d, want %d", len(dst), c.Depth())
+	}
+	for l := c.Depth(); l >= 1; l-- {
+		lv := c.levels[l-1]
+		if idx < 0 || idx >= lv.Len() {
+			return fmt.Errorf("cse: index %d out of range at level %d (len %d)", idx, l, lv.Len())
+		}
+		cur := lv.VertCursor(idx, idx+1)
+		u, ok := cur.Next()
+		cur.Close()
+		if !ok {
+			return fmt.Errorf("cse: empty cursor at level %d index %d", l, idx)
+		}
+		dst[l-1] = u
+		if l > 1 {
+			idx = lv.ParentOf(idx)
+		}
+	}
+	return nil
+}
+
+// MemLevel is an in-memory CSE level.
+type MemLevel struct {
+	Verts []uint32
+	// Offs groups Verts under the previous level; nil for the base level.
+	// When non-nil, len(Offs) = Groups()+1, Offs[0] = 0 and
+	// Offs[Groups()] = len(Verts).
+	Offs []uint64
+	// Pred holds the load-balance segments (may be nil).
+	Pred []PredSeg
+}
+
+var _ LevelData = (*MemLevel)(nil)
+
+// NewBaseLevel wraps a unit list as a base (level 1) MemLevel.
+func NewBaseLevel(units []uint32) *MemLevel {
+	return &MemLevel{Verts: units}
+}
+
+// Validate checks the structural invariants of the level.
+func (m *MemLevel) Validate() error {
+	if m.Offs == nil {
+		return nil
+	}
+	if len(m.Offs) < 1 || m.Offs[0] != 0 {
+		return fmt.Errorf("cse: offs must start at 0")
+	}
+	for i := 1; i < len(m.Offs); i++ {
+		if m.Offs[i] < m.Offs[i-1] {
+			return fmt.Errorf("cse: offs not monotone at %d", i)
+		}
+	}
+	if m.Offs[len(m.Offs)-1] != uint64(len(m.Verts)) {
+		return fmt.Errorf("cse: offs end %d, want %d", m.Offs[len(m.Offs)-1], len(m.Verts))
+	}
+	return nil
+}
+
+// Len implements LevelData.
+func (m *MemLevel) Len() int { return len(m.Verts) }
+
+// Groups implements LevelData.
+func (m *MemLevel) Groups() int {
+	if m.Offs == nil {
+		return 0
+	}
+	return len(m.Offs) - 1
+}
+
+// VertCursor implements LevelData.
+func (m *MemLevel) VertCursor(lo, hi int) VertCursor {
+	return &sliceVertCursor{s: m.Verts[lo:hi]}
+}
+
+// BoundCursor implements LevelData.
+func (m *MemLevel) BoundCursor(first int) BoundCursor {
+	if m.Offs == nil {
+		return nil
+	}
+	return &sliceBoundCursor{s: m.Offs[first+1:]}
+}
+
+// ParentOf implements LevelData.
+func (m *MemLevel) ParentOf(i int) int {
+	if m.Offs == nil {
+		return 0
+	}
+	// Largest p with Offs[p] <= i.
+	p := sort.Search(len(m.Offs), func(x int) bool { return m.Offs[x] > uint64(i) })
+	return p - 1
+}
+
+// GroupStart implements LevelData.
+func (m *MemLevel) GroupStart(g int) (uint64, error) {
+	if m.Offs == nil {
+		return 0, nil
+	}
+	if g < 0 || g >= len(m.Offs) {
+		return 0, fmt.Errorf("cse: group %d out of range %d", g, len(m.Offs)-1)
+	}
+	return m.Offs[g], nil
+}
+
+// Predicted implements LevelData.
+func (m *MemLevel) Predicted() []PredSeg { return m.Pred }
+
+// Bytes implements LevelData.
+func (m *MemLevel) Bytes() int64 {
+	return int64(len(m.Verts))*4 + int64(len(m.Offs))*8 + int64(len(m.Pred))*16
+}
+
+// Close implements LevelData.
+func (m *MemLevel) Close() error { return nil }
+
+type sliceVertCursor struct {
+	s []uint32
+	i int
+}
+
+func (c *sliceVertCursor) Next() (uint32, bool) {
+	if c.i >= len(c.s) {
+		return 0, false
+	}
+	v := c.s[c.i]
+	c.i++
+	return v, true
+}
+
+func (c *sliceVertCursor) Err() error   { return nil }
+func (c *sliceVertCursor) Close() error { return nil }
+
+type sliceBoundCursor struct {
+	s []uint64
+	i int
+}
+
+func (c *sliceBoundCursor) Next() (uint64, bool) {
+	if c.i >= len(c.s) {
+		return 0, false
+	}
+	v := c.s[c.i]
+	c.i++
+	return v, true
+}
+
+func (c *sliceBoundCursor) Err() error   { return nil }
+func (c *sliceBoundCursor) Close() error { return nil }

@@ -1,0 +1,178 @@
+package cse
+
+import "fmt"
+
+// Walker enumerates the embeddings of a CSE's top level sequentially over an
+// index range, materializing the full unit sequence ⟨u1..uk⟩ of each. It is
+// the sequential engine under parallel exploration: each worker walks its own
+// range. All level access is through sequential cursors, so the walk works
+// identically over in-memory and on-disk (hybrid) levels; only the t range
+// starts use random access (ParentOf).
+type Walker struct {
+	k        int
+	cur, hi  int // current and end index at level k
+	first    bool
+	err      error
+	prefix   []uint32 // prefix[l-1] = unit of current level-l embedding
+	idx      []int    // idx[l-1]   = current global index at level l
+	groupEnd []uint64 // groupEnd[l-1] = end boundary of current group at level l (l ≥ 2)
+	vertCur  []VertCursor
+	boundCur []BoundCursor
+}
+
+// NewWalker positions a walker over top-level embeddings [lo, hi).
+func NewWalker(c *CSE, lo, hi int) (*Walker, error) {
+	k := c.Depth()
+	top := c.Top()
+	if lo < 0 || hi > top.Len() || lo > hi {
+		return nil, fmt.Errorf("cse: walker range [%d,%d) out of [0,%d]", lo, hi, top.Len())
+	}
+	w := &Walker{
+		k: k, cur: lo, hi: hi, first: true,
+		prefix:   make([]uint32, k),
+		idx:      make([]int, k),
+		groupEnd: make([]uint64, k),
+		vertCur:  make([]VertCursor, k),
+		boundCur: make([]BoundCursor, k),
+	}
+	if lo == hi {
+		return w, nil
+	}
+	// Ancestor chain of the first and last leaf in range.
+	a := make([]int, k)
+	b := make([]int, k)
+	a[k-1], b[k-1] = lo, hi-1
+	for l := k - 1; l >= 1; l-- {
+		a[l-1] = c.Level(l + 1).ParentOf(a[l])
+		b[l-1] = c.Level(l + 1).ParentOf(b[l])
+	}
+	for l := 1; l <= k; l++ {
+		lv := c.Level(l)
+		w.idx[l-1] = a[l-1]
+		w.vertCur[l-1] = lv.VertCursor(a[l-1], b[l-1]+1)
+		if l >= 2 {
+			w.boundCur[l-1] = lv.BoundCursor(a[l-2])
+			ge, ok := w.boundCur[l-1].Next()
+			if !ok {
+				w.closeAll()
+				return nil, fmt.Errorf("cse: walker: missing group boundary at level %d", l)
+			}
+			w.groupEnd[l-1] = ge
+		}
+	}
+	// Materialize the starting prefix for levels 1..k−1; level k units are
+	// consumed inside Next.
+	for l := 1; l < k; l++ {
+		v, ok := w.vertCur[l-1].Next()
+		if !ok {
+			w.closeAll()
+			return nil, fmt.Errorf("cse: walker: level %d cursor empty at start", l)
+		}
+		w.prefix[l-1] = v
+	}
+	return w, nil
+}
+
+// Next returns the next embedding in range. emb is a reused buffer of length
+// Depth(); callers must copy it to retain it. changedFrom is the smallest
+// level (1-based) whose unit differs from the previous emission — on the
+// first emission it is 1; when only the leaf advanced it is Depth(). Callers
+// use it to recompute incremental per-prefix state (candidate sets) only for
+// the levels that actually changed.
+func (w *Walker) Next() (emb []uint32, changedFrom int, ok bool) {
+	if w.err != nil || w.cur >= w.hi {
+		return nil, 0, false
+	}
+	changed := w.k
+	if w.k > 1 {
+		for uint64(w.cur) >= w.groupEnd[w.k-1] {
+			c := w.advance(w.k - 1)
+			if w.err != nil {
+				return nil, 0, false
+			}
+			if c < changed {
+				changed = c
+			}
+			ge, bok := w.boundCur[w.k-1].Next()
+			if !bok {
+				w.err = streamErr(w.boundCur[w.k-1].Err(), "boundary", w.k)
+				return nil, 0, false
+			}
+			w.groupEnd[w.k-1] = ge
+		}
+	}
+	v, vok := w.vertCur[w.k-1].Next()
+	if !vok {
+		w.err = streamErr(w.vertCur[w.k-1].Err(), "vert", w.k)
+		return nil, 0, false
+	}
+	w.prefix[w.k-1] = v
+	w.idx[w.k-1] = w.cur
+	w.cur++
+	if w.first {
+		w.first = false
+		changed = 1
+	}
+	return w.prefix, changed, true
+}
+
+// advance moves level l to its next embedding, cascading group-boundary
+// crossings to lower levels; it returns the smallest level changed.
+func (w *Walker) advance(l int) int {
+	changed := l
+	w.idx[l-1]++
+	if l > 1 {
+		for uint64(w.idx[l-1]) >= w.groupEnd[l-1] {
+			c := w.advance(l - 1)
+			if w.err != nil {
+				return changed
+			}
+			if c < changed {
+				changed = c
+			}
+			ge, ok := w.boundCur[l-1].Next()
+			if !ok {
+				w.err = streamErr(w.boundCur[l-1].Err(), "boundary", l)
+				return changed
+			}
+			w.groupEnd[l-1] = ge
+		}
+	}
+	v, ok := w.vertCur[l-1].Next()
+	if !ok {
+		w.err = streamErr(w.vertCur[l-1].Err(), "vert", l)
+		return changed
+	}
+	w.prefix[l-1] = v
+	return changed
+}
+
+// Err returns the first stream error encountered, if any.
+func (w *Walker) Err() error { return w.err }
+
+// streamErr wraps a cursor error, or reports premature stream end.
+func streamErr(err error, kind string, level int) error {
+	if err != nil {
+		return fmt.Errorf("cse: walker: %s stream at level %d: %w", kind, level, err)
+	}
+	return fmt.Errorf("cse: walker: %s stream ended early at level %d", kind, level)
+}
+
+// Close releases all cursors.
+func (w *Walker) Close() error {
+	w.closeAll()
+	return nil
+}
+
+func (w *Walker) closeAll() {
+	for _, c := range w.vertCur {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, c := range w.boundCur {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

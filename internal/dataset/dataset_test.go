@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, d := range All {
+		got, err := ByName(d.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", d.Name, err)
+		}
+		if got.Name != d.Name {
+			t.Fatalf("ByName(%q) returned %q", d.Name, got.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted unknown dataset")
+	}
+}
+
+func TestGenerateCiteSeer(t *testing.T) {
+	g, err := Generate(CiteSeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3312 {
+		t.Fatalf("N = %d, want 3312", g.N())
+	}
+	if g.NumLabels() != 6 {
+		t.Fatalf("NumLabels = %d, want 6", g.NumLabels())
+	}
+	// Average degree should be near the paper's value of 3.
+	if d := g.AvgDegree(); d < 2.0 || d > 4.0 {
+		t.Fatalf("AvgDegree = %.2f, want ≈ 3", d)
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	for _, d := range All {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			g, err := Generate(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.NumLabels() != d.Cfg.NumLabels {
+				t.Errorf("NumLabels = %d, want %d", g.NumLabels(), d.Cfg.NumLabels)
+			}
+			paperDeg := float64(d.PaperAvgDeg)
+			if deg := g.AvgDegree(); deg < paperDeg*0.5 || deg > paperDeg*1.5 {
+				t.Errorf("AvgDegree = %.2f, paper has %d", deg, d.PaperAvgDeg)
+			}
+			if s := d.Scale(); s > 1.01 {
+				t.Errorf("scale %f > 1", s)
+			}
+		})
+	}
+}
+
+func TestLoadCaches(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Load(CiteSeer, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(CiteSeer, dir) // second load hits the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("cache changed the graph: %d/%d vs %d/%d", a.N(), a.M(), b.N(), b.M())
+	}
+}
+
+func TestCoarsenPatentLabels(t *testing.T) {
+	g, err := Generate(Patent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CoarsenPatentLabels(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLabels() > 7 {
+		t.Fatalf("coarse labels = %d, want ≤ 7", c.NumLabels())
+	}
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatal("coarsening changed the topology")
+	}
+	for v := 0; v < g.N(); v++ {
+		if want := g.Label(uint32(v)) * 7 / 37; c.Label(uint32(v)) != want {
+			t.Fatalf("vertex %d: coarse label %d, want %d", v, c.Label(uint32(v)), want)
+		}
+	}
+}

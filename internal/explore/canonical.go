@@ -1,0 +1,144 @@
+// Package explore implements Kaleido's embedding exploration engine (§3.1,
+// §4): canonical-filtered vertex- and edge-induced expansion over a CSE,
+// parallel iteration with prediction-based load balancing (§4.2), and
+// automatic spilling of large levels to hybrid disk storage (§4.1).
+package explore
+
+import "kaleido/internal/graph"
+
+// CanonicalVertex implements the incremental form of Definition 2: it
+// reports whether appending candidate vertex cand to the canonical embedding
+// emb keeps it canonical. The three properties of Definition 2:
+//
+//	(i)   cand must exceed the first vertex;
+//	(ii)  cand must neighbor some embedding vertex (with a = the first such
+//	      position);
+//	(iii) every vertex after position a must be smaller than cand.
+//
+// Duplicate vertices are rejected. Assuming emb itself is canonical, the
+// extension enumerates every connected induced subgraph exactly once.
+func CanonicalVertex(g *graph.Graph, emb []uint32, cand uint32) bool {
+	if cand <= emb[0] {
+		return false
+	}
+	first := -1
+	for i, v := range emb {
+		if v == cand {
+			return false
+		}
+		if first == -1 && g.HasEdge(v, cand) {
+			first = i
+			// Keep scanning: later positions must be checked for
+			// duplicates and for property (iii).
+			continue
+		}
+		if first >= 0 && v >= cand {
+			return false
+		}
+	}
+	return first >= 0
+}
+
+// CanonicalEdge is the edge-induced analogue of CanonicalVertex: embeddings
+// are sequences of edge ids, adjacency is sharing an endpoint, and ordering
+// is by edge id. emb holds the edge ids of the current embedding.
+func CanonicalEdge(g *graph.Graph, emb []uint32, cand uint32) bool {
+	if cand <= emb[0] {
+		return false
+	}
+	ce := g.EdgeAt(cand)
+	first := -1
+	for i, eid := range emb {
+		if eid == cand {
+			return false
+		}
+		e := g.EdgeAt(eid)
+		adjacent := e.U == ce.U || e.U == ce.V || e.V == ce.U || e.V == ce.V
+		if first == -1 && adjacent {
+			first = i
+			continue
+		}
+		if first >= 0 && eid >= cand {
+			return false
+		}
+	}
+	return first >= 0
+}
+
+// mergeUnion writes the sorted union of sorted slices a and b into dst
+// (which is reset) and returns it.
+func mergeUnion(dst, a, b []uint32) []uint32 {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// mergeUnionCount returns |a ∪ b| for sorted slices without materializing
+// the union — the O(d̄) candidate-size prediction of §4.2 (Fig. 8).
+func mergeUnionCount(a, b []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+		n++
+	}
+	return n + (len(a) - i) + (len(b) - j)
+}
+
+// insertSorted inserts v into sorted slice s if absent.
+func insertSorted(s []uint32, v uint32) []uint32 {
+	lo := 0
+	hi := len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = v
+	return s
+}
+
+// containsSorted reports whether sorted slice s contains v.
+func containsSorted(s []uint32, v uint32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
+}

@@ -1,0 +1,647 @@
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"kaleido/internal/cse"
+	"kaleido/internal/graph"
+	"kaleido/internal/memtrack"
+	"kaleido/internal/storage"
+)
+
+// Mode selects the exploration unit (§1.1: vertex-induced expansion adds one
+// vertex per iteration, edge-induced adds one edge).
+type Mode int
+
+const (
+	// VertexInduced embeddings are vertex sequences.
+	VertexInduced Mode = iota
+	// EdgeInduced embeddings are edge-id sequences.
+	EdgeInduced
+)
+
+// VertexFilter is the user-defined EmbeddingFilter of the Kaleido API for
+// vertex-induced exploration: may cand be appended to emb? The default
+// canonical filter has already passed when it is called.
+type VertexFilter func(emb []uint32, cand uint32) bool
+
+// EdgeFilter is the edge-induced EmbeddingFilter: emb holds edge ids, verts
+// the sorted vertex set, cand the candidate edge id.
+type EdgeFilter func(emb []uint32, verts []uint32, cand uint32) bool
+
+// Config configures an Explorer.
+type Config struct {
+	Graph   *graph.Graph
+	Mode    Mode
+	Threads int // 0 = GOMAXPROCS
+
+	// MemoryBudget caps the resident bytes of the CSE; a level whose
+	// projected size would exceed it is written to SpillDir instead
+	// (hybrid storage, §4.1). 0 means keep everything in memory.
+	MemoryBudget int64
+	SpillDir     string
+
+	// Predict enables the §4.2 candidate-size prediction: per-chunk work
+	// summaries are recorded during expansion and used to cut balanced
+	// partitions in the next iteration.
+	Predict bool
+
+	BufSize   int // write-queue buffer size (0 = storage.DefaultBufSize)
+	BlockSize int // read prefetch block size (0 = storage.DefaultBlockSize)
+
+	Tracker *memtrack.Tracker // optional instrumentation
+}
+
+// Explorer drives iterative embedding exploration over one input graph,
+// owning the CSE and its spilled levels.
+type Explorer struct {
+	cfg      Config
+	c        *cse.CSE
+	queue    *storage.WriteQueue
+	levelSeq int
+	spilled  int
+	ledger   []int64 // tracker bytes charged per level
+}
+
+// New creates an Explorer. Call InitVertices or InitEdges before Expand.
+func New(cfg Config) (*Explorer, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("explore: nil graph")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MemoryBudget > 0 && cfg.SpillDir == "" {
+		return nil, fmt.Errorf("explore: memory budget set but no spill directory")
+	}
+	return &Explorer{cfg: cfg}, nil
+}
+
+// InitVertices sets level 1 to the graph's vertices (optionally filtered) —
+// the Init of vertex-induced applications (§5).
+func (e *Explorer) InitVertices(filter func(v uint32) bool) error {
+	if e.cfg.Mode != VertexInduced {
+		return fmt.Errorf("explore: InitVertices on edge-induced explorer")
+	}
+	g := e.cfg.Graph
+	units := make([]uint32, 0, g.N())
+	for v := uint32(0); v < uint32(g.N()); v++ {
+		if filter == nil || filter(v) {
+			units = append(units, v)
+		}
+	}
+	return e.initBase(units)
+}
+
+// InitEdges sets level 1 to the graph's edge ids (optionally filtered) — the
+// Init of edge-induced applications (§5).
+func (e *Explorer) InitEdges(filter func(eid uint32) bool) error {
+	if e.cfg.Mode != EdgeInduced {
+		return fmt.Errorf("explore: InitEdges on vertex-induced explorer")
+	}
+	g := e.cfg.Graph
+	units := make([]uint32, 0, g.M())
+	for eid := uint32(0); eid < uint32(g.M()); eid++ {
+		if filter == nil || filter(eid) {
+			units = append(units, eid)
+		}
+	}
+	return e.initBase(units)
+}
+
+func (e *Explorer) initBase(units []uint32) error {
+	if e.c != nil {
+		return fmt.Errorf("explore: already initialized")
+	}
+	base := cse.NewBaseLevel(units)
+	e.c = cse.New(base)
+	e.charge(base.Bytes())
+	return nil
+}
+
+// charge records a new level's bytes with the tracker.
+func (e *Explorer) charge(b int64) {
+	e.ledger = append(e.ledger, b)
+	if e.cfg.Tracker != nil {
+		e.cfg.Tracker.Alloc(b)
+	}
+}
+
+// uncharge releases the top level's ledger entry.
+func (e *Explorer) uncharge() {
+	b := e.ledger[len(e.ledger)-1]
+	e.ledger = e.ledger[:len(e.ledger)-1]
+	if e.cfg.Tracker != nil {
+		e.cfg.Tracker.Free(b)
+	}
+}
+
+// Depth returns the current embedding size.
+func (e *Explorer) Depth() int { return e.c.Depth() }
+
+// Count returns the number of embeddings at the top level.
+func (e *Explorer) Count() int { return e.c.Top().Len() }
+
+// LevelSizes returns the embedding count of every level.
+func (e *Explorer) LevelSizes() []int {
+	s := make([]int, e.c.Depth())
+	for i := range s {
+		s[i] = e.c.Level(i + 1).Len()
+	}
+	return s
+}
+
+// Bytes returns the resident footprint of the CSE.
+func (e *Explorer) Bytes() int64 { return e.c.Bytes() }
+
+// SpilledLevels reports how many levels live on disk.
+func (e *Explorer) SpilledLevels() int { return e.spilled }
+
+// CSE exposes the underlying structure (read-only use).
+func (e *Explorer) CSE() *cse.CSE { return e.c }
+
+// Close releases the CSE (removing spilled files) and stops the write queue.
+func (e *Explorer) Close() error {
+	var first error
+	if e.c != nil {
+		if err := e.c.Close(); err != nil {
+			first = err
+		}
+		for len(e.ledger) > 0 {
+			e.uncharge()
+		}
+	}
+	if e.queue != nil {
+		if err := e.queue.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Expand runs one exploration iteration, deriving level k+1 from level k
+// under the default canonical filter plus the optional user filter (vf for
+// vertex-induced mode, ef for edge-induced mode; pass the one matching the
+// explorer's mode, nil for none).
+func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
+	if e.c == nil {
+		return fmt.Errorf("explore: not initialized")
+	}
+	top := e.c.Top()
+	n := top.Len()
+	k := e.c.Depth()
+	g := e.cfg.Graph
+
+	spill := e.shouldSpill(n, top)
+	var bounds []int
+	var builder cse.LevelBuilder
+	if spill {
+		bounds = e.partition(top, e.cfg.Threads)
+		if e.queue == nil {
+			e.queue = storage.NewWriteQueue(e.cfg.BufSize, e.cfg.Tracker)
+		}
+		db, err := storage.NewDiskLevelBuilder(e.cfg.SpillDir, e.levelSeq, e.cfg.Threads, e.queue, e.cfg.BlockSize, e.cfg.Tracker)
+		if err != nil {
+			return err
+		}
+		e.levelSeq++
+		builder = db
+	} else {
+		bounds = e.partition(top, e.chunks(n))
+		builder = cse.NewMemLevelBuilder(len(bounds) - 1)
+	}
+
+	err := e.runParallel(len(bounds)-1, func(worker, chunk int) error {
+		lo, hi := bounds[chunk], bounds[chunk+1]
+		pw := builder.Part(chunk)
+		if err := e.expandRange(g, k, lo, hi, pw, vf, ef); err != nil {
+			return err
+		}
+		return pw.Flush()
+	})
+	if err != nil {
+		builder.Abort()
+		return err
+	}
+	lvl, err := builder.Finish()
+	if err != nil {
+		return err
+	}
+	if err := e.c.Push(lvl); err != nil {
+		lvl.Close()
+		return err
+	}
+	if spill {
+		e.spilled++
+	}
+	e.charge(lvl.Bytes())
+	return nil
+}
+
+// expandRange expands top-level embeddings [lo, hi) into pw.
+func (e *Explorer) expandRange(g *graph.Graph, k, lo, hi int, pw cse.PartWriter, vf VertexFilter, ef EdgeFilter) error {
+	w, err := cse.NewWalker(e.c, lo, hi)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+
+	children := make([]uint32, 0, 128)
+	var preds []uint32
+	if e.cfg.Predict {
+		preds = make([]uint32, 0, 128)
+	}
+	if e.cfg.Mode == VertexInduced {
+		st := newVertexState(g, k)
+		for {
+			emb, from, ok := w.Next()
+			if !ok {
+				break
+			}
+			st.update(emb, from)
+			children = children[:0]
+			preds = preds[:0]
+			for _, u := range st.candidates(k) {
+				if !CanonicalVertex(g, emb, u) {
+					continue
+				}
+				if vf != nil && !vf(emb, u) {
+					continue
+				}
+				children = append(children, u)
+				if e.cfg.Predict {
+					preds = append(preds, clamp32(st.predict(k, u)))
+				}
+			}
+			if err := pw.AppendGroup(children, predsOrNil(e.cfg.Predict, preds)); err != nil {
+				return err
+			}
+		}
+	} else {
+		st := newEdgeState(g, k)
+		for {
+			emb, from, ok := w.Next()
+			if !ok {
+				break
+			}
+			st.update(emb, from)
+			children = children[:0]
+			preds = preds[:0]
+			for _, f := range st.candidates(k) {
+				if !CanonicalEdge(g, emb, f) {
+					continue
+				}
+				if ef != nil && !ef(emb, st.vertices(k), f) {
+					continue
+				}
+				children = append(children, f)
+				if e.cfg.Predict {
+					preds = append(preds, clamp32(st.predict(k, f)))
+				}
+			}
+			if err := pw.AppendGroup(children, predsOrNil(e.cfg.Predict, preds)); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Err()
+}
+
+func predsOrNil(on bool, preds []uint32) []uint32 {
+	if !on {
+		return nil
+	}
+	return preds
+}
+
+func clamp32(v int) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1<<31 {
+		return 1 << 31
+	}
+	return uint32(v)
+}
+
+// ForEach walks all top-level embeddings in parallel. visit receives the
+// worker index (0..Threads-1) for worker-local aggregation state and a
+// reused embedding buffer it must not retain.
+func (e *Explorer) ForEach(visit func(worker int, emb []uint32) error) error {
+	top := e.c.Top()
+	bounds := e.partition(top, e.chunks(top.Len()))
+	return e.runParallel(len(bounds)-1, func(worker, chunk int) error {
+		w, err := cse.NewWalker(e.c, bounds[chunk], bounds[chunk+1])
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		for {
+			emb, _, ok := w.Next()
+			if !ok {
+				break
+			}
+			if err := visit(worker, emb); err != nil {
+				return err
+			}
+		}
+		return w.Err()
+	})
+}
+
+// ForEachExpansion enumerates, for every top-level embedding, its canonical
+// filtered candidate extensions without materializing a new level — the
+// exploration step motif counting's Mapper performs (§5.1). Vertex-induced
+// mode only.
+func (e *Explorer) ForEachExpansion(vf VertexFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
+	if e.cfg.Mode != VertexInduced {
+		return fmt.Errorf("explore: ForEachExpansion requires vertex-induced mode")
+	}
+	g := e.cfg.Graph
+	k := e.c.Depth()
+	top := e.c.Top()
+	bounds := e.partition(top, e.chunks(top.Len()))
+	return e.runParallel(len(bounds)-1, func(worker, chunk int) error {
+		w, err := cse.NewWalker(e.c, bounds[chunk], bounds[chunk+1])
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		st := newVertexState(g, k)
+		for {
+			emb, from, ok := w.Next()
+			if !ok {
+				break
+			}
+			st.update(emb, from)
+			for _, u := range st.candidates(k) {
+				if !CanonicalVertex(g, emb, u) {
+					continue
+				}
+				if vf != nil && !vf(emb, u) {
+					continue
+				}
+				if err := visit(worker, emb, u); err != nil {
+					return err
+				}
+			}
+		}
+		return w.Err()
+	})
+}
+
+// FilterTop rewrites the top level keeping only embeddings approved by keep
+// — the Reducer-driven pruning of FSM (§5.1). Group structure under the
+// previous level is preserved (parents may end up with empty groups).
+func (e *Explorer) FilterTop(keep func(worker int, emb []uint32) bool) error {
+	k := e.c.Depth()
+	if k < 2 {
+		return fmt.Errorf("explore: FilterTop requires depth ≥ 2")
+	}
+	top := e.c.Top()
+	parents := e.c.Level(k - 1).Len()
+
+	_, isMem := top.(*cse.MemLevel)
+	wasDisk := !isMem // keep the rewritten level on the same storage tier
+
+	nchunks := e.chunks(parents)
+	if wasDisk {
+		nchunks = e.cfg.Threads
+	}
+	bounds := partitionEven(parents, nchunks)
+
+	var builder cse.LevelBuilder
+	if wasDisk {
+		if e.queue == nil {
+			e.queue = storage.NewWriteQueue(e.cfg.BufSize, e.cfg.Tracker)
+		}
+		db, err := storage.NewDiskLevelBuilder(e.cfg.SpillDir, e.levelSeq, nchunks, e.queue, e.cfg.BlockSize, e.cfg.Tracker)
+		if err != nil {
+			return err
+		}
+		e.levelSeq++
+		builder = db
+	} else {
+		builder = cse.NewMemLevelBuilder(nchunks)
+	}
+
+	err := e.runParallel(nchunks, func(worker, chunk int) error {
+		plo, phi := bounds[chunk], bounds[chunk+1]
+		pw := builder.Part(chunk)
+		if err := e.filterRange(top, k, plo, phi, worker, pw, keep); err != nil {
+			return err
+		}
+		return pw.Flush()
+	})
+	if err != nil {
+		builder.Abort()
+		return err
+	}
+	lvl, err := builder.Finish()
+	if err != nil {
+		return err
+	}
+	e.uncharge()
+	if err := e.c.ReplaceTop(lvl); err != nil {
+		lvl.Close()
+		return err
+	}
+	e.charge(lvl.Bytes())
+	return nil
+}
+
+// filterRange rewrites the groups of parents [plo, phi).
+func (e *Explorer) filterRange(top cse.LevelData, k, plo, phi, worker int, pw cse.PartWriter, keep func(int, []uint32) bool) error {
+	lo64, err := top.GroupStart(plo)
+	if err != nil {
+		return err
+	}
+	hi64, err := top.GroupStart(phi)
+	if err != nil {
+		return err
+	}
+	lo, hi := int(lo64), int(hi64)
+	w, err := cse.NewWalker(e.c, lo, hi)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	bc := top.BoundCursor(plo)
+	defer bc.Close()
+
+	end, ok := bc.Next()
+	if !ok && phi > plo {
+		return fmt.Errorf("explore: missing group boundary at parent %d: %w", plo, bc.Err())
+	}
+	var children []uint32
+	emitted := 0
+	for i := lo; i < hi; i++ {
+		emb, _, ok := w.Next()
+		if !ok {
+			return fmt.Errorf("explore: walker ended early at %d: %w", i, w.Err())
+		}
+		for uint64(i) >= end {
+			if err := pw.AppendGroup(children, nil); err != nil {
+				return err
+			}
+			emitted++
+			children = children[:0]
+			var bok bool
+			end, bok = bc.Next()
+			if !bok {
+				return fmt.Errorf("explore: boundary stream ended at parent %d: %w", plo+emitted, bc.Err())
+			}
+		}
+		if keep(worker, emb) {
+			children = append(children, emb[k-1])
+		}
+	}
+	// Flush the open group and any trailing empty parents.
+	for emitted < phi-plo {
+		if err := pw.AppendGroup(children, nil); err != nil {
+			return err
+		}
+		children = children[:0]
+		emitted++
+	}
+	return nil
+}
+
+// shouldSpill decides whether the next level goes to disk: the projected
+// resident size of the CSE after the expansion must stay within the budget.
+func (e *Explorer) shouldSpill(n int, top cse.LevelData) bool {
+	if e.cfg.MemoryBudget <= 0 || e.cfg.SpillDir == "" {
+		return false
+	}
+	var est int64
+	if segs := top.Predicted(); segs != nil {
+		for _, s := range segs {
+			est += int64(s.Work)
+		}
+	} else {
+		d := e.cfg.Graph.AvgDegree()
+		est = int64(float64(n) * d)
+	}
+	projected := e.c.Bytes() + est*4 + int64(n+1)*8
+	return projected > e.cfg.MemoryBudget
+}
+
+// chunks picks the work-stealing chunk count for in-memory parallel walks.
+func (e *Explorer) chunks(n int) int {
+	c := e.cfg.Threads * 8
+	if n < c {
+		c = n
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// partition cuts the top level into p contiguous ranges, weighted by the
+// §4.2 predicted candidate sizes when available.
+func (e *Explorer) partition(top cse.LevelData, p int) []int {
+	n := top.Len()
+	if e.cfg.Predict {
+		if segs := top.Predicted(); segs != nil {
+			return partitionSegs(segs, n, p)
+		}
+	}
+	return partitionEven(n, p)
+}
+
+// partitionEven splits [0, n) into p near-equal ranges.
+func partitionEven(n, p int) []int {
+	if p < 1 {
+		p = 1
+	}
+	bounds := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bounds[i] = n * i / p
+	}
+	return bounds
+}
+
+// partitionSegs splits [0, n) into p ranges of near-equal predicted work,
+// cutting only at segment boundaries.
+func partitionSegs(segs []cse.PredSeg, n, p int) []int {
+	if p < 1 {
+		p = 1
+	}
+	var total uint64
+	for _, s := range segs {
+		total += s.Work
+	}
+	if total == 0 {
+		return partitionEven(n, p)
+	}
+	bounds := make([]int, 0, p+1)
+	bounds = append(bounds, 0)
+	var cum uint64
+	leaf := 0
+	next := 1
+	for _, s := range segs {
+		cum += s.Work
+		leaf += int(s.Leaves)
+		for next < p && cum >= total*uint64(next)/uint64(p) {
+			bounds = append(bounds, leaf)
+			next++
+		}
+	}
+	for len(bounds) < p {
+		bounds = append(bounds, leaf)
+	}
+	bounds = append(bounds, n)
+	// Monotonicity guard: segments may end short of n if prediction was
+	// recorded for a filtered level; clamp.
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			bounds[i] = bounds[i-1]
+		}
+		if bounds[i] > n {
+			bounds[i] = n
+		}
+	}
+	return bounds
+}
+
+// runParallel executes fn for every chunk index, with Threads goroutines
+// pulling chunks from a shared counter (the work-steal strategy of §4.2).
+func (e *Explorer) runParallel(nchunks int, fn func(worker, chunk int) error) error {
+	threads := e.cfg.Threads
+	if threads > nchunks {
+		threads = nchunks
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	var next atomic.Int64
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				if err := fn(w, c); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

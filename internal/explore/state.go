@@ -1,0 +1,143 @@
+package explore
+
+import "kaleido/internal/graph"
+
+// vertexState maintains the per-level candidate sets of a vertex-induced
+// walk: cands[l-1] = N(v1) ∪ … ∪ N(vl), the Fig. 8 structure that lets the
+// candidate set of an extended embedding be computed by one O(d̄) merge with
+// the new vertex's neighbor list.
+type vertexState struct {
+	g     *graph.Graph
+	cands [][]uint32
+}
+
+func newVertexState(g *graph.Graph, depth int) *vertexState {
+	s := &vertexState{g: g, cands: make([][]uint32, depth)}
+	for i := range s.cands {
+		s.cands[i] = make([]uint32, 0, 64)
+	}
+	return s
+}
+
+// update refreshes candidate sets for levels from..len(emb) after the walker
+// reported that emb changed at level from (1-based).
+func (s *vertexState) update(emb []uint32, from int) {
+	for l := from; l <= len(emb); l++ {
+		nb := s.g.Neighbors(emb[l-1])
+		if l == 1 {
+			s.cands[0] = append(s.cands[0][:0], nb...)
+			continue
+		}
+		s.cands[l-1] = mergeUnion(s.cands[l-1], s.cands[l-2], nb)
+	}
+}
+
+// candidates returns the candidate set of the full embedding (neighbors of
+// any embedding vertex, including embedding vertices themselves — callers
+// filter those via CanonicalVertex).
+func (s *vertexState) candidates(k int) []uint32 { return s.cands[k-1] }
+
+// predict returns the §4.2 prediction of the candidate-set size of the
+// embedding extended with vertex v: |cands ∪ N(v)|.
+func (s *vertexState) predict(k int, v uint32) int {
+	return mergeUnionCount(s.cands[k-1], s.g.Neighbors(v))
+}
+
+// edgeState is the edge-induced analogue: verts[l-1] is the sorted vertex
+// set of the first l edges; cands[l-1] is the sorted set of incident edge
+// ids.
+type edgeState struct {
+	g     *graph.Graph
+	verts [][]uint32
+	cands [][]uint32
+	tmp   []uint32
+}
+
+func newEdgeState(g *graph.Graph, depth int) *edgeState {
+	s := &edgeState{
+		g:     g,
+		verts: make([][]uint32, depth),
+		cands: make([][]uint32, depth),
+		tmp:   make([]uint32, 0, 64),
+	}
+	for i := range s.cands {
+		s.verts[i] = make([]uint32, 0, depth+1)
+		s.cands[i] = make([]uint32, 0, 64)
+	}
+	return s
+}
+
+// update refreshes vertex sets and candidate edge sets for levels
+// from..len(emb); emb holds edge ids.
+func (s *edgeState) update(emb []uint32, from int) {
+	for l := from; l <= len(emb); l++ {
+		e := s.g.EdgeAt(emb[l-1])
+		if l == 1 {
+			s.verts[0] = append(s.verts[0][:0], e.U, e.V) // E.U < E.V by construction
+			s.cands[0] = mergeUnion(s.cands[0], s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
+			continue
+		}
+		prev := s.verts[l-2]
+		vl := append(s.verts[l-1][:0], prev...)
+		newU := !containsSorted(prev, e.U)
+		newV := !containsSorted(prev, e.V)
+		if newU {
+			vl = insertSorted(vl, e.U)
+		}
+		if newV {
+			vl = insertSorted(vl, e.V)
+		}
+		s.verts[l-1] = vl
+		switch {
+		case newU && newV:
+			s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
+			s.cands[l-1] = mergeUnion(s.cands[l-1], s.cands[l-2], s.tmp)
+		case newU:
+			s.cands[l-1] = mergeUnion(s.cands[l-1], s.cands[l-2], s.g.IncidentEdges(e.U))
+		case newV:
+			s.cands[l-1] = mergeUnion(s.cands[l-1], s.cands[l-2], s.g.IncidentEdges(e.V))
+		default:
+			s.cands[l-1] = append(s.cands[l-1][:0], s.cands[l-2]...)
+		}
+	}
+}
+
+// candidates returns the candidate edge ids of the full embedding.
+func (s *edgeState) candidates(k int) []uint32 { return s.cands[k-1] }
+
+// vertices returns the sorted vertex set of the full embedding.
+func (s *edgeState) vertices(k int) []uint32 { return s.verts[k-1] }
+
+// predict estimates the candidate-set size after appending edge id f.
+func (s *edgeState) predict(k int, f uint32) int {
+	e := s.g.EdgeAt(f)
+	vk := s.verts[k-1]
+	newU := !containsSorted(vk, e.U)
+	newV := !containsSorted(vk, e.V)
+	switch {
+	case newU && newV:
+		s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
+		return mergeUnionCount(s.cands[k-1], s.tmp)
+	case newU:
+		return mergeUnionCount(s.cands[k-1], s.g.IncidentEdges(e.U))
+	case newV:
+		return mergeUnionCount(s.cands[k-1], s.g.IncidentEdges(e.V))
+	default:
+		return len(s.cands[k-1])
+	}
+}
+
+// newVertexCount returns how many endpoints of edge f are outside the
+// current vertex set — used by vertex-budget filters (k-FSM's "at most k
+// vertices" constraint).
+func (s *edgeState) newVertexCount(k int, f uint32) int {
+	e := s.g.EdgeAt(f)
+	n := 0
+	if !containsSorted(s.verts[k-1], e.U) {
+		n++
+	}
+	if !containsSorted(s.verts[k-1], e.V) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAliasMatchesDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, len(weights))
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		counts[a.Sample(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * trials
+		got := float64(counts[i])
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("index %d: got %0.f samples, want ~%0.f", i, got, want)
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("zero weights accepted")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestAliasSingleton(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		if a.Sample(rng) != 0 {
+			t.Fatal("singleton table sampled non-zero index")
+		}
+	}
+}
+
+func TestPowerLawShape(t *testing.T) {
+	g, err := PowerLaw(Config{N: 2000, M: 8000, Alpha: 2.1, NumLabels: 6, LabelSkew: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() < 7600 {
+		t.Fatalf("M = %d, want close to 8000", g.M())
+	}
+	if g.NumLabels() != 6 {
+		t.Fatalf("NumLabels = %d, want 6", g.NumLabels())
+	}
+	// Power-law skew: the top 1% of vertices should hold far more than 1%
+	// of the edge endpoints.
+	degs := make([]int, g.N())
+	total := 0
+	for v := range degs {
+		degs[v] = g.Degree(uint32(v))
+		total += degs[v]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := 0
+	for _, d := range degs[:g.N()/100] {
+		top += d
+	}
+	if frac := float64(top) / float64(total); frac < 0.05 {
+		t.Errorf("top 1%% of vertices hold %.1f%% of endpoints, want skew > 5%%", frac*100)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	cfg := Config{N: 300, M: 900, Alpha: 2.2, NumLabels: 4, LabelSkew: 0.8, Seed: 11}
+	a, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("same seed produced different shapes: %d/%d vs %d/%d", a.N(), a.M(), b.N(), b.M())
+	}
+	for v := uint32(0); v < uint32(a.N()); v++ {
+		if a.Label(v) != b.Label(v) || a.Degree(v) != b.Degree(v) {
+			t.Fatalf("same seed produced different vertex %d", v)
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(Config{N: 100, M: 300, NumLabels: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 300 {
+		t.Fatalf("M = %d, want exactly 300", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiErrors(t *testing.T) {
+	if _, err := ErdosRenyi(Config{N: 3, M: 100}); err == nil {
+		t.Error("impossible edge count accepted")
+	}
+	if _, err := ErdosRenyi(Config{N: 1, M: 0}); err == nil {
+		t.Error("single-vertex graph accepted")
+	}
+	if _, err := PowerLaw(Config{N: 0, M: 0}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestLabelSkew(t *testing.T) {
+	g, err := PowerLaw(Config{N: 5000, M: 10000, Alpha: 2.3, NumLabels: 10, LabelSkew: 1.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	for v := uint32(0); v < uint32(g.N()); v++ {
+		counts[g.Label(v)]++
+	}
+	if counts[0] <= counts[9]*2 {
+		t.Errorf("label distribution not skewed: first=%d last=%d", counts[0], counts[9])
+	}
+}

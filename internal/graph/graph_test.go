@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperGraph builds the 5-vertex example graph of Fig. 3 in the paper:
+// vertices 1..5 remapped to 0..4, edges {1-2,1-5,2-5,2-3,3-4,3-5,4-5}.
+func paperGraph(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder(5)
+	for _, e := range [][2]uint32{{0, 1}, {0, 4}, {1, 4}, {1, 2}, {2, 3}, {2, 4}, {3, 4}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestPaperGraphBasics(t *testing.T) {
+	g := paperGraph(t)
+	if g.N() != 5 || g.M() != 7 {
+		t.Fatalf("got N=%d M=%d, want 5, 7", g.N(), g.M())
+	}
+	wantDeg := []int{2, 3, 3, 2, 4}
+	for v, d := range wantDeg {
+		if g.Degree(uint32(v)) != d {
+			t.Errorf("Degree(%d) = %d, want %d", v, g.Degree(uint32(v)), d)
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge {0,1} missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("spurious edge {0,2}")
+	}
+	if g.HasEdge(3, 3) {
+		t.Error("self loop reported")
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 2) // self loop dropped
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted out-of-range edge")
+	}
+}
+
+func TestEdgeIDRoundTrip(t *testing.T) {
+	g := paperGraph(t)
+	for id, e := range g.Edges() {
+		got, ok := g.EdgeID(e.U, e.V)
+		if !ok || got != uint32(id) {
+			t.Fatalf("EdgeID(%d,%d) = %d,%v, want %d", e.U, e.V, got, ok, id)
+		}
+		got, ok = g.EdgeID(e.V, e.U)
+		if !ok || got != uint32(id) {
+			t.Fatalf("EdgeID(%d,%d) = %d,%v, want %d", e.V, e.U, got, ok, id)
+		}
+	}
+	if _, ok := g.EdgeID(0, 2); ok {
+		t.Fatal("EdgeID reported non-edge")
+	}
+}
+
+func TestIncidentEdgesMatchNeighbors(t *testing.T) {
+	g := paperGraph(t)
+	for v := uint32(0); v < uint32(g.N()); v++ {
+		nb, ie := g.Neighbors(v), g.IncidentEdges(v)
+		if len(nb) != len(ie) {
+			t.Fatalf("vertex %d: %d neighbors, %d incident edges", v, len(nb), len(ie))
+		}
+		for i := range nb {
+			e := g.EdgeAt(ie[i])
+			if e.U != v && e.V != v {
+				t.Fatalf("edge %d not incident to %d", ie[i], v)
+			}
+			other := e.U
+			if other == v {
+				other = e.V
+			}
+			if other != nb[i] {
+				t.Fatalf("edge %d pairs %d with %d, neighbor list says %d", ie[i], v, other, nb[i])
+			}
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	for v := 0; v < n; v++ {
+		b.SetLabel(uint32(v), Label(rng.Intn(5)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestRandomGraphInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestHasEdgeMatchesNeighborScan(t *testing.T) {
+	// Property: HasEdge agrees with a linear scan of the neighbor list.
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 30, 90)
+	f := func(u, v uint8) bool {
+		a, b := uint32(u)%30, uint32(v)%30
+		want := false
+		for _, w := range g.Neighbors(a) {
+			if w == b {
+				want = true
+			}
+		}
+		return g.HasEdge(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1
+1 2
+2 0
+0 label=3
+2 label=1
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d, want 3, 3", g.N(), g.M())
+	}
+	if g.Label(0) != 3 || g.Label(2) != 1 || g.Label(1) != 0 {
+		t.Fatalf("labels = %v", g.Labels())
+	}
+	if g.NumLabels() != 4 {
+		t.Fatalf("NumLabels = %d, want 4", g.NumLabels())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "0 label=99999\n", "0 1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomGraph(rng, 64, 200)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() || got.NumLabels() != g.NumLabels() {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			got.N(), got.M(), got.NumLabels(), g.N(), g.M(), g.NumLabels())
+	}
+	for v := uint32(0); v < uint32(g.N()); v++ {
+		if got.Label(v) != g.Label(v) {
+			t.Fatalf("label of %d changed", v)
+		}
+		a, b := g.Neighbors(v), got.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree of %d changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("neighbors of %d changed", v)
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 16, 30)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncation at several points must error, not panic.
+	for _, cut := range []int{0, 3, 10, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("ReadBinary of %d/%d bytes succeeded", cut, len(full))
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), full...)
+	bad[0] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("ReadBinary accepted corrupt magic")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 32, 64)
+	path := t.TempDir() + "/g.bin"
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", got.N(), got.M(), g.N(), g.M())
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	g := paperGraph(t)
+	want := int64(6*8 + 14*4 + 14*4 + 7*8 + 5*2)
+	if g.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", g.Bytes(), want)
+	}
+}

@@ -1,0 +1,110 @@
+// Package iso provides an exact labeled-graph isomorphism test for patterns
+// (VF2-style backtracking). It is the ground truth the property tests use to
+// validate Kaleido's eigenvalue hash (Algorithm 1) and the bliss-like
+// canonical labeler; it is also a usable — if slower — isomorphism backend
+// in its own right.
+package iso
+
+import "kaleido/internal/pattern"
+
+// Isomorphic reports whether patterns p and q are isomorphic as labeled
+// graphs: some bijection maps vertices to vertices preserving labels and
+// adjacency (paper Definition 1).
+func Isomorphic(p, q *pattern.Pattern) bool {
+	if p.K != q.K || p.Edges() != q.Edges() {
+		return false
+	}
+	k := p.K
+	// Quick reject on sorted (label, degree) multisets.
+	var ps, qs [pattern.MaxK]uint32
+	for i := 0; i < k; i++ {
+		ps[i] = uint32(p.Labels[i])<<8 | uint32(p.Deg[i])
+		qs[i] = uint32(q.Labels[i])<<8 | uint32(q.Deg[i])
+	}
+	sortK(ps[:k])
+	sortK(qs[:k])
+	for i := 0; i < k; i++ {
+		if ps[i] != qs[i] {
+			return false
+		}
+	}
+	var mapping [pattern.MaxK]int8
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	var used uint8
+	return match(p, q, 0, &mapping, &used)
+}
+
+// match tries to extend a partial mapping of p's vertices [0, depth) onto
+// distinct vertices of q.
+func match(p, q *pattern.Pattern, depth int, mapping *[pattern.MaxK]int8, used *uint8) bool {
+	if depth == p.K {
+		return true
+	}
+	for cand := 0; cand < q.K; cand++ {
+		if *used&(1<<cand) != 0 {
+			continue
+		}
+		if p.Labels[depth] != q.Labels[cand] || p.Deg[depth] != q.Deg[cand] {
+			continue
+		}
+		ok := true
+		for prev := 0; prev < depth; prev++ {
+			if p.HasEdge(prev, depth) != q.HasEdge(int(mapping[prev]), cand) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		mapping[depth] = int8(cand)
+		*used |= 1 << cand
+		if match(p, q, depth+1, mapping, used) {
+			return true
+		}
+		*used &^= 1 << cand
+		mapping[depth] = -1
+	}
+	return false
+}
+
+func sortK(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// CanonicalBrute returns the lexicographically smallest encoding over all
+// vertex permutations of p. It is exponential and intended for tests and
+// very small patterns only; two patterns are isomorphic iff their brute
+// canonical encodings are equal.
+func CanonicalBrute(p *pattern.Pattern) string {
+	perm := make([]int, p.K)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := ""
+	permute(perm, 0, func(pm []int) {
+		enc := p.Permuted(pm).Encode()
+		if best == "" || enc < best {
+			best = enc
+		}
+	})
+	return best
+}
+
+func permute(s []int, i int, emit func([]int)) {
+	if i == len(s) {
+		emit(s)
+		return
+	}
+	for j := i; j < len(s); j++ {
+		s[i], s[j] = s[j], s[i]
+		permute(s, i+1, emit)
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,95 @@
+package iso
+
+import (
+	"math/rand"
+	"testing"
+
+	"kaleido/internal/graph"
+	"kaleido/internal/pattern"
+)
+
+func randPattern(rng *rand.Rand, k, labels int) *pattern.Pattern {
+	p, _ := pattern.New(k)
+	for i := 0; i < k; i++ {
+		p.Labels[i] = graph.Label(rng.Intn(labels))
+		for j := i + 1; j < k; j++ {
+			if rng.Intn(2) == 0 {
+				p.SetEdge(i, j)
+			}
+		}
+	}
+	return p
+}
+
+func TestIsomorphicReflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		p := randPattern(rng, 1+rng.Intn(pattern.MaxK), 3)
+		if !Isomorphic(p, p) {
+			t.Fatalf("pattern not isomorphic to itself: %v", p)
+		}
+	}
+}
+
+func TestIsomorphicUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(pattern.MaxK)
+		p := randPattern(rng, k, 3)
+		q := p.Permuted(rng.Perm(k))
+		if !Isomorphic(p, q) {
+			t.Fatalf("trial %d: permuted copy not isomorphic\n p=%v\n q=%v", trial, p, q)
+		}
+	}
+}
+
+func TestNonIsomorphicByLabels(t *testing.T) {
+	p, _ := pattern.New(2)
+	p.SetEdge(0, 1)
+	q := p.Clone()
+	q.Labels[1] = 5
+	if Isomorphic(p, q) {
+		t.Fatal("different labels reported isomorphic")
+	}
+}
+
+func TestNonIsomorphicByStructure(t *testing.T) {
+	// Path P3 vs triangle: same size after adding an edge count mismatch,
+	// plus a same-edge-count case: P4 (path) vs star K1,3.
+	path, _ := pattern.New(4)
+	path.SetEdge(0, 1)
+	path.SetEdge(1, 2)
+	path.SetEdge(2, 3)
+	star, _ := pattern.New(4)
+	star.SetEdge(0, 1)
+	star.SetEdge(0, 2)
+	star.SetEdge(0, 3)
+	if Isomorphic(path, star) {
+		t.Fatal("P4 and K1,3 reported isomorphic")
+	}
+}
+
+func TestIsomorphicMatchesBruteCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(5) // brute canonical is k! per pattern
+		p := randPattern(rng, k, 2)
+		q := randPattern(rng, k, 2)
+		want := CanonicalBrute(p) == CanonicalBrute(q)
+		if got := Isomorphic(p, q); got != want {
+			t.Fatalf("trial %d: Isomorphic=%v, brute=%v\n p=%v\n q=%v", trial, got, want, p, q)
+		}
+	}
+}
+
+func TestCanonicalBruteInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(5)
+		p := randPattern(rng, k, 3)
+		q := p.Permuted(rng.Perm(k))
+		if CanonicalBrute(p) != CanonicalBrute(q) {
+			t.Fatalf("trial %d: canonical form not permutation invariant", trial)
+		}
+	}
+}

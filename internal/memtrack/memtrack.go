@@ -1,0 +1,100 @@
+// Package memtrack provides the memory and I/O accounting used by the
+// evaluation harness (§6): explicit byte counters for the major data
+// structures (CSE levels, pattern maps, buffers) with peak watermarks, plus
+// read/write I/O counters for the hybrid storage experiments (Fig. 15).
+// Explicit accounting is used instead of runtime.MemStats because the
+// paper's memory-consumption tables compare data-structure footprints, which
+// GC-managed heap sizes would blur.
+package memtrack
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Tracker accumulates live bytes, a peak watermark, and I/O totals. All
+// methods are safe for concurrent use. The zero value is ready to use.
+type Tracker struct {
+	live dialAtomic
+	peak atomic.Int64
+
+	readBytes  atomic.Int64
+	writeBytes atomic.Int64
+
+	samples  []IOSample
+	sampleMu chan struct{} // 1-buffered semaphore guarding samples
+}
+
+type dialAtomic struct{ v atomic.Int64 }
+
+// IOSample is one point of the I/O timeline (Fig. 15's read/write series).
+type IOSample struct {
+	At         time.Time
+	ReadBytes  int64 // cumulative
+	WriteBytes int64 // cumulative
+}
+
+// New returns a fresh tracker.
+func New() *Tracker {
+	t := &Tracker{sampleMu: make(chan struct{}, 1)}
+	t.sampleMu <- struct{}{}
+	return t
+}
+
+// Alloc records n live bytes and updates the peak watermark.
+func (t *Tracker) Alloc(n int64) {
+	live := t.live.v.Add(n)
+	for {
+		p := t.peak.Load()
+		if live <= p || t.peak.CompareAndSwap(p, live) {
+			return
+		}
+	}
+}
+
+// Free releases n live bytes.
+func (t *Tracker) Free(n int64) { t.live.v.Add(-n) }
+
+// Live returns the current live byte count.
+func (t *Tracker) Live() int64 { return t.live.v.Load() }
+
+// Peak returns the high watermark of live bytes.
+func (t *Tracker) Peak() int64 { return t.peak.Load() }
+
+// ReadIO records n bytes read from disk.
+func (t *Tracker) ReadIO(n int64) { t.readBytes.Add(n) }
+
+// WriteIO records n bytes written to disk.
+func (t *Tracker) WriteIO(n int64) { t.writeBytes.Add(n) }
+
+// IOTotals returns cumulative (read, write) bytes.
+func (t *Tracker) IOTotals() (read, write int64) {
+	return t.readBytes.Load(), t.writeBytes.Load()
+}
+
+// SampleIO appends a timeline point with the current cumulative totals.
+func (t *Tracker) SampleIO() {
+	r, w := t.IOTotals()
+	<-t.sampleMu
+	t.samples = append(t.samples, IOSample{At: time.Now(), ReadBytes: r, WriteBytes: w})
+	t.sampleMu <- struct{}{}
+}
+
+// Samples returns a copy of the I/O timeline.
+func (t *Tracker) Samples() []IOSample {
+	<-t.sampleMu
+	out := append([]IOSample(nil), t.samples...)
+	t.sampleMu <- struct{}{}
+	return out
+}
+
+// Reset clears all counters and samples.
+func (t *Tracker) Reset() {
+	t.live.v.Store(0)
+	t.peak.Store(0)
+	t.readBytes.Store(0)
+	t.writeBytes.Store(0)
+	<-t.sampleMu
+	t.samples = nil
+	t.sampleMu <- struct{}{}
+}

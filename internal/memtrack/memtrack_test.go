@@ -1,0 +1,76 @@
+package memtrack
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPeakTracking(t *testing.T) {
+	tr := New()
+	tr.Alloc(100)
+	tr.Alloc(50)
+	tr.Free(120)
+	tr.Alloc(10)
+	if tr.Live() != 40 {
+		t.Fatalf("Live = %d, want 40", tr.Live())
+	}
+	if tr.Peak() != 150 {
+		t.Fatalf("Peak = %d, want 150", tr.Peak())
+	}
+}
+
+func TestConcurrentAlloc(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.Alloc(3)
+				tr.Free(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", tr.Live())
+	}
+	if tr.Peak() < 3 {
+		t.Fatalf("Peak = %d, want ≥ 3", tr.Peak())
+	}
+}
+
+func TestIOCountersAndSamples(t *testing.T) {
+	tr := New()
+	tr.ReadIO(10)
+	tr.WriteIO(20)
+	tr.SampleIO()
+	tr.ReadIO(5)
+	tr.SampleIO()
+	r, w := tr.IOTotals()
+	if r != 15 || w != 20 {
+		t.Fatalf("IOTotals = %d,%d", r, w)
+	}
+	s := tr.Samples()
+	if len(s) != 2 || s[0].ReadBytes != 10 || s[1].ReadBytes != 15 {
+		t.Fatalf("samples = %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New()
+	tr.Alloc(5)
+	tr.ReadIO(5)
+	tr.SampleIO()
+	tr.Reset()
+	if tr.Live() != 0 || tr.Peak() != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+	if r, w := tr.IOTotals(); r != 0 || w != 0 {
+		t.Fatal("reset did not clear IO")
+	}
+	if len(tr.Samples()) != 0 {
+		t.Fatal("reset did not clear samples")
+	}
+}

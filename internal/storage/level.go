@@ -1,0 +1,456 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"kaleido/internal/cse"
+	"kaleido/internal/memtrack"
+)
+
+// CntChunk is the group granularity of the in-memory random-access index
+// kept per on-disk level: one cumulative child count every CntChunk groups.
+// Random access (only used to locate the t partition starts of an iteration)
+// costs one bounded pread; sequential access never touches the index.
+const CntChunk = 4096
+
+// DiskLevel is a CSE level stored on disk in t parts, written during the
+// previous exploration iteration (Fig. 7). Each part holds two append-only
+// files: vert (uint32 children) and cnt (uint32 children-per-group). Only a
+// sparse index (one uint64 per CntChunk groups) stays in memory.
+type DiskLevel struct {
+	parts       []diskPartMeta
+	totalVerts  int
+	totalGroups int
+	pred        []cse.PredSeg
+	blockSize   int
+	tracker     *memtrack.Tracker
+	closed      bool
+}
+
+var _ cse.LevelData = (*DiskLevel)(nil)
+
+type diskPartMeta struct {
+	vf, cf    *os.File
+	numVerts  int
+	numGroups int
+	vertBase  int
+	groupBase int
+	// chunkCum[j] = number of children in this part's groups [0, j·CntChunk).
+	chunkCum []uint64
+}
+
+// Len implements cse.LevelData.
+func (d *DiskLevel) Len() int { return d.totalVerts }
+
+// Groups implements cse.LevelData.
+func (d *DiskLevel) Groups() int { return d.totalGroups }
+
+// Predicted implements cse.LevelData.
+func (d *DiskLevel) Predicted() []cse.PredSeg { return d.pred }
+
+// Bytes reports only the resident footprint: the sparse index and prediction
+// segments (the verts and cnts live on disk).
+func (d *DiskLevel) Bytes() int64 {
+	var b int64
+	for i := range d.parts {
+		b += int64(len(d.parts[i].chunkCum)) * 8
+	}
+	return b + int64(len(d.pred))*16
+}
+
+// DiskBytes reports the on-disk footprint of the level.
+func (d *DiskLevel) DiskBytes() int64 {
+	return int64(d.totalVerts)*4 + int64(d.totalGroups)*4
+}
+
+// Close closes and removes the level's backing files. The data is scratch
+// output of one exploration run, useless once the level is dropped.
+func (d *DiskLevel) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var first error
+	for i := range d.parts {
+		for _, f := range []*os.File{d.parts[i].vf, d.parts[i].cf} {
+			name := f.Name()
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			if err := os.Remove(name); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// partForVert returns the part containing global vert index i.
+func (d *DiskLevel) partForVert(i int) *diskPartMeta {
+	p := sort.Search(len(d.parts), func(x int) bool { return d.parts[x].vertBase > i }) - 1
+	return &d.parts[p]
+}
+
+// partForGroup returns the part containing global group index g.
+func (d *DiskLevel) partForGroup(g int) *diskPartMeta {
+	p := sort.Search(len(d.parts), func(x int) bool { return d.parts[x].groupBase > g }) - 1
+	return &d.parts[p]
+}
+
+// readCnts reads the cnt entries [lo, hi) of a part.
+func (d *DiskLevel) readCnts(pm *diskPartMeta, lo, hi int) ([]uint32, error) {
+	buf := make([]byte, 4*(hi-lo))
+	if _, err := pm.cf.ReadAt(buf, int64(4*lo)); err != nil {
+		return nil, fmt.Errorf("storage: cnt read [%d,%d) of %s: %w", lo, hi, pm.cf.Name(), err)
+	}
+	if d.tracker != nil {
+		d.tracker.ReadIO(int64(len(buf)))
+	}
+	out := make([]uint32, hi-lo)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return out, nil
+}
+
+// ParentOf implements cse.LevelData: sparse index + one bounded cnt read.
+func (d *DiskLevel) ParentOf(i int) int {
+	pm := d.partForVert(i)
+	li := uint64(i - pm.vertBase)
+	j := sort.Search(len(pm.chunkCum), func(x int) bool { return pm.chunkCum[x] > li }) - 1
+	lo := j * CntChunk
+	hi := lo + CntChunk
+	if hi > pm.numGroups {
+		hi = pm.numGroups
+	}
+	cnts, err := d.readCnts(pm, lo, hi)
+	if err != nil {
+		// ParentOf is used only to seed walkers at partition starts; the
+		// walker will surface the corruption as a stream error. Returning
+		// the chunk base keeps the call total.
+		return pm.groupBase + lo
+	}
+	cum := pm.chunkCum[j]
+	for idx, c := range cnts {
+		if li < cum+uint64(c) {
+			return pm.groupBase + lo + idx
+		}
+		cum += uint64(c)
+	}
+	return pm.groupBase + hi - 1
+}
+
+// offAt returns the global offs value of group g (the global vert index
+// where g's children start); g may equal Groups() to address the end.
+func (d *DiskLevel) offAt(g int) (uint64, error) {
+	if g >= d.totalGroups {
+		return uint64(d.totalVerts), nil
+	}
+	pm := d.partForGroup(g)
+	lg := g - pm.groupBase
+	j := lg / CntChunk
+	cum := pm.chunkCum[j]
+	if lg > j*CntChunk {
+		cnts, err := d.readCnts(pm, j*CntChunk, lg)
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range cnts {
+			cum += uint64(c)
+		}
+	}
+	return uint64(pm.vertBase) + cum, nil
+}
+
+// GroupStart implements cse.LevelData.
+func (d *DiskLevel) GroupStart(g int) (uint64, error) {
+	if g < 0 || g > d.totalGroups {
+		return 0, fmt.Errorf("storage: group %d out of range %d", g, d.totalGroups)
+	}
+	return d.offAt(g)
+}
+
+// VertCursor implements cse.LevelData with a prefetching block stream over
+// the vert part files.
+func (d *DiskLevel) VertCursor(lo, hi int) cse.VertCursor {
+	if lo >= hi {
+		return &diskVertCursor{remaining: 0}
+	}
+	var spans []fileSpan
+	for i := range d.parts {
+		pm := &d.parts[i]
+		s, e := pm.vertBase, pm.vertBase+pm.numVerts
+		if e <= lo || s >= hi {
+			continue
+		}
+		from, to := max(s, lo), min(e, hi)
+		spans = append(spans, fileSpan{f: pm.vf, off: int64(4 * (from - s)), n: int64(4 * (to - from))})
+	}
+	return &diskVertCursor{
+		bs:        newBlockStream(spans, d.blockSize, d.tracker),
+		remaining: hi - lo,
+	}
+}
+
+// BoundCursor implements cse.LevelData: it streams cnt entries starting at
+// group first, emitting successive global group-end boundaries.
+func (d *DiskLevel) BoundCursor(first int) cse.BoundCursor {
+	base, err := d.offAt(first)
+	if err != nil {
+		return &diskBoundCursor{err: err}
+	}
+	var spans []fileSpan
+	for i := range d.parts {
+		pm := &d.parts[i]
+		s, e := pm.groupBase, pm.groupBase+pm.numGroups
+		if e <= first {
+			continue
+		}
+		from := max(s, first)
+		spans = append(spans, fileSpan{f: pm.cf, off: int64(4 * (from - s)), n: int64(4 * (e - from))})
+	}
+	return &diskBoundCursor{
+		bs:  newBlockStream(spans, d.blockSize, d.tracker),
+		cum: base,
+	}
+}
+
+type diskVertCursor struct {
+	bs        *blockStream
+	remaining int
+}
+
+func (c *diskVertCursor) Next() (uint32, bool) {
+	if c.remaining <= 0 || c.bs == nil {
+		return 0, false
+	}
+	v, ok := c.bs.next(4)
+	if !ok {
+		return 0, false
+	}
+	c.remaining--
+	return uint32(v), true
+}
+
+func (c *diskVertCursor) Err() error {
+	if c.bs == nil {
+		return nil
+	}
+	return c.bs.Err()
+}
+
+func (c *diskVertCursor) Close() error {
+	if c.bs == nil {
+		return nil
+	}
+	return c.bs.Close()
+}
+
+type diskBoundCursor struct {
+	bs  *blockStream
+	cum uint64
+	err error
+}
+
+func (c *diskBoundCursor) Next() (uint64, bool) {
+	if c.err != nil || c.bs == nil {
+		return 0, false
+	}
+	v, ok := c.bs.next(4)
+	if !ok {
+		return 0, false
+	}
+	c.cum += v
+	return c.cum, true
+}
+
+func (c *diskBoundCursor) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.bs == nil {
+		return nil
+	}
+	return c.bs.Err()
+}
+
+func (c *diskBoundCursor) Close() error {
+	if c.bs == nil {
+		return nil
+	}
+	return c.bs.Close()
+}
+
+// DiskLevelBuilder builds a DiskLevel from t concurrently written parts.
+type DiskLevelBuilder struct {
+	queue     *WriteQueue
+	tracker   *memtrack.Tracker
+	blockSize int
+	parts     []diskPartWriter
+}
+
+// NewDiskLevelBuilder creates part files named L<level>.p<i>.{vert,cnt}
+// under dir.
+func NewDiskLevelBuilder(dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker) (*DiskLevelBuilder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	b := &DiskLevelBuilder{queue: q, tracker: tracker, blockSize: blockSize, parts: make([]diskPartWriter, nparts)}
+	for i := range b.parts {
+		vf, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("L%d.p%d.vert", level, i)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			b.Abort()
+			return nil, err
+		}
+		cf, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("L%d.p%d.cnt", level, i)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			vf.Close()
+			os.Remove(vf.Name())
+			b.Abort()
+			return nil, err
+		}
+		b.parts[i] = diskPartWriter{q: q, vf: vf, cf: cf, vbuf: q.GetBuf(), cbuf: q.GetBuf()}
+	}
+	return b, nil
+}
+
+// Part implements cse.LevelBuilder.
+func (b *DiskLevelBuilder) Part(i int) cse.PartWriter { return &b.parts[i] }
+
+// Parts implements cse.LevelBuilder.
+func (b *DiskLevelBuilder) Parts() int { return len(b.parts) }
+
+// Finish implements cse.LevelBuilder: it waits for all queued writes, checks
+// file sizes against the expected counts, and assembles the DiskLevel.
+func (b *DiskLevelBuilder) Finish() (cse.LevelData, error) {
+	if err := b.queue.Barrier(); err != nil {
+		b.Abort()
+		return nil, err
+	}
+	d := &DiskLevel{blockSize: b.blockSize, tracker: b.tracker}
+	pred := false
+	for i := range b.parts {
+		if b.parts[i].pred {
+			pred = true
+		}
+	}
+	for i := range b.parts {
+		p := &b.parts[i]
+		if pred != p.pred && p.numVerts > 0 {
+			b.Abort()
+			return nil, fmt.Errorf("storage: mixed prediction state across parts")
+		}
+		for _, chk := range []struct {
+			f    *os.File
+			want int64
+		}{{p.vf, int64(4 * p.numVerts)}, {p.cf, int64(4 * p.numGroups)}} {
+			st, err := chk.f.Stat()
+			if err != nil {
+				b.Abort()
+				return nil, err
+			}
+			if st.Size() != chk.want {
+				b.Abort()
+				return nil, fmt.Errorf("storage: %s has %d bytes, want %d", chk.f.Name(), st.Size(), chk.want)
+			}
+		}
+		d.parts = append(d.parts, diskPartMeta{
+			vf: p.vf, cf: p.cf,
+			numVerts: p.numVerts, numGroups: p.numGroups,
+			vertBase: d.totalVerts, groupBase: d.totalGroups,
+			chunkCum: p.chunkCum,
+		})
+		d.totalVerts += p.numVerts
+		d.totalGroups += p.numGroups
+		if pred {
+			d.pred = append(d.pred, p.segs...)
+		}
+	}
+	b.parts = nil
+	return d, nil
+}
+
+// Abort implements cse.LevelBuilder: close and remove all part files.
+func (b *DiskLevelBuilder) Abort() error {
+	var first error
+	for i := range b.parts {
+		for _, f := range []*os.File{b.parts[i].vf, b.parts[i].cf} {
+			if f == nil {
+				continue
+			}
+			name := f.Name()
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			if err := os.Remove(name); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	b.parts = nil
+	return first
+}
+
+type diskPartWriter struct {
+	q          *WriteQueue
+	vf, cf     *os.File
+	vbuf, cbuf []byte
+	numVerts   int
+	numGroups  int
+	chunkCum   []uint64
+	segs       []cse.PredSeg
+	open       cse.PredSeg
+	pred       bool
+}
+
+// AppendGroup implements cse.PartWriter.
+func (p *diskPartWriter) AppendGroup(children []uint32, preds []uint32) error {
+	if p.numGroups%CntChunk == 0 {
+		p.chunkCum = append(p.chunkCum, uint64(p.numVerts))
+	}
+	for _, c := range children {
+		if cap(p.vbuf)-len(p.vbuf) < 4 {
+			p.q.Submit(p.vf, p.vbuf)
+			p.vbuf = p.q.GetBuf()
+		}
+		p.vbuf = binary.LittleEndian.AppendUint32(p.vbuf, c)
+	}
+	if cap(p.cbuf)-len(p.cbuf) < 4 {
+		p.q.Submit(p.cf, p.cbuf)
+		p.cbuf = p.q.GetBuf()
+	}
+	p.cbuf = binary.LittleEndian.AppendUint32(p.cbuf, uint32(len(children)))
+	p.numVerts += len(children)
+	p.numGroups++
+	if preds != nil {
+		if len(preds) != len(children) {
+			return fmt.Errorf("storage: %d preds for %d children", len(preds), len(children))
+		}
+		p.pred = true
+		for _, w := range preds {
+			p.open.Leaves++
+			p.open.Work += uint64(w)
+			if p.open.Leaves == cse.PredictChunk {
+				p.segs = append(p.segs, p.open)
+				p.open = cse.PredSeg{}
+			}
+		}
+	}
+	return nil
+}
+
+// Flush implements cse.PartWriter.
+func (p *diskPartWriter) Flush() error {
+	p.q.Submit(p.vf, p.vbuf)
+	p.q.Submit(p.cf, p.cbuf)
+	p.vbuf, p.cbuf = nil, nil
+	if p.open.Leaves > 0 {
+		p.segs = append(p.segs, p.open)
+		p.open = cse.PredSeg{}
+	}
+	return nil
+}

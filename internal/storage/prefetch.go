@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"kaleido/internal/memtrack"
+)
+
+// DefaultBlockSize is the prefetch window granularity for disk cursors.
+const DefaultBlockSize = 256 << 10
+
+// fileSpan is a byte range of one file.
+type fileSpan struct {
+	f   *os.File
+	off int64
+	n   int64
+}
+
+// blockStream reads a sequence of file spans as fixed-size blocks with one
+// block of read-ahead — the sliding window of §4.1: while the caller
+// processes the main block, the goroutine loads the candidate block; when
+// the main block is consumed the window slides.
+type blockStream struct {
+	ch       chan rblock
+	stop     chan struct{}
+	stopOnce func()
+	cur      []byte
+	pos      int
+	err      error
+	done     bool
+}
+
+type rblock struct {
+	data []byte
+	err  error
+}
+
+func newBlockStream(spans []fileSpan, blockSize int, tracker *memtrack.Tracker) *blockStream {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	blockSize = blockSize &^ 7 // keep 8-byte alignment for uint64 streams
+	if blockSize == 0 {
+		blockSize = 8
+	}
+	s := &blockStream{
+		ch:   make(chan rblock, 1),
+		stop: make(chan struct{}),
+	}
+	var once sync.Once
+	s.stopOnce = func() { once.Do(func() { close(s.stop) }) }
+	go func() {
+		defer close(s.ch)
+		for _, sp := range spans {
+			for off := int64(0); off < sp.n; off += int64(blockSize) {
+				n := int64(blockSize)
+				if off+n > sp.n {
+					n = sp.n - off
+				}
+				buf := make([]byte, n)
+				if _, err := sp.f.ReadAt(buf, sp.off+off); err != nil {
+					if err == io.EOF {
+						err = fmt.Errorf("storage: short read at %d+%d of %s: %w", sp.off, off, sp.f.Name(), io.ErrUnexpectedEOF)
+					}
+					select {
+					case s.ch <- rblock{err: err}:
+					case <-s.stop:
+					}
+					return
+				}
+				if tracker != nil {
+					tracker.ReadIO(n)
+				}
+				select {
+				case s.ch <- rblock{data: buf}:
+				case <-s.stop:
+					return
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// next returns the next w-byte word (w = 4 or 8) from the stream.
+func (s *blockStream) next(w int) (uint64, bool) {
+	for {
+		if s.err != nil || s.done {
+			return 0, false
+		}
+		if s.pos+w <= len(s.cur) {
+			var v uint64
+			if w == 4 {
+				v = uint64(binary.LittleEndian.Uint32(s.cur[s.pos:]))
+			} else {
+				v = binary.LittleEndian.Uint64(s.cur[s.pos:])
+			}
+			s.pos += w
+			return v, true
+		}
+		if s.pos != len(s.cur) {
+			s.err = fmt.Errorf("storage: torn word at block boundary")
+			return 0, false
+		}
+		b, ok := <-s.ch
+		if !ok {
+			s.done = true
+			return 0, false
+		}
+		if b.err != nil {
+			s.err = b.err
+			return 0, false
+		}
+		s.cur, s.pos = b.data, 0
+	}
+}
+
+// Err returns the first stream error.
+func (s *blockStream) Err() error { return s.err }
+
+// Close stops the prefetch goroutine. Safe to call multiple times.
+func (s *blockStream) Close() error {
+	s.stopOnce()
+	// Drain so the goroutine is not blocked on send.
+	for range s.ch {
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Package storage implements Kaleido's half-memory-half-disk hybrid storage
+// for CSE levels (paper §4.1, Fig. 7). A level too large for the memory
+// budget is written to disk in t parts (one per exploration thread) through a
+// single writing queue that keeps disk writes sequential; reading streams the
+// parts back through sliding-window prefetch cursors, so the I/O of the next
+// window is hidden behind the computation on the current one.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"kaleido/internal/memtrack"
+)
+
+// DefaultBufSize is the per-part write buffer size. The paper uses a fixed
+// 16 MB buffer per thread; the default here is smaller because the scaled
+// datasets are smaller, and it is configurable either way.
+const DefaultBufSize = 1 << 20
+
+// WriteQueue serializes buffer flushes from many writer goroutines onto one
+// I/O goroutine — the paper's "writing queue". Buffers are recycled through
+// a pool.
+type WriteQueue struct {
+	jobs    chan wjob
+	wg      sync.WaitGroup
+	pool    sync.Pool
+	tracker *memtrack.Tracker
+
+	mu  sync.Mutex
+	err error
+}
+
+type wjob struct {
+	f    *os.File
+	buf  []byte
+	done chan struct{} // non-nil for barrier jobs
+}
+
+// NewWriteQueue starts the queue's I/O goroutine. tracker may be nil.
+func NewWriteQueue(bufSize int, tracker *memtrack.Tracker) *WriteQueue {
+	if bufSize <= 0 {
+		bufSize = DefaultBufSize
+	}
+	q := &WriteQueue{
+		jobs:    make(chan wjob, 64),
+		tracker: tracker,
+	}
+	q.pool.New = func() any { return make([]byte, 0, bufSize) }
+	q.wg.Add(1)
+	go q.run()
+	return q
+}
+
+func (q *WriteQueue) run() {
+	defer q.wg.Done()
+	for j := range q.jobs {
+		if j.done != nil {
+			close(j.done)
+			continue
+		}
+		if _, err := j.f.Write(j.buf); err != nil {
+			q.mu.Lock()
+			if q.err == nil {
+				q.err = fmt.Errorf("storage: write queue: %w", err)
+			}
+			q.mu.Unlock()
+		} else if q.tracker != nil {
+			q.tracker.WriteIO(int64(len(j.buf)))
+		}
+		q.pool.Put(j.buf[:0])
+	}
+}
+
+// GetBuf returns an empty buffer from the pool.
+func (q *WriteQueue) GetBuf() []byte { return q.pool.Get().([]byte)[:0] }
+
+// Submit enqueues buf for appending to f. The buffer is owned by the queue
+// after the call; get a fresh one with GetBuf.
+func (q *WriteQueue) Submit(f *os.File, buf []byte) {
+	if len(buf) == 0 {
+		q.pool.Put(buf[:0])
+		return
+	}
+	q.jobs <- wjob{f: f, buf: buf}
+}
+
+// Barrier blocks until every previously submitted buffer has been written.
+func (q *WriteQueue) Barrier() error {
+	done := make(chan struct{})
+	q.jobs <- wjob{done: done}
+	<-done
+	return q.Err()
+}
+
+// Err returns the first write error.
+func (q *WriteQueue) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// Close drains the queue and stops the I/O goroutine.
+func (q *WriteQueue) Close() error {
+	close(q.jobs)
+	q.wg.Wait()
+	return q.Err()
+}

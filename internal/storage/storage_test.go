@@ -1,0 +1,380 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kaleido/internal/cse"
+	"kaleido/internal/memtrack"
+)
+
+// buildBoth writes the same groups through a MemLevelBuilder and a
+// DiskLevelBuilder (t parts) and returns both levels.
+func buildBoth(t *testing.T, groups [][]uint32, nparts int, withPred bool) (*cse.MemLevel, *DiskLevel, *memtrack.Tracker) {
+	t.Helper()
+	tracker := memtrack.New()
+	q := NewWriteQueue(64, tracker) // tiny buffers force frequent queue traffic
+	t.Cleanup(func() { q.Close() })
+
+	mb := cse.NewMemLevelBuilder(nparts)
+	db, err := NewDiskLevelBuilder(t.TempDir(), 2, nparts, q, 128, tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the groups into nparts contiguous ranges.
+	per := (len(groups) + nparts - 1) / nparts
+	for i := 0; i < nparts; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(groups) {
+			lo = len(groups)
+		}
+		if hi > len(groups) {
+			hi = len(groups)
+		}
+		for _, g := range groups[lo:hi] {
+			var preds []uint32
+			if withPred {
+				preds = make([]uint32, len(g))
+				for j := range preds {
+					preds[j] = g[j] % 7
+				}
+			}
+			if err := mb.Part(i).AppendGroup(g, preds); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Part(i).AppendGroup(g, preds); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := mb.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ml, err := mb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := db.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dl.Close() })
+	return ml.(*cse.MemLevel), dl.(*DiskLevel), tracker
+}
+
+func randGroups(rng *rand.Rand, n int) [][]uint32 {
+	groups := make([][]uint32, n)
+	for i := range groups {
+		sz := rng.Intn(5)
+		if rng.Intn(10) == 0 {
+			sz = rng.Intn(50) // occasional big group
+		}
+		g := make([]uint32, sz)
+		for j := range g {
+			g[j] = rng.Uint32() % 1000
+		}
+		groups[i] = g
+	}
+	return groups
+}
+
+// TestDiskLevelMatchesMemLevel is the conformance property: every LevelData
+// operation must agree between the two implementations.
+func TestDiskLevelMatchesMemLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		groups := randGroups(rng, 1+rng.Intn(400))
+		nparts := 1 + rng.Intn(4)
+		ml, dl, _ := buildBoth(t, groups, nparts, trial%2 == 0)
+
+		if ml.Len() != dl.Len() || ml.Groups() != dl.Groups() {
+			t.Fatalf("trial %d: shape %d/%d vs %d/%d", trial, ml.Len(), ml.Groups(), dl.Len(), dl.Groups())
+		}
+		// Full and random sub-range vert cursors.
+		for r := 0; r < 6; r++ {
+			lo := rng.Intn(ml.Len() + 1)
+			hi := lo + rng.Intn(ml.Len()-lo+1)
+			if r == 0 {
+				lo, hi = 0, ml.Len()
+			}
+			mc, dc := ml.VertCursor(lo, hi), dl.VertCursor(lo, hi)
+			for {
+				mv, mok := mc.Next()
+				dv, dok := dc.Next()
+				if mok != dok || mv != dv {
+					t.Fatalf("trial %d range [%d,%d): mem (%d,%v) disk (%d,%v)", trial, lo, hi, mv, mok, dv, dok)
+				}
+				if !mok {
+					break
+				}
+			}
+			if err := dc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			dc.Close()
+		}
+		// ParentOf at every index.
+		for i := 0; i < ml.Len(); i++ {
+			if mp, dp := ml.ParentOf(i), dl.ParentOf(i); mp != dp {
+				t.Fatalf("trial %d: ParentOf(%d) = %d vs %d", trial, i, mp, dp)
+			}
+		}
+		// Bound cursors from several starting groups.
+		for r := 0; r < 5; r++ {
+			first := rng.Intn(ml.Groups())
+			mc, dc := ml.BoundCursor(first), dl.BoundCursor(first)
+			for n := 0; n < 50; n++ {
+				mv, mok := mc.Next()
+				dv, dok := dc.Next()
+				if mok != dok || mv != dv {
+					t.Fatalf("trial %d bounds from %d: mem (%d,%v) disk (%d,%v)", trial, first, mv, mok, dv, dok)
+				}
+				if !mok {
+					break
+				}
+			}
+			dc.Close()
+		}
+		// Prediction segments agree.
+		if !reflect.DeepEqual(ml.Predicted(), dl.Predicted()) {
+			t.Fatalf("trial %d: predictions differ: %v vs %v", trial, ml.Predicted(), dl.Predicted())
+		}
+	}
+}
+
+// TestWalkerOverDiskLevel runs the CSE walker over a hybrid CSE (memory base
+// + disk top) and compares to an all-memory CSE.
+func TestWalkerOverDiskLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := make([]uint32, 60)
+	for i := range base {
+		base[i] = uint32(i)
+	}
+	groups := randGroups(rng, 60)
+	ml, dl, _ := buildBoth(t, groups, 3, false)
+
+	mem := cse.New(cse.NewBaseLevel(base))
+	if err := mem.Push(ml); err != nil {
+		t.Fatal(err)
+	}
+	hyb := cse.New(cse.NewBaseLevel(base))
+	if err := hyb.Push(dl); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, ml.Len()}, {5, ml.Len() / 2}, {ml.Len() / 3, ml.Len()}} {
+		mw, err := cse.NewWalker(mem, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw, err := cse.NewWalker(hyb, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			me, mch, mok := mw.Next()
+			de, dch, dok := dw.Next()
+			if mok != dok || mch != dch || !reflect.DeepEqual(me, de) {
+				t.Fatalf("range %v: mem (%v,%d,%v) disk (%v,%d,%v)", r, me, mch, mok, de, dch, dok)
+			}
+			if !mok {
+				break
+			}
+		}
+		if err := dw.Err(); err != nil {
+			t.Fatal(err)
+		}
+		mw.Close()
+		dw.Close()
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	groups := randGroups(rng, 200)
+	_, dl, tracker := buildBoth(t, groups, 2, false)
+	_, w := tracker.IOTotals()
+	if want := dl.DiskBytes(); w != want {
+		t.Fatalf("write bytes = %d, want %d", w, want)
+	}
+	c := dl.VertCursor(0, dl.Len())
+	for {
+		if _, ok := c.Next(); !ok {
+			break
+		}
+	}
+	c.Close()
+	r, _ := tracker.IOTotals()
+	if r < int64(dl.Len())*4 {
+		t.Fatalf("read bytes = %d, want ≥ %d", r, dl.Len()*4)
+	}
+}
+
+func TestTruncatedVertFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	groups := randGroups(rng, 100)
+	_, dl, _ := buildBoth(t, groups, 1, false)
+	// Truncate the vert file behind the level's back.
+	if err := os.Truncate(dl.parts[0].vf.Name(), int64(dl.Len()*4/2)); err != nil {
+		t.Fatal(err)
+	}
+	c := dl.VertCursor(0, dl.Len())
+	defer c.Close()
+	n := 0
+	for {
+		if _, ok := c.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if c.Err() == nil {
+		t.Fatalf("read %d/%d units from truncated file without error", n, dl.Len())
+	}
+}
+
+func TestFinishDetectsShortFiles(t *testing.T) {
+	tracker := memtrack.New()
+	q := NewWriteQueue(0, tracker)
+	defer q.Close()
+	dir := t.TempDir()
+	db, err := NewDiskLevelBuilder(dir, 3, 1, q, 0, tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Part(0).AppendGroup([]uint32{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Flush "forgotten" — Finish must detect the size mismatch (the write
+	// buffers were never submitted).
+	if _, err := db.Finish(); err == nil {
+		t.Fatal("Finish accepted un-flushed part")
+	}
+	// Abort must have removed the files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("abort left %d files behind", len(entries))
+	}
+}
+
+func TestWriteQueueErrorPropagation(t *testing.T) {
+	q := NewWriteQueue(0, nil)
+	defer q.Close()
+	f, err := os.Open(os.DevNull) // read-only: writes must fail
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := q.GetBuf()
+	buf = append(buf, 1, 2, 3, 4)
+	q.Submit(f, buf)
+	if err := q.Barrier(); err == nil {
+		t.Fatal("write to read-only file reported no error")
+	}
+}
+
+func TestEmptyParts(t *testing.T) {
+	// All groups in part 0; parts 1,2 completely empty.
+	groups := [][]uint32{{1, 2}, {}, {3}}
+	tracker := memtrack.New()
+	q := NewWriteQueue(0, tracker)
+	defer q.Close()
+	db, err := NewDiskLevelBuilder(t.TempDir(), 2, 3, q, 0, tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		if err := db.Part(0).AppendGroup(g, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lvl, err := db.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lvl.Close()
+	if lvl.Len() != 3 || lvl.Groups() != 3 {
+		t.Fatalf("shape %d/%d", lvl.Len(), lvl.Groups())
+	}
+	c := lvl.VertCursor(0, 3)
+	defer c.Close()
+	var got []uint32
+	for {
+		v, ok := c.Next()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if !reflect.DeepEqual(got, []uint32{1, 2, 3}) {
+		t.Fatalf("verts = %v", got)
+	}
+}
+
+func TestCloseRemovesFiles(t *testing.T) {
+	tracker := memtrack.New()
+	q := NewWriteQueue(0, tracker)
+	defer q.Close()
+	dir := t.TempDir()
+	db, err := NewDiskLevelBuilder(dir, 2, 2, q, 0, tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := db.Part(i).AppendGroup([]uint32{uint32(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lvl, err := db.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lvl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lvl.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("Close left files: %v", files)
+	}
+}
+
+func TestChunkIndexLargeLevel(t *testing.T) {
+	// More than CntChunk groups exercises the sparse index path.
+	rng := rand.New(rand.NewSource(13))
+	groups := make([][]uint32, CntChunk+500)
+	for i := range groups {
+		g := make([]uint32, rng.Intn(3))
+		for j := range g {
+			g[j] = rng.Uint32() % 100
+		}
+		groups[i] = g
+	}
+	ml, dl, _ := buildBoth(t, groups, 2, false)
+	for _, i := range []int{0, 1, ml.Len() / 2, ml.Len() - 1} {
+		if ml.ParentOf(i) != dl.ParentOf(i) {
+			t.Fatalf("ParentOf(%d): %d vs %d", i, ml.ParentOf(i), dl.ParentOf(i))
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package kaleido is an out-of-core graph mining system for a single
+// machine, reproducing "Kaleido: An Efficient Out-of-core Graph Mining
+// System on A Single Machine" (Zhao et al., ICDE 2020).
+//
+// Kaleido explores the embeddings (subgraph instances) of a labeled input
+// graph level by level, storing the intermediate data in a Compressed Sparse
+// Embedding (CSE) structure that treats the k-embedding set as a sparse
+// k-dimensional tensor. Levels that exceed the memory budget are transparently
+// spilled to disk (half-memory-half-disk hybrid storage) with sliding-window
+// prefetch and prediction-based load balancing. Pattern aggregation solves
+// the graph-isomorphism problem for embeddings of fewer than 9 vertices with
+// a characteristic-polynomial hash (Faddeev–LeVerrier over the label-weighted
+// adjacency matrix) instead of a canonical-labeling search tree.
+//
+// Four mining applications ship ready-made — frequent subgraph mining,
+// motif counting, clique discovery and triangle counting — and the Miner
+// type exposes the underlying exploration API (the paper's Listing 1) for
+// custom workloads:
+//
+//	g, err := kaleido.LoadEdgeListFile("graph.txt")
+//	n, err := g.Triangles(kaleido.Config{})
+//	motifs, err := g.Motifs(4, kaleido.Config{MemoryBudget: 8 << 30, SpillDir: "/tmp/kaleido"})
+package kaleido
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"kaleido/internal/apps"
+	"kaleido/internal/explore"
+	"kaleido/internal/graph"
+	"kaleido/internal/memtrack"
+)
+
+// Config tunes a mining run. The zero value runs fully in memory with one
+// thread per CPU and the eigenvalue isomorphism backend.
+type Config struct {
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+	// MemoryBudget caps the resident bytes of intermediate embedding data;
+	// levels that would exceed it are spilled to SpillDir (§4.1 hybrid
+	// storage). 0 keeps everything in memory.
+	MemoryBudget int64
+	// SpillDir receives spilled CSE levels. Required when MemoryBudget > 0.
+	SpillDir string
+	// Predict enables the §4.2 candidate-size prediction for balanced
+	// partitioning of spilled levels.
+	Predict bool
+	// Iso selects the isomorphism backend for pattern aggregation.
+	Iso IsoAlgo
+	// Stats, when non-nil, receives memory and I/O accounting.
+	Stats *Stats
+}
+
+// IsoAlgo selects the isomorphism backend.
+type IsoAlgo int
+
+const (
+	// IsoEigen is the paper's Algorithm 1 (default): characteristic-
+	// polynomial hashing, valid for patterns under 9 vertices.
+	IsoEigen IsoAlgo = iota
+	// IsoBliss is a bliss-like canonical-labeling search tree (the §6.3
+	// baseline backend).
+	IsoBliss
+	// IsoEigenExact is Algorithm 1 with exact big-integer polynomial
+	// coefficients (slower; for verification).
+	IsoEigenExact
+)
+
+// Stats carries instrumentation out of a run.
+type Stats struct {
+	// PeakBytes is the peak tracked footprint of intermediate structures.
+	PeakBytes int64
+	// ReadBytes and WriteBytes count hybrid-storage I/O.
+	ReadBytes, WriteBytes int64
+}
+
+func (c Config) appOptions() (apps.Options, *memtrack.Tracker) {
+	tracker := memtrack.New()
+	return apps.Options{
+		Threads:      c.Threads,
+		MemoryBudget: c.MemoryBudget,
+		SpillDir:     c.SpillDir,
+		Predict:      c.Predict,
+		Iso:          apps.IsoAlgo(c.Iso),
+		Tracker:      tracker,
+	}, tracker
+}
+
+func (c Config) finish(tracker *memtrack.Tracker) {
+	if c.Stats == nil {
+		return
+	}
+	c.Stats.PeakBytes = tracker.Peak()
+	c.Stats.ReadBytes, c.Stats.WriteBytes = tracker.IOTotals()
+}
+
+// Graph is an immutable labeled undirected graph.
+type Graph struct {
+	g *graph.Graph
+}
+
+// GraphBuilder accumulates edges and labels.
+type GraphBuilder struct {
+	b *graph.Builder
+}
+
+// NewGraphBuilder starts a graph with n vertices (ids 0..n-1), all labeled 0.
+func NewGraphBuilder(n int) *GraphBuilder {
+	return &GraphBuilder{b: graph.NewBuilder(n)}
+}
+
+// AddEdge records the undirected edge {u, v}; duplicates and self loops are
+// dropped.
+func (gb *GraphBuilder) AddEdge(u, v uint32) { gb.b.AddEdge(u, v) }
+
+// SetLabel assigns a vertex label.
+func (gb *GraphBuilder) SetLabel(v uint32, label uint16) { gb.b.SetLabel(v, label) }
+
+// Build finalizes the graph.
+func (gb *GraphBuilder) Build() (*Graph, error) {
+	g, err := gb.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// LoadEdgeList parses a whitespace-separated edge list ("u v" lines, "#"
+// comments, optional "v label=L" lines).
+func LoadEdgeList(r io.Reader) (*Graph, error) {
+	g, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// LoadEdgeListFile reads an edge-list file.
+func LoadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadEdgeList(f)
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.g.N() }
+
+// M returns the undirected edge count.
+func (g *Graph) M() int { return g.g.M() }
+
+// NumLabels returns the number of distinct vertex labels.
+func (g *Graph) NumLabels() int { return g.g.NumLabels() }
+
+// AvgDegree returns 2M/N.
+func (g *Graph) AvgDegree() float64 { return g.g.AvgDegree() }
+
+// Label returns the label of vertex v.
+func (g *Graph) Label(v uint32) uint16 { return g.g.Label(v) }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v uint32) bool { return g.g.HasEdge(u, v) }
+
+// Neighbors returns the sorted neighbors of v; callers must not mutate it.
+func (g *Graph) Neighbors(v uint32) []uint32 { return g.g.Neighbors(v) }
+
+// validate checks a config for early, friendly errors.
+func (c Config) validate() error {
+	if c.MemoryBudget > 0 && c.SpillDir == "" {
+		return fmt.Errorf("kaleido: MemoryBudget set but SpillDir empty")
+	}
+	if c.Iso < IsoEigen || c.Iso > IsoEigenExact {
+		return fmt.Errorf("kaleido: unknown Iso backend %d", c.Iso)
+	}
+	return nil
+}
+
+// modeOf converts the public mode.
+func modeOf(m Mode) explore.Mode {
+	if m == EdgeInduced {
+		return explore.EdgeInduced
+	}
+	return explore.VertexInduced
+}

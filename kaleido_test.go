@@ -1,0 +1,193 @@
+package kaleido
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperGraph builds the Fig. 3 running example through the public API.
+func paperGraph(t testing.TB) *Graph {
+	t.Helper()
+	b := NewGraphBuilder(5)
+	for _, e := range [][2]uint32{{0, 1}, {0, 4}, {1, 4}, {1, 2}, {2, 3}, {2, 4}, {3, 4}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicTriangles(t *testing.T) {
+	g := paperGraph(t)
+	n, err := g.Triangles(Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("Triangles = %d, want 3", n)
+	}
+}
+
+func TestPublicCliquesAndMotifs(t *testing.T) {
+	g := paperGraph(t)
+	c, err := g.Cliques(3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 3 {
+		t.Fatalf("Cliques(3) = %d, want 3", c)
+	}
+	motifs, err := g.Motifs(3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(motifs) != 2 || motifs[0].Count != 5 || motifs[1].Count != 3 {
+		t.Fatalf("Motifs(3) = %+v, want chain:5, triangle:3", motifs)
+	}
+}
+
+func TestPublicFSM(t *testing.T) {
+	b := NewGraphBuilder(6)
+	b.SetLabel(0, 0)
+	b.SetLabel(1, 0)
+	for v := uint32(2); v < 6; v++ {
+		b.SetLabel(v, 1)
+	}
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 4)
+	b.AddEdge(1, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.FSM(3, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Count != 2 || res[0].Support != 2 {
+		t.Fatalf("FSM = %+v", res)
+	}
+	if res[0].Pattern.K != 3 || len(res[0].Pattern.Edges) != 2 {
+		t.Fatalf("pattern = %v", res[0].Pattern)
+	}
+}
+
+func TestPublicStatsAndHybrid(t *testing.T) {
+	g := paperGraph(t)
+	var stats Stats
+	n, err := g.Triangles(Config{Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || stats.PeakBytes == 0 {
+		t.Fatalf("n=%d peak=%d", n, stats.PeakBytes)
+	}
+	var hstats Stats
+	m, err := g.Motifs(4, Config{MemoryBudget: 1, SpillDir: t.TempDir(), Stats: &hstats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) == 0 {
+		t.Fatal("no 4-motifs found")
+	}
+	if hstats.WriteBytes == 0 {
+		t.Fatal("hybrid run recorded no disk writes")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := paperGraph(t)
+	if _, err := g.Triangles(Config{MemoryBudget: 10}); err == nil {
+		t.Fatal("budget without spill dir accepted")
+	}
+	if _, err := g.Motifs(3, Config{Iso: IsoAlgo(9)}); err == nil {
+		t.Fatal("bad iso backend accepted")
+	}
+}
+
+func TestLoadEdgeList(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("0 1\n1 2\n2 0\n0 label=1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 || g.Label(0) != 1 {
+		t.Fatalf("graph = %d/%d label=%d", g.N(), g.M(), g.Label(0))
+	}
+	n, err := g.Triangles(Config{})
+	if err != nil || n != 1 {
+		t.Fatalf("triangles = %d, %v", n, err)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 4 {
+		t.Fatalf("datasets = %v", names)
+	}
+	g, err := Dataset("citeseer", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3312 {
+		t.Fatalf("citeseer N = %d", g.N())
+	}
+	if _, err := Dataset("nope", ""); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	g, err := Synthetic(500, 1500, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 || g.NumLabels() != 4 {
+		t.Fatalf("synthetic = %d/%d", g.N(), g.NumLabels())
+	}
+}
+
+func TestMinerCustomApp(t *testing.T) {
+	// A custom wedge counter (paths of length 2) through the Miner API.
+	g := paperGraph(t)
+	m, err := g.NewMiner(VertexInduced, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 2; i++ {
+		if err := m.Expand(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Depth() != 3 || m.Count() != 8 {
+		t.Fatalf("depth=%d count=%d, want 3, 8", m.Depth(), m.Count())
+	}
+	counts, err := m.AggregatePatterns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 || counts[0].Count != 5 || counts[1].Count != 3 {
+		t.Fatalf("patterns = %+v", counts)
+	}
+}
+
+func TestMinerEdgeInduced(t *testing.T) {
+	g := paperGraph(t)
+	m, err := g.NewMiner(EdgeInduced, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Count() != 7 {
+		t.Fatalf("edge 1-embeddings = %d, want 7", m.Count())
+	}
+	if err := m.Expand(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() == 0 {
+		t.Fatal("no 2-edge embeddings")
+	}
+}

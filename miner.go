@@ -1,0 +1,147 @@
+package kaleido
+
+import (
+	"kaleido/internal/eigen"
+	"kaleido/internal/explore"
+	"kaleido/internal/pattern"
+)
+
+// Mode selects the exploration unit for a custom Miner.
+type Mode int
+
+const (
+	// VertexInduced embeddings grow by one vertex per iteration.
+	VertexInduced Mode = iota
+	// EdgeInduced embeddings grow by one edge per iteration.
+	EdgeInduced
+)
+
+// EmbeddingFilter is the user-defined filter of the Kaleido API (Listing 1):
+// may cand (a vertex id in vertex-induced mode, an edge id in edge-induced
+// mode) extend the embedding emb? The default canonical filter has already
+// been applied.
+type EmbeddingFilter func(emb []uint32, cand uint32) bool
+
+// Miner exposes the paper's exploration API (Listing 1: Init,
+// EmbeddingsExplorer, ResultAggregator) for custom mining applications.
+// A Miner must be Closed to release spilled levels.
+type Miner struct {
+	g   *Graph
+	e   *explore.Explorer
+	cfg Config
+}
+
+// NewMiner creates a Miner over g.
+func (g *Graph) NewMiner(mode Mode, cfg Config) (*Miner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e, err := explore.New(explore.Config{
+		Graph:        g.g,
+		Mode:         modeOf(mode),
+		Threads:      cfg.Threads,
+		MemoryBudget: cfg.MemoryBudget,
+		SpillDir:     cfg.SpillDir,
+		Predict:      cfg.Predict,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Miner{g: g, e: e, cfg: cfg}
+	if mode == EdgeInduced {
+		err = e.InitEdges(nil)
+	} else {
+		err = e.InitVertices(nil)
+	}
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Expand runs one exploration iteration under the canonical filter plus the
+// optional user filter.
+func (m *Miner) Expand(filter EmbeddingFilter) error {
+	if filter == nil {
+		return m.e.Expand(nil, nil)
+	}
+	return m.e.Expand(
+		func(emb []uint32, cand uint32) bool { return filter(emb, cand) },
+		func(emb []uint32, _ []uint32, cand uint32) bool { return filter(emb, cand) },
+	)
+}
+
+// Depth returns the current embedding size.
+func (m *Miner) Depth() int { return m.e.Depth() }
+
+// Count returns the number of embeddings at the current depth.
+func (m *Miner) Count() int { return m.e.Count() }
+
+// Bytes reports the resident footprint of the intermediate data.
+func (m *Miner) Bytes() int64 { return m.e.Bytes() }
+
+// SpilledLevels reports how many CSE levels live on disk.
+func (m *Miner) SpilledLevels() int { return m.e.SpilledLevels() }
+
+// ForEach visits every current embedding in parallel. worker identifies the
+// calling goroutine (0..Threads-1) for worker-local state; emb is a reused
+// buffer the callback must not retain.
+func (m *Miner) ForEach(visit func(worker int, emb []uint32) error) error {
+	return m.e.ForEach(visit)
+}
+
+// AggregatePatterns computes the pattern of every current vertex-induced
+// embedding with the configured isomorphism backend and returns the counts —
+// the ResultAggregator of Listing 1 with the default mapper.
+func (m *Miner) AggregatePatterns() ([]PatternCount, error) {
+	threads := m.cfg.Threads
+	if threads <= 0 {
+		threads = defaultWorkerCount()
+	}
+	type agg struct {
+		pat   *pattern.Pattern
+		count uint64
+	}
+	maps := make([]map[uint64]*agg, threads)
+	hashers := make([]*eigen.Hasher, threads)
+	for i := range maps {
+		maps[i] = map[uint64]*agg{}
+		hashers[i] = eigen.New()
+	}
+	err := m.e.ForEach(func(w int, emb []uint32) error {
+		p, err := pattern.FromEmbedding(m.g.g, emb)
+		if err != nil {
+			return err
+		}
+		h := hashers[w].Hash(p)
+		if a, ok := maps[w][h]; ok {
+			a.count++
+		} else {
+			maps[w][h] = &agg{pat: p.Clone(), count: 1}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := map[uint64]*agg{}
+	for _, mm := range maps {
+		for h, a := range mm {
+			if prev, ok := merged[h]; ok {
+				prev.count += a.count
+			} else {
+				merged[h] = a
+			}
+		}
+	}
+	out := make([]PatternCount, 0, len(merged))
+	for _, a := range merged {
+		out = append(out, PatternCount{Pattern: publicPattern(a.pat), Count: a.count})
+	}
+	sortPublicCounts(out)
+	return out, nil
+}
+
+// Close releases the Miner's resources, removing any spilled levels.
+func (m *Miner) Close() error { return m.e.Close() }
