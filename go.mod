@@ -1,0 +1,3 @@
+module kaleido
+
+go 1.21

@@ -1,0 +1,184 @@
+package bench
+
+// Engine micro-benchmarks for the exploration hot path: one Expand iteration
+// (canonical filtering + candidate merging + level building) on a generated
+// power-law graph, the workload the §4.2 load balancer targets. Run with
+//
+//	go test ./internal/bench -bench=BenchmarkExpand -benchmem
+//
+// TestEmitExpandBenchSnapshot (gated by KALEIDO_BENCH_SNAPSHOT) records the
+// same measurements as a JSON snapshot for the performance trajectory in
+// BENCH_expand.json.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"kaleido/internal/explore"
+	"kaleido/internal/gen"
+	"kaleido/internal/graph"
+)
+
+var engineGraphs = map[int64]*graph.Graph{}
+
+// engineGraph generates (and memoizes) the power-law benchmark graph.
+func engineGraph(tb testing.TB, n, m int, seed int64) *graph.Graph {
+	tb.Helper()
+	if g, ok := engineGraphs[seed]; ok {
+		return g
+	}
+	g, err := gen.PowerLaw(gen.Config{N: n, M: m, Alpha: 2.6, NumLabels: 8, LabelSkew: 0.7, Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	engineGraphs[seed] = g
+	return g
+}
+
+// engineExplorer builds an explorer expanded to the given depth.
+func engineExplorer(tb testing.TB, g *graph.Graph, mode explore.Mode, depth, threads int) *explore.Explorer {
+	tb.Helper()
+	ex, err := explore.New(explore.Config{Graph: g, Mode: mode, Threads: threads})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if mode == explore.VertexInduced {
+		err = ex.InitVertices(nil)
+	} else {
+		err = ex.InitEdges(nil)
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for ex.Depth() < depth {
+		if err := ex.Expand(nil, nil); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return ex
+}
+
+type expandCase struct {
+	name    string
+	mode    explore.Mode
+	n, m    int
+	seed    int64
+	depth   int // expand from depth to depth+1 each iteration
+	threads int
+}
+
+func expandCases() []expandCase {
+	return []expandCase{
+		{name: "vertex-d3", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4},
+		{name: "vertex-d4", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 3, threads: 4},
+		{name: "edge-d3", mode: explore.EdgeInduced, n: 2000, m: 6000, seed: 7, depth: 2, threads: 4},
+	}
+}
+
+// runExpandCase measures one Expand (depth → depth+1) per iteration, popping
+// the produced level so every iteration does identical work.
+func runExpandCase(b *testing.B, c expandCase) {
+	g := engineGraph(b, c.n, c.m, c.seed)
+	ex := engineExplorer(b, g, c.mode, c.depth, c.threads)
+	defer ex.Close()
+	var produced int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ex.Expand(nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		produced = ex.Count()
+		if err := ex.CSE().PopTop(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if produced > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(produced), "ns/emb")
+		b.ReportMetric(float64(produced), "embeddings")
+	}
+}
+
+// BenchmarkExpand measures the canonical-filter expansion hot path.
+func BenchmarkExpand(b *testing.B) {
+	for _, c := range expandCases() {
+		b.Run(c.name, func(b *testing.B) { runExpandCase(b, c) })
+	}
+}
+
+// BenchmarkForEachExpansion measures the non-materializing expansion walk
+// (motif counting's exploration step).
+func BenchmarkForEachExpansion(b *testing.B) {
+	c := expandCases()[0]
+	g := engineGraph(b, c.n, c.m, c.seed)
+	ex := engineExplorer(b, g, c.mode, c.depth, c.threads)
+	defer ex.Close()
+	counts := make([]int64, c.threads)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := ex.ForEachExpansion(nil, func(worker int, emb []uint32, cand uint32) error {
+			counts[worker]++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// expandSnapshot is one benchmark measurement in BENCH_expand.json.
+type expandSnapshot struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Embeddings  int     `json:"embeddings"`
+}
+
+// TestEmitExpandBenchSnapshot writes the Expand measurements to the file
+// named by KALEIDO_BENCH_SNAPSHOT (skipped when unset), so the perf
+// trajectory can be tracked across changes in BENCH_expand.json.
+func TestEmitExpandBenchSnapshot(t *testing.T) {
+	path := os.Getenv("KALEIDO_BENCH_SNAPSHOT")
+	if path == "" {
+		t.Skip("KALEIDO_BENCH_SNAPSHOT unset")
+	}
+	var snaps []expandSnapshot
+	for _, c := range expandCases() {
+		c := c
+		var produced int
+		r := testing.Benchmark(func(b *testing.B) {
+			g := engineGraph(b, c.n, c.m, c.seed)
+			ex := engineExplorer(b, g, c.mode, c.depth, c.threads)
+			defer ex.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ex.Expand(nil, nil); err != nil {
+					b.Fatal(err)
+				}
+				produced = ex.Count()
+				if err := ex.CSE().PopTop(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		snaps = append(snaps, expandSnapshot{
+			Name:        c.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Embeddings:  produced,
+		})
+	}
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,7 +29,10 @@ type PartWriter interface {
 	Flush() error
 }
 
-// MemLevelBuilder builds an in-memory level.
+// MemLevelBuilder builds an in-memory level. It is reusable: Reset prepares
+// it for another level while keeping the per-part buffer capacity, so a
+// steady-state exploration loop appends into already-sized buffers instead
+// of regrowing every part from nil each iteration.
 type MemLevelBuilder struct {
 	parts []memPart
 }
@@ -37,6 +40,26 @@ type MemLevelBuilder struct {
 // NewMemLevelBuilder returns a builder with n parts.
 func NewMemLevelBuilder(n int) *MemLevelBuilder {
 	return &MemLevelBuilder{parts: make([]memPart, n)}
+}
+
+// Reset re-arms the builder for a new level of n parts, retaining the
+// buffers of previously built levels.
+func (b *MemLevelBuilder) Reset(n int) {
+	if cap(b.parts) < n {
+		parts := make([]memPart, n)
+		copy(parts, b.parts) // keep the grown buffers of existing parts
+		b.parts = parts
+	} else {
+		b.parts = b.parts[:n]
+	}
+	for i := range b.parts {
+		p := &b.parts[i]
+		p.verts = p.verts[:0]
+		p.counts = p.counts[:0]
+		p.segs = p.segs[:0]
+		p.open = PredSeg{}
+		p.pred = false
+	}
 }
 
 type memPart struct {

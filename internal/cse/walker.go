@@ -8,6 +8,12 @@ import "fmt"
 // range. All level access is through sequential cursors, so the walk works
 // identically over in-memory and on-disk (hybrid) levels; only the t range
 // starts use random access (ParentOf).
+//
+// A Walker is reusable: Reset repositions it over a new range (or a new CSE)
+// without reallocating its per-level buffers, and in-memory levels get their
+// cursors from walker-owned storage — a steady-state Reset over MemLevels
+// allocates nothing. Workers therefore keep one Walker each and Reset it per
+// chunk.
 type Walker struct {
 	k        int
 	cur, hi  int // current and end index at level k
@@ -18,29 +24,60 @@ type Walker struct {
 	groupEnd []uint64 // groupEnd[l-1] = end boundary of current group at level l (l ≥ 2)
 	vertCur  []VertCursor
 	boundCur []BoundCursor
+
+	// Reusable ancestor-chain scratch and cursor storage for MemLevels.
+	anca, ancb []int
+	memVert    []sliceVertCursor
+	memBound   []sliceBoundCursor
 }
 
 // NewWalker positions a walker over top-level embeddings [lo, hi).
 func NewWalker(c *CSE, lo, hi int) (*Walker, error) {
+	w := &Walker{}
+	if err := w.Reset(c, lo, hi); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Reset repositions the walker over top-level embeddings [lo, hi) of c,
+// closing any cursors of the previous walk and reusing all buffers.
+func (w *Walker) Reset(c *CSE, lo, hi int) error {
+	w.closeAll()
 	k := c.Depth()
 	top := c.Top()
 	if lo < 0 || hi > top.Len() || lo > hi {
-		return nil, fmt.Errorf("cse: walker range [%d,%d) out of [0,%d]", lo, hi, top.Len())
+		return fmt.Errorf("cse: walker range [%d,%d) out of [0,%d]", lo, hi, top.Len())
 	}
-	w := &Walker{
-		k: k, cur: lo, hi: hi, first: true,
-		prefix:   make([]uint32, k),
-		idx:      make([]int, k),
-		groupEnd: make([]uint64, k),
-		vertCur:  make([]VertCursor, k),
-		boundCur: make([]BoundCursor, k),
+	w.k = k
+	w.cur, w.hi = lo, hi
+	w.first = true
+	w.err = nil
+	w.prefix = growU32(w.prefix, k)
+	w.idx = growInt(w.idx, k)
+	w.groupEnd = growU64(w.groupEnd, k)
+	if cap(w.vertCur) < k {
+		w.vertCur = make([]VertCursor, k)
+		w.boundCur = make([]BoundCursor, k)
+		w.memVert = make([]sliceVertCursor, k)
+		w.memBound = make([]sliceBoundCursor, k)
+	} else {
+		w.vertCur = w.vertCur[:k]
+		w.boundCur = w.boundCur[:k]
+		w.memVert = w.memVert[:k]
+		w.memBound = w.memBound[:k]
+		for i := range w.vertCur {
+			w.vertCur[i] = nil
+			w.boundCur[i] = nil
+		}
 	}
 	if lo == hi {
-		return w, nil
+		return nil
 	}
 	// Ancestor chain of the first and last leaf in range.
-	a := make([]int, k)
-	b := make([]int, k)
+	a := growInt(w.anca, k)
+	b := growInt(w.ancb, k)
+	w.anca, w.ancb = a, b
 	a[k-1], b[k-1] = lo, hi-1
 	for l := k - 1; l >= 1; l-- {
 		a[l-1] = c.Level(l + 1).ParentOf(a[l])
@@ -49,13 +86,23 @@ func NewWalker(c *CSE, lo, hi int) (*Walker, error) {
 	for l := 1; l <= k; l++ {
 		lv := c.Level(l)
 		w.idx[l-1] = a[l-1]
-		w.vertCur[l-1] = lv.VertCursor(a[l-1], b[l-1]+1)
+		if ml, ok := lv.(*MemLevel); ok {
+			w.memVert[l-1] = sliceVertCursor{s: ml.Verts[a[l-1] : b[l-1]+1]}
+			w.vertCur[l-1] = &w.memVert[l-1]
+		} else {
+			w.vertCur[l-1] = lv.VertCursor(a[l-1], b[l-1]+1)
+		}
 		if l >= 2 {
-			w.boundCur[l-1] = lv.BoundCursor(a[l-2])
+			if ml, ok := lv.(*MemLevel); ok && ml.Offs != nil {
+				w.memBound[l-1] = sliceBoundCursor{s: ml.Offs[a[l-2]+1:]}
+				w.boundCur[l-1] = &w.memBound[l-1]
+			} else {
+				w.boundCur[l-1] = lv.BoundCursor(a[l-2])
+			}
 			ge, ok := w.boundCur[l-1].Next()
 			if !ok {
 				w.closeAll()
-				return nil, fmt.Errorf("cse: walker: missing group boundary at level %d", l)
+				return fmt.Errorf("cse: walker: missing group boundary at level %d", l)
 			}
 			w.groupEnd[l-1] = ge
 		}
@@ -66,11 +113,11 @@ func NewWalker(c *CSE, lo, hi int) (*Walker, error) {
 		v, ok := w.vertCur[l-1].Next()
 		if !ok {
 			w.closeAll()
-			return nil, fmt.Errorf("cse: walker: level %d cursor empty at start", l)
+			return fmt.Errorf("cse: walker: level %d cursor empty at start", l)
 		}
 		w.prefix[l-1] = v
 	}
-	return w, nil
+	return nil
 }
 
 // Next returns the next embedding in range. emb is a reused buffer of length
@@ -158,21 +205,52 @@ func streamErr(err error, kind string, level int) error {
 	return fmt.Errorf("cse: walker: %s stream ended early at level %d", kind, level)
 }
 
-// Close releases all cursors.
+// Close releases all cursors. The walker stays reusable via Reset.
 func (w *Walker) Close() error {
 	w.closeAll()
 	return nil
 }
 
 func (w *Walker) closeAll() {
-	for _, c := range w.vertCur {
+	for i, c := range w.vertCur {
 		if c != nil {
 			c.Close()
+			w.vertCur[i] = nil
 		}
 	}
-	for _, c := range w.boundCur {
+	for i, c := range w.boundCur {
 		if c != nil {
 			c.Close()
+			w.boundCur[i] = nil
 		}
 	}
+	// Drop references into the walked levels so a pooled idle walker does
+	// not keep a replaced or popped level's arrays alive.
+	for i := range w.memVert {
+		w.memVert[i].s = nil
+	}
+	for i := range w.memBound {
+		w.memBound[i].s = nil
+	}
+}
+
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }

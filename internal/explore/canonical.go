@@ -17,6 +17,13 @@ import "kaleido/internal/graph"
 //
 // Duplicate vertices are rejected. Assuming emb itself is canonical, the
 // extension enumerates every connected induced subgraph exactly once.
+//
+// This is the O(k·log d̄) reference implementation, kept for external
+// engines and as the oracle of the differential tests. The exploration hot
+// path does not call it: the expansion loop uses the fused filter
+// (vertexState.canonical / edgeState.canonical), which derives property
+// (ii)'s attachment position from merge provenance and checks (i)+(iii)
+// with two integer comparisons against precomputed suffix maxima.
 func CanonicalVertex(g *graph.Graph, emb []uint32, cand uint32) bool {
 	if cand <= emb[0] {
 		return false
@@ -87,6 +94,44 @@ func mergeUnion(dst, a, b []uint32) []uint32 {
 	dst = append(dst, a[i:]...)
 	dst = append(dst, b[j:]...)
 	return dst
+}
+
+// mergeUnionProv writes the sorted union of candidate buffer a and sorted
+// list b into dst, carrying provenance: candidates from a keep their
+// firstAdj position, candidates only in b get bPos. Ties keep a's position —
+// every provenance in a precedes bPos by construction (a covers earlier
+// embedding positions), so the result is the earliest adjacent position of
+// each candidate. dst must not alias a.
+func mergeUnionProv(dst, a *candBuf, b []uint32, bPos uint16) {
+	ids := dst.ids[:0]
+	fa := dst.firstAdj[:0]
+	i, j := 0, 0
+	for i < len(a.ids) && j < len(b) {
+		switch {
+		case a.ids[i] < b[j]:
+			ids = append(ids, a.ids[i])
+			fa = append(fa, a.firstAdj[i])
+			i++
+		case a.ids[i] > b[j]:
+			ids = append(ids, b[j])
+			fa = append(fa, bPos)
+			j++
+		default:
+			ids = append(ids, a.ids[i])
+			fa = append(fa, a.firstAdj[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.ids); i++ {
+		ids = append(ids, a.ids[i])
+		fa = append(fa, a.firstAdj[i])
+	}
+	for ; j < len(b); j++ {
+		ids = append(ids, b[j])
+		fa = append(fa, bPos)
+	}
+	dst.ids, dst.firstAdj = ids, fa
 }
 
 // mergeUnionCount returns |a ∪ b| for sorted slices without materializing

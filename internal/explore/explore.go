@@ -64,6 +64,73 @@ type Explorer struct {
 	levelSeq int
 	spilled  int
 	ledger   []int64 // tracker bytes charged per level
+
+	// scratch[w] is worker w's reusable expansion state, pooled across
+	// Expand/ForEach/ForEachExpansion/FilterTop calls so the steady-state
+	// per-chunk work allocates nothing.
+	scratch []workerScratch
+	// memBuilder is the reusable in-memory level builder (exploration ops
+	// run one at a time, so a single instance suffices).
+	memBuilder *cse.MemLevelBuilder
+}
+
+// memBuilderFor returns the reusable mem builder re-armed for n parts.
+func (e *Explorer) memBuilderFor(n int) *cse.MemLevelBuilder {
+	if e.memBuilder == nil {
+		e.memBuilder = cse.NewMemLevelBuilder(n)
+	} else {
+		e.memBuilder.Reset(n)
+	}
+	return e.memBuilder
+}
+
+// workerScratch holds one worker's reusable buffers. Workers are indexed
+// 0..Threads-1 by runParallel, so slots are never shared.
+type workerScratch struct {
+	walker   *cse.Walker
+	children []uint32
+	preds    []uint32
+	vstate   *vertexState
+	estate   *edgeState
+}
+
+// walkerFor returns the worker's walker positioned over [lo, hi).
+func (e *Explorer) walkerFor(worker, lo, hi int) (*cse.Walker, error) {
+	sc := &e.scratch[worker]
+	if sc.walker == nil {
+		w, err := cse.NewWalker(e.c, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		sc.walker = w
+		return w, nil
+	}
+	if err := sc.walker.Reset(e.c, lo, hi); err != nil {
+		return nil, err
+	}
+	return sc.walker, nil
+}
+
+// vertexStateFor returns the worker's vertex-induced state sized for depth k.
+func (e *Explorer) vertexStateFor(worker, k int) *vertexState {
+	sc := &e.scratch[worker]
+	if sc.vstate == nil {
+		sc.vstate = newVertexState(e.cfg.Graph, k)
+	} else {
+		sc.vstate.ensureDepth(k)
+	}
+	return sc.vstate
+}
+
+// edgeStateFor returns the worker's edge-induced state sized for depth k.
+func (e *Explorer) edgeStateFor(worker, k int) *edgeState {
+	sc := &e.scratch[worker]
+	if sc.estate == nil {
+		sc.estate = newEdgeState(e.cfg.Graph, k)
+	} else {
+		sc.estate.ensureDepth(k)
+	}
+	return sc.estate
 }
 
 // New creates an Explorer. Call InitVertices or InitEdges before Expand.
@@ -77,7 +144,7 @@ func New(cfg Config) (*Explorer, error) {
 	if cfg.MemoryBudget > 0 && cfg.SpillDir == "" {
 		return nil, fmt.Errorf("explore: memory budget set but no spill directory")
 	}
-	return &Explorer{cfg: cfg}, nil
+	return &Explorer{cfg: cfg, scratch: make([]workerScratch, cfg.Threads)}, nil
 }
 
 // InitVertices sets level 1 to the graph's vertices (optionally filtered) —
@@ -186,6 +253,10 @@ func (e *Explorer) Close() error {
 // under the default canonical filter plus the optional user filter (vf for
 // vertex-induced mode, ef for edge-induced mode; pass the one matching the
 // explorer's mode, nil for none).
+//
+// Exploration operations (Expand, ForEach, ForEachExpansion, FilterTop)
+// share the explorer's pooled per-worker scratch: they parallelize
+// internally, but at most one of them may run on an Explorer at a time.
 func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
 	if e.c == nil {
 		return fmt.Errorf("explore: not initialized")
@@ -193,7 +264,6 @@ func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
 	top := e.c.Top()
 	n := top.Len()
 	k := e.c.Depth()
-	g := e.cfg.Graph
 
 	spill := e.shouldSpill(n, top)
 	var bounds []int
@@ -211,13 +281,13 @@ func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
 		builder = db
 	} else {
 		bounds = e.partition(top, e.chunks(n))
-		builder = cse.NewMemLevelBuilder(len(bounds) - 1)
+		builder = e.memBuilderFor(len(bounds) - 1)
 	}
 
 	err := e.runParallel(len(bounds)-1, func(worker, chunk int) error {
 		lo, hi := bounds[chunk], bounds[chunk+1]
 		pw := builder.Part(chunk)
-		if err := e.expandRange(g, k, lo, hi, pw, vf, ef); err != nil {
+		if err := e.expandRange(k, lo, hi, worker, pw, vf, ef); err != nil {
 			return err
 		}
 		return pw.Flush()
@@ -241,21 +311,21 @@ func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
 	return nil
 }
 
-// expandRange expands top-level embeddings [lo, hi) into pw.
-func (e *Explorer) expandRange(g *graph.Graph, k, lo, hi int, pw cse.PartWriter, vf VertexFilter, ef EdgeFilter) error {
-	w, err := cse.NewWalker(e.c, lo, hi)
+// expandRange expands top-level embeddings [lo, hi) into pw, using worker's
+// pooled scratch.
+func (e *Explorer) expandRange(k, lo, hi, worker int, pw cse.PartWriter, vf VertexFilter, ef EdgeFilter) error {
+	w, err := e.walkerFor(worker, lo, hi)
 	if err != nil {
 		return err
 	}
 	defer w.Close()
 
-	children := make([]uint32, 0, 128)
-	var preds []uint32
-	if e.cfg.Predict {
-		preds = make([]uint32, 0, 128)
-	}
+	sc := &e.scratch[worker]
+	children := sc.children[:0]
+	preds := sc.preds[:0]
+	defer func() { sc.children, sc.preds = children, preds }()
 	if e.cfg.Mode == VertexInduced {
-		st := newVertexState(g, k)
+		st := e.vertexStateFor(worker, k)
 		for {
 			emb, from, ok := w.Next()
 			if !ok {
@@ -264,8 +334,9 @@ func (e *Explorer) expandRange(g *graph.Graph, k, lo, hi int, pw cse.PartWriter,
 			st.update(emb, from)
 			children = children[:0]
 			preds = preds[:0]
-			for _, u := range st.candidates(k) {
-				if !CanonicalVertex(g, emb, u) {
+			c := st.candidates(k)
+			for i, u := range c.ids {
+				if !st.canonical(k, i, emb[0]) {
 					continue
 				}
 				if vf != nil && !vf(emb, u) {
@@ -281,7 +352,7 @@ func (e *Explorer) expandRange(g *graph.Graph, k, lo, hi int, pw cse.PartWriter,
 			}
 		}
 	} else {
-		st := newEdgeState(g, k)
+		st := e.edgeStateFor(worker, k)
 		for {
 			emb, from, ok := w.Next()
 			if !ok {
@@ -290,8 +361,9 @@ func (e *Explorer) expandRange(g *graph.Graph, k, lo, hi int, pw cse.PartWriter,
 			st.update(emb, from)
 			children = children[:0]
 			preds = preds[:0]
-			for _, f := range st.candidates(k) {
-				if !CanonicalEdge(g, emb, f) {
+			c := st.candidates(k)
+			for i, f := range c.ids {
+				if !st.canonical(k, i, emb[0]) {
 					continue
 				}
 				if ef != nil && !ef(emb, st.vertices(k), f) {
@@ -329,12 +401,14 @@ func clamp32(v int) uint32 {
 
 // ForEach walks all top-level embeddings in parallel. visit receives the
 // worker index (0..Threads-1) for worker-local aggregation state and a
-// reused embedding buffer it must not retain.
+// reused embedding buffer it must not retain. Like all exploration
+// operations it uses the pooled per-worker scratch — do not run it
+// concurrently with another operation on the same Explorer.
 func (e *Explorer) ForEach(visit func(worker int, emb []uint32) error) error {
 	top := e.c.Top()
 	bounds := e.partition(top, e.chunks(top.Len()))
 	return e.runParallel(len(bounds)-1, func(worker, chunk int) error {
-		w, err := cse.NewWalker(e.c, bounds[chunk], bounds[chunk+1])
+		w, err := e.walkerFor(worker, bounds[chunk], bounds[chunk+1])
 		if err != nil {
 			return err
 		}
@@ -355,30 +429,31 @@ func (e *Explorer) ForEach(visit func(worker int, emb []uint32) error) error {
 // ForEachExpansion enumerates, for every top-level embedding, its canonical
 // filtered candidate extensions without materializing a new level — the
 // exploration step motif counting's Mapper performs (§5.1). Vertex-induced
-// mode only.
+// mode only. Uses the pooled per-worker scratch — do not run it
+// concurrently with another operation on the same Explorer.
 func (e *Explorer) ForEachExpansion(vf VertexFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
 	if e.cfg.Mode != VertexInduced {
 		return fmt.Errorf("explore: ForEachExpansion requires vertex-induced mode")
 	}
-	g := e.cfg.Graph
 	k := e.c.Depth()
 	top := e.c.Top()
 	bounds := e.partition(top, e.chunks(top.Len()))
 	return e.runParallel(len(bounds)-1, func(worker, chunk int) error {
-		w, err := cse.NewWalker(e.c, bounds[chunk], bounds[chunk+1])
+		w, err := e.walkerFor(worker, bounds[chunk], bounds[chunk+1])
 		if err != nil {
 			return err
 		}
 		defer w.Close()
-		st := newVertexState(g, k)
+		st := e.vertexStateFor(worker, k)
 		for {
 			emb, from, ok := w.Next()
 			if !ok {
 				break
 			}
 			st.update(emb, from)
-			for _, u := range st.candidates(k) {
-				if !CanonicalVertex(g, emb, u) {
+			c := st.candidates(k)
+			for i, u := range c.ids {
+				if !st.canonical(k, i, emb[0]) {
 					continue
 				}
 				if vf != nil && !vf(emb, u) {
@@ -395,7 +470,9 @@ func (e *Explorer) ForEachExpansion(vf VertexFilter, visit func(worker int, emb 
 
 // FilterTop rewrites the top level keeping only embeddings approved by keep
 // — the Reducer-driven pruning of FSM (§5.1). Group structure under the
-// previous level is preserved (parents may end up with empty groups).
+// previous level is preserved (parents may end up with empty groups). Uses
+// the pooled per-worker scratch — do not run it concurrently with another
+// operation on the same Explorer.
 func (e *Explorer) FilterTop(keep func(worker int, emb []uint32) bool) error {
 	k := e.c.Depth()
 	if k < 2 {
@@ -425,7 +502,7 @@ func (e *Explorer) FilterTop(keep func(worker int, emb []uint32) bool) error {
 		e.levelSeq++
 		builder = db
 	} else {
-		builder = cse.NewMemLevelBuilder(nchunks)
+		builder = e.memBuilderFor(nchunks)
 	}
 
 	err := e.runParallel(nchunks, func(worker, chunk int) error {
@@ -464,7 +541,7 @@ func (e *Explorer) filterRange(top cse.LevelData, k, plo, phi, worker int, pw cs
 		return err
 	}
 	lo, hi := int(lo64), int(hi64)
-	w, err := cse.NewWalker(e.c, lo, hi)
+	w, err := e.walkerFor(worker, lo, hi)
 	if err != nil {
 		return err
 	}
@@ -476,7 +553,9 @@ func (e *Explorer) filterRange(top cse.LevelData, k, plo, phi, worker int, pw cs
 	if !ok && phi > plo {
 		return fmt.Errorf("explore: missing group boundary at parent %d: %w", plo, bc.Err())
 	}
-	var children []uint32
+	sc := &e.scratch[worker]
+	children := sc.children[:0]
+	defer func() { sc.children = children }()
 	emitted := 0
 	for i := lo; i < hi; i++ {
 		emb, _, ok := w.Next()
@@ -610,6 +689,8 @@ func partitionSegs(segs []cse.PredSeg, n, p int) []int {
 
 // runParallel executes fn for every chunk index, with Threads goroutines
 // pulling chunks from a shared counter (the work-steal strategy of §4.2).
+// The first error flips an atomic cancel flag so the remaining workers stop
+// pulling chunks instead of running the rest of the workload.
 func (e *Explorer) runParallel(nchunks int, fn func(worker, chunk int) error) error {
 	threads := e.cfg.Threads
 	if threads > nchunks {
@@ -619,19 +700,21 @@ func (e *Explorer) runParallel(nchunks int, fn func(worker, chunk int) error) er
 		threads = 1
 	}
 	var next atomic.Int64
+	var cancel atomic.Bool
 	errs := make([]error, threads)
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
+			for !cancel.Load() {
 				c := int(next.Add(1)) - 1
 				if c >= nchunks {
 					return
 				}
 				if err := fn(w, c); err != nil {
 					errs[w] = err
+					cancel.Store(true)
 					return
 				}
 			}

@@ -1,0 +1,49 @@
+package explore
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunParallelCancelsOnError verifies that the first worker error stops
+// the other workers from pulling further chunks: the failed workload must
+// not run to completion.
+func TestRunParallelCancelsOnError(t *testing.T) {
+	e := &Explorer{cfg: Config{Threads: 2}}
+	var executed atomic.Int64
+	boom := errors.New("boom")
+	err := e.runParallel(100, func(worker, chunk int) error {
+		executed.Add(1)
+		if chunk == 0 {
+			time.Sleep(5 * time.Millisecond) // let the peer start churning
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := executed.Load(); n > 50 {
+		t.Fatalf("executed %d of 100 chunks after a failure; cancellation not propagated", n)
+	}
+}
+
+// TestRunParallelCompletesWithoutError runs every chunk exactly once.
+func TestRunParallelCompletesWithoutError(t *testing.T) {
+	e := &Explorer{cfg: Config{Threads: 4}}
+	seen := make([]atomic.Int32, 64)
+	if err := e.runParallel(64, func(worker, chunk int) error {
+		seen[chunk].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for c := range seen {
+		if got := seen[c].Load(); got != 1 {
+			t.Fatalf("chunk %d executed %d times", c, got)
+		}
+	}
+}

@@ -2,79 +2,163 @@ package explore
 
 import "kaleido/internal/graph"
 
+// candBuf is a struct-of-arrays candidate buffer: the sorted candidate ids
+// plus, per candidate, its provenance — the earliest embedding position
+// (0-based) adjacent to it. Provenance falls out of the candidate-set merge
+// for free (mergeUnionProv) and is what fuses the Definition-2 canonical
+// filter into the merge: properties (ii) and (iii) collapse to two integer
+// comparisons per candidate (see canonical in this file), eliminating the
+// per-candidate HasEdge scans of the reference CanonicalVertex/CanonicalEdge.
+type candBuf struct {
+	ids      []uint32
+	firstAdj []uint16
+}
+
+// setAll fills the buffer with ids, all carrying provenance pos.
+func (c *candBuf) setAll(ids []uint32, pos uint16) {
+	c.ids = append(c.ids[:0], ids...)
+	fa := c.firstAdj[:0]
+	for range ids {
+		fa = append(fa, pos)
+	}
+	c.firstAdj = fa
+}
+
+// copyFrom replaces the buffer contents with o's.
+func (c *candBuf) copyFrom(o *candBuf) {
+	c.ids = append(c.ids[:0], o.ids...)
+	c.firstAdj = append(c.firstAdj[:0], o.firstAdj...)
+}
+
 // vertexState maintains the per-level candidate sets of a vertex-induced
 // walk: cands[l-1] = N(v1) ∪ … ∪ N(vl), the Fig. 8 structure that lets the
 // candidate set of an extended embedding be computed by one O(d̄) merge with
-// the new vertex's neighbor list.
+// the new vertex's neighbor list. Alongside each candidate it tracks the
+// earliest adjacent embedding position, and per embedding the suffix maxima
+// of the unit sequence, which together make the canonical filter O(1) per
+// candidate.
 type vertexState struct {
 	g     *graph.Graph
-	cands [][]uint32
+	cands []candBuf
+	// sufMax[i] = max(emb[i:]) for the embedding of the last update call,
+	// with sentinel sufMax[len(emb)] = 0.
+	sufMax []uint32
 }
 
 func newVertexState(g *graph.Graph, depth int) *vertexState {
-	s := &vertexState{g: g, cands: make([][]uint32, depth)}
-	for i := range s.cands {
-		s.cands[i] = make([]uint32, 0, 64)
-	}
+	s := &vertexState{g: g}
+	s.ensureDepth(depth)
 	return s
 }
 
+// ensureDepth grows the per-level buffers to hold depth levels, so one state
+// can be reused across exploration iterations of increasing depth.
+func (s *vertexState) ensureDepth(depth int) {
+	for len(s.cands) < depth {
+		s.cands = append(s.cands, candBuf{ids: make([]uint32, 0, 64), firstAdj: make([]uint16, 0, 64)})
+	}
+	if cap(s.sufMax) < depth+1 {
+		s.sufMax = make([]uint32, depth+1)
+	}
+}
+
 // update refreshes candidate sets for levels from..len(emb) after the walker
-// reported that emb changed at level from (1-based).
+// reported that emb changed at level from (1-based), and recomputes the
+// suffix maxima of emb.
 func (s *vertexState) update(emb []uint32, from int) {
-	for l := from; l <= len(emb); l++ {
+	k := len(emb)
+	for l := from; l <= k; l++ {
 		nb := s.g.Neighbors(emb[l-1])
 		if l == 1 {
-			s.cands[0] = append(s.cands[0][:0], nb...)
+			s.cands[0].setAll(nb, 0)
 			continue
 		}
-		s.cands[l-1] = mergeUnion(s.cands[l-1], s.cands[l-2], nb)
+		mergeUnionProv(&s.cands[l-1], &s.cands[l-2], nb, uint16(l-1))
+	}
+	s.sufMax = s.sufMax[:k+1]
+	s.sufMax[k] = 0
+	for i := k - 1; i >= 0; i-- {
+		s.sufMax[i] = max32(emb[i], s.sufMax[i+1])
 	}
 }
 
 // candidates returns the candidate set of the full embedding (neighbors of
 // any embedding vertex, including embedding vertices themselves — callers
-// filter those via CanonicalVertex).
-func (s *vertexState) candidates(k int) []uint32 { return s.cands[k-1] }
+// filter those via canonical).
+func (s *vertexState) candidates(k int) *candBuf { return &s.cands[k-1] }
+
+// canonical is the fused Definition-2 filter: may candidate i of the depth-k
+// candidate set extend the embedding of the last update call canonically?
+// With a = firstAdj[i] (property (ii)'s attachment position, known from the
+// merge), the three properties reduce to
+//
+//	(i)   cand > emb[0], and
+//	(iii) cand > max(emb[a+1:]) = sufMax[a+1].
+//
+// Duplicates need no explicit check: every stored embedding is connected in
+// order (each emb[j], j ≥ 1, neighbors an earlier position), so a duplicate
+// cand = emb[j] has a < j — emb[j] then sits after the attachment position
+// and (iii) rejects it via cand > sufMax[a+1] being false (j = 0 falls to
+// property (i)). This is the incremental CanonicalVertex/CanonicalEdge
+// semantics at O(1) instead of O(k·log d̄) per candidate; the differential
+// tests verify the equivalence embedding-for-embedding.
+func (s *vertexState) canonical(k, i int, emb0 uint32) bool {
+	c := &s.cands[k-1]
+	u := c.ids[i]
+	return u > emb0 && u > s.sufMax[int(c.firstAdj[i])+1]
+}
 
 // predict returns the §4.2 prediction of the candidate-set size of the
 // embedding extended with vertex v: |cands ∪ N(v)|.
 func (s *vertexState) predict(k int, v uint32) int {
-	return mergeUnionCount(s.cands[k-1], s.g.Neighbors(v))
+	return mergeUnionCount(s.cands[k-1].ids, s.g.Neighbors(v))
 }
 
 // edgeState is the edge-induced analogue: verts[l-1] is the sorted vertex
-// set of the first l edges; cands[l-1] is the sorted set of incident edge
-// ids.
+// set of the first l edges; cands[l-1] holds the incident edge ids with the
+// earliest adjacent position of each.
 type edgeState struct {
-	g     *graph.Graph
-	verts [][]uint32
-	cands [][]uint32
-	tmp   []uint32
+	g      *graph.Graph
+	verts  [][]uint32
+	cands  []candBuf
+	tmp    []uint32
+	sufMax []uint32
 }
 
 func newEdgeState(g *graph.Graph, depth int) *edgeState {
-	s := &edgeState{
-		g:     g,
-		verts: make([][]uint32, depth),
-		cands: make([][]uint32, depth),
-		tmp:   make([]uint32, 0, 64),
-	}
-	for i := range s.cands {
-		s.verts[i] = make([]uint32, 0, depth+1)
-		s.cands[i] = make([]uint32, 0, 64)
-	}
+	s := &edgeState{g: g, tmp: make([]uint32, 0, 64)}
+	s.ensureDepth(depth)
 	return s
 }
 
+// ensureDepth grows the per-level buffers to hold depth levels.
+func (s *edgeState) ensureDepth(depth int) {
+	for len(s.cands) < depth {
+		s.verts = append(s.verts, make([]uint32, 0, depth+1))
+		s.cands = append(s.cands, candBuf{ids: make([]uint32, 0, 64), firstAdj: make([]uint16, 0, 64)})
+	}
+	if cap(s.sufMax) < depth+1 {
+		s.sufMax = make([]uint32, depth+1)
+	}
+}
+
 // update refreshes vertex sets and candidate edge sets for levels
-// from..len(emb); emb holds edge ids.
+// from..len(emb), and the suffix maxima of emb; emb holds edge ids.
+//
+// Provenance invariant: a candidate edge already in cands[l-2] shares an
+// endpoint with an embedding edge at some position ≤ l-2, so its earliest
+// adjacency is unchanged by the new edge; a candidate entering through the
+// new endpoints' incident lists is adjacent first at position l-1 — were it
+// adjacent to an earlier edge, it would be incident to an earlier vertex and
+// hence already in cands[l-2].
 func (s *edgeState) update(emb []uint32, from int) {
-	for l := from; l <= len(emb); l++ {
+	k := len(emb)
+	for l := from; l <= k; l++ {
 		e := s.g.EdgeAt(emb[l-1])
 		if l == 1 {
 			s.verts[0] = append(s.verts[0][:0], e.U, e.V) // E.U < E.V by construction
-			s.cands[0] = mergeUnion(s.cands[0], s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
+			s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
+			s.cands[0].setAll(s.tmp, 0)
 			continue
 		}
 		prev := s.verts[l-2]
@@ -88,22 +172,37 @@ func (s *edgeState) update(emb []uint32, from int) {
 			vl = insertSorted(vl, e.V)
 		}
 		s.verts[l-1] = vl
+		pos := uint16(l - 1)
 		switch {
 		case newU && newV:
 			s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
-			s.cands[l-1] = mergeUnion(s.cands[l-1], s.cands[l-2], s.tmp)
+			mergeUnionProv(&s.cands[l-1], &s.cands[l-2], s.tmp, pos)
 		case newU:
-			s.cands[l-1] = mergeUnion(s.cands[l-1], s.cands[l-2], s.g.IncidentEdges(e.U))
+			mergeUnionProv(&s.cands[l-1], &s.cands[l-2], s.g.IncidentEdges(e.U), pos)
 		case newV:
-			s.cands[l-1] = mergeUnion(s.cands[l-1], s.cands[l-2], s.g.IncidentEdges(e.V))
+			mergeUnionProv(&s.cands[l-1], &s.cands[l-2], s.g.IncidentEdges(e.V), pos)
 		default:
-			s.cands[l-1] = append(s.cands[l-1][:0], s.cands[l-2]...)
+			s.cands[l-1].copyFrom(&s.cands[l-2])
 		}
+	}
+	s.sufMax = s.sufMax[:k+1]
+	s.sufMax[k] = 0
+	for i := k - 1; i >= 0; i-- {
+		s.sufMax[i] = max32(emb[i], s.sufMax[i+1])
 	}
 }
 
 // candidates returns the candidate edge ids of the full embedding.
-func (s *edgeState) candidates(k int) []uint32 { return s.cands[k-1] }
+func (s *edgeState) candidates(k int) *candBuf { return &s.cands[k-1] }
+
+// canonical is the fused Definition-2 filter for edge-induced mode; see
+// vertexState.canonical — the same two comparisons over edge ids (adjacency
+// is endpoint sharing, and every stored embedding is connected in order).
+func (s *edgeState) canonical(k, i int, emb0 uint32) bool {
+	c := &s.cands[k-1]
+	f := c.ids[i]
+	return f > emb0 && f > s.sufMax[int(c.firstAdj[i])+1]
+}
 
 // vertices returns the sorted vertex set of the full embedding.
 func (s *edgeState) vertices(k int) []uint32 { return s.verts[k-1] }
@@ -117,13 +216,13 @@ func (s *edgeState) predict(k int, f uint32) int {
 	switch {
 	case newU && newV:
 		s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
-		return mergeUnionCount(s.cands[k-1], s.tmp)
+		return mergeUnionCount(s.cands[k-1].ids, s.tmp)
 	case newU:
-		return mergeUnionCount(s.cands[k-1], s.g.IncidentEdges(e.U))
+		return mergeUnionCount(s.cands[k-1].ids, s.g.IncidentEdges(e.U))
 	case newV:
-		return mergeUnionCount(s.cands[k-1], s.g.IncidentEdges(e.V))
+		return mergeUnionCount(s.cands[k-1].ids, s.g.IncidentEdges(e.V))
 	default:
-		return len(s.cands[k-1])
+		return len(s.cands[k-1].ids)
 	}
 }
 
@@ -140,4 +239,11 @@ func (s *edgeState) newVertexCount(k int, f uint32) int {
 		n++
 	}
 	return n
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
 }

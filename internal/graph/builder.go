@@ -9,9 +9,10 @@ import (
 // Duplicate edges and self loops are dropped; the edge direction does not
 // matter. The zero value is not usable; call NewBuilder.
 type Builder struct {
-	n      int
-	edges  []Edge
-	labels []Label
+	n            int
+	edges        []Edge
+	labels       []Label
+	hubThreshold int
 }
 
 // NewBuilder returns a builder for a graph with n vertices, all initially
@@ -19,6 +20,12 @@ type Builder struct {
 func NewBuilder(n int) *Builder {
 	return &Builder{n: n, labels: make([]Label, n)}
 }
+
+// SetHubThreshold configures the hub bitset index of the built graph: a
+// vertex with degree ≥ t gets a packed adjacency-bitmap row, making HasEdge
+// O(1) on it. t == 0 (the default) picks max(MinHubDegree, √2m)
+// automatically; t < 0 disables the index.
+func (b *Builder) SetHubThreshold(t int) { b.hubThreshold = t }
 
 // AddEdge records the undirected edge {u, v}. Self loops are ignored.
 func (b *Builder) AddEdge(u, v uint32) {
@@ -106,6 +113,14 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
+	}
+	switch {
+	case b.hubThreshold < 0:
+		// index disabled
+	case b.hubThreshold == 0:
+		g.hub = buildHubIndex(g, autoHubThreshold(m))
+	default:
+		g.hub = buildHubIndex(g, b.hubThreshold)
 	}
 	return g, nil
 }

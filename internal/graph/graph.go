@@ -7,6 +7,13 @@
 // dense edge id in [0, M), which edge-induced mining (FSM) uses as its
 // exploration unit. Neighbor lists and incident-edge lists are sorted, which
 // the canonical filter and the candidate-size prediction of §4.2 rely on.
+//
+// On top of the CSC arrays sits a hybrid adjacency index (adjindex.go) that
+// makes membership tests O(1) where the binary search is worst: vertices
+// whose degree reaches a configurable hub threshold (Builder.SetHubThreshold,
+// default √2m) carry packed bitset rows consulted by HasEdge, and
+// NeighborMarker provides epoch-stamped scratch for batch membership tests
+// over a working set of neighborhoods.
 package graph
 
 import (
@@ -39,6 +46,10 @@ type Graph struct {
 
 	labels    []Label
 	numLabels int
+
+	// hub is the bitset half of the hybrid adjacency index (adjindex.go);
+	// nil when disabled or when no vertex reaches the threshold.
+	hub *hubIndex
 }
 
 // N returns the number of vertices.
@@ -86,11 +97,20 @@ func (g *Graph) EdgeAt(e uint32) Edge { return g.edges[e] }
 // Edges returns the edge list indexed by edge id. Callers must not mutate it.
 func (g *Graph) Edges() []Edge { return g.edges }
 
-// HasEdge reports whether {u, v} is an edge, by binary search on the shorter
-// adjacency list.
+// HasEdge reports whether {u, v} is an edge: O(1) via the hub bitset row
+// when either endpoint is a hub, binary search on the shorter adjacency list
+// otherwise (both lists then being below the hub threshold).
 func (g *Graph) HasEdge(u, v uint32) bool {
 	if u == v {
 		return false
+	}
+	if h := g.hub; h != nil {
+		if r := h.rowOf[u]; r >= 0 {
+			return h.test(r, v)
+		}
+		if r := h.rowOf[v]; r >= 0 {
+			return h.test(r, u)
+		}
 	}
 	if g.Degree(u) > g.Degree(v) {
 		u, v = v, u
@@ -120,7 +140,8 @@ func (g *Graph) Bytes() int64 {
 		int64(len(g.adj))*4 +
 		int64(len(g.adjEdge))*4 +
 		int64(len(g.edges))*8 +
-		int64(len(g.labels))*2
+		int64(len(g.labels))*2 +
+		g.hub.bytes()
 }
 
 // Validate checks internal invariants; it is used by tests and by loaders of
