@@ -13,6 +13,7 @@ package bench
 import (
 	"encoding/json"
 	"os"
+	"strconv"
 	"testing"
 
 	"kaleido/internal/explore"
@@ -36,14 +37,19 @@ func engineGraph(tb testing.TB, n, m int, seed int64) *graph.Graph {
 	return g
 }
 
-// engineExplorer builds an explorer expanded to the given depth.
-func engineExplorer(tb testing.TB, g *graph.Graph, mode explore.Mode, depth, threads int) *explore.Explorer {
+// engineExplorer builds an explorer expanded to the case's starting depth.
+func engineExplorer(tb testing.TB, g *graph.Graph, c expandCase) *explore.Explorer {
 	tb.Helper()
-	ex, err := explore.New(explore.Config{Graph: g, Mode: mode, Threads: threads})
+	cfg := explore.Config{Graph: g, Mode: c.mode, Threads: c.threads, Predict: c.predict}
+	if c.budget > 0 {
+		cfg.MemoryBudget = c.budget
+		cfg.SpillDir = tb.TempDir()
+	}
+	ex, err := explore.New(cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	if mode == explore.VertexInduced {
+	if c.mode == explore.VertexInduced {
 		err = ex.InitVertices(nil)
 	} else {
 		err = ex.InitEdges(nil)
@@ -51,7 +57,7 @@ func engineExplorer(tb testing.TB, g *graph.Graph, mode explore.Mode, depth, thr
 	if err != nil {
 		tb.Fatal(err)
 	}
-	for ex.Depth() < depth {
+	for ex.Depth() < c.depth {
 		if err := ex.Expand(nil, nil); err != nil {
 			tb.Fatal(err)
 		}
@@ -66,6 +72,8 @@ type expandCase struct {
 	seed    int64
 	depth   int // expand from depth to depth+1 each iteration
 	threads int
+	predict bool  // enable §4.2 candidate-size prediction
+	budget  int64 // memory budget; > 0 spills every level to disk (out-of-core)
 }
 
 func expandCases() []expandCase {
@@ -73,14 +81,47 @@ func expandCases() []expandCase {
 		{name: "vertex-d3", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4},
 		{name: "vertex-d4", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 3, threads: 4},
 		{name: "edge-d3", mode: explore.EdgeInduced, n: 2000, m: 6000, seed: 7, depth: 2, threads: 4},
+		{name: "vertex-d3-disk", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4, budget: 1},
 	}
+}
+
+// snapshotCases adds the prediction-enabled variant to the snapshot: each
+// child pays a §4.2 candidate-size prediction, making it ~15× slower per op,
+// so it is tracked in BENCH_expand.json but kept out of BenchmarkExpand to
+// keep CI's benchmark smoke fast.
+func snapshotCases() []expandCase {
+	return append(expandCases(),
+		expandCase{name: "vertex-d4-predict", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 3, threads: 4, predict: true})
+}
+
+// measureExpandCase benchmarks one Expand iteration of c, returning the
+// result and the produced embedding count.
+func measureExpandCase(c expandCase) (testing.BenchmarkResult, int) {
+	var produced int
+	r := testing.Benchmark(func(b *testing.B) {
+		g := engineGraph(b, c.n, c.m, c.seed)
+		ex := engineExplorer(b, g, c)
+		defer ex.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ex.Expand(nil, nil); err != nil {
+				b.Fatal(err)
+			}
+			produced = ex.Count()
+			if err := ex.CSE().PopTop(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, produced
 }
 
 // runExpandCase measures one Expand (depth → depth+1) per iteration, popping
 // the produced level so every iteration does identical work.
 func runExpandCase(b *testing.B, c expandCase) {
 	g := engineGraph(b, c.n, c.m, c.seed)
-	ex := engineExplorer(b, g, c.mode, c.depth, c.threads)
+	ex := engineExplorer(b, g, c)
 	defer ex.Close()
 	var produced int
 	b.ReportAllocs()
@@ -113,7 +154,7 @@ func BenchmarkExpand(b *testing.B) {
 func BenchmarkForEachExpansion(b *testing.B) {
 	c := expandCases()[0]
 	g := engineGraph(b, c.n, c.m, c.seed)
-	ex := engineExplorer(b, g, c.mode, c.depth, c.threads)
+	ex := engineExplorer(b, g, c)
 	defer ex.Close()
 	counts := make([]int64, c.threads)
 	b.ReportAllocs()
@@ -147,25 +188,8 @@ func TestEmitExpandBenchSnapshot(t *testing.T) {
 		t.Skip("KALEIDO_BENCH_SNAPSHOT unset")
 	}
 	var snaps []expandSnapshot
-	for _, c := range expandCases() {
-		c := c
-		var produced int
-		r := testing.Benchmark(func(b *testing.B) {
-			g := engineGraph(b, c.n, c.m, c.seed)
-			ex := engineExplorer(b, g, c.mode, c.depth, c.threads)
-			defer ex.Close()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := ex.Expand(nil, nil); err != nil {
-					b.Fatal(err)
-				}
-				produced = ex.Count()
-				if err := ex.CSE().PopTop(); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+	for _, c := range snapshotCases() {
+		r, produced := measureExpandCase(c)
 		snaps = append(snaps, expandSnapshot{
 			Name:        c.name,
 			NsPerOp:     float64(r.NsPerOp()),
@@ -180,5 +204,77 @@ func TestEmitExpandBenchSnapshot(t *testing.T) {
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBenchThroughputGuard re-measures the fast benchmark cases and fails on
+// a >30% throughput regression versus the committed BENCH_expand.json
+// "after" section. Gated by KALEIDO_BENCH_GUARD (path to the snapshot) so it
+// only runs where someone — CI's benchmark job — opted in.
+//
+// The comparison is absolute ns/op, so it assumes the runner is roughly
+// comparable to the snapshot machine (recorded in the snapshot's "cpu"
+// field). On persistently slower hardware, widen KALEIDO_BENCH_TOLERANCE
+// (default 1.30) rather than regenerating the snapshot.
+func TestBenchThroughputGuard(t *testing.T) {
+	path := os.Getenv("KALEIDO_BENCH_GUARD")
+	if path == "" {
+		t.Skip("KALEIDO_BENCH_GUARD unset")
+	}
+	tolerance := 1.30
+	if s := os.Getenv("KALEIDO_BENCH_TOLERANCE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 1 {
+			t.Fatalf("bad KALEIDO_BENCH_TOLERANCE %q", s)
+		}
+		tolerance = v
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		After struct {
+			Results []expandSnapshot `json:"results"`
+		} `json:"after"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]expandSnapshot{}
+	for _, r := range snap.After.Results {
+		byName[r.Name] = r
+	}
+	guarded := map[string]bool{"vertex-d3": true, "edge-d3": true, "vertex-d3-disk": true}
+	for _, c := range expandCases() {
+		if !guarded[c.name] {
+			continue
+		}
+		want, ok := byName[c.name]
+		if !ok {
+			t.Errorf("%s: missing from snapshot %s", c.name, path)
+			continue
+		}
+		// Best of three damps scheduler noise; only a sustained slowdown
+		// beyond the tolerance fails.
+		best := float64(0)
+		produced := 0
+		for run := 0; run < 3; run++ {
+			r, p := measureExpandCase(c)
+			if ns := float64(r.NsPerOp()); best == 0 || ns < best {
+				best = ns
+			}
+			produced = p
+		}
+		if produced != want.Embeddings {
+			t.Errorf("%s: produced %d embeddings, snapshot says %d — correctness drift, regenerate BENCH_expand.json deliberately",
+				c.name, produced, want.Embeddings)
+		}
+		if best > want.NsPerOp*tolerance {
+			t.Errorf("%s: %.1fms/op vs snapshot %.1fms/op — >%.0f%% throughput regression",
+				c.name, best/1e6, want.NsPerOp/1e6, (tolerance-1)*100)
+		} else {
+			t.Logf("%s: %.1fms/op (snapshot %.1fms/op)", c.name, best/1e6, want.NsPerOp/1e6)
+		}
 	}
 }

@@ -62,6 +62,31 @@ func (b *MemLevelBuilder) Reset(n int) {
 	}
 }
 
+// maxPartReserve caps a single part's pre-sized capacity (in units) so a
+// wildly overestimated prediction cannot balloon resident memory.
+const maxPartReserve = 1 << 27
+
+// ReservePart pre-grows part i's buffers to hold about verts child units in
+// groups groups — the §4.2 prediction-driven pre-sizing that replaces
+// append-doubling during cold-start expansion with one up-front allocation.
+// It is a hint, not a limit: parts still grow on demand past the reserve.
+func (b *MemLevelBuilder) ReservePart(i, verts, groups int) {
+	p := &b.parts[i]
+	if verts > maxPartReserve {
+		verts = maxPartReserve
+	}
+	if verts > cap(p.verts) {
+		s := make([]uint32, len(p.verts), verts)
+		copy(s, p.verts)
+		p.verts = s
+	}
+	if groups > cap(p.counts) {
+		s := make([]uint32, len(p.counts), groups)
+		copy(s, p.counts)
+		p.counts = s
+	}
+}
+
 type memPart struct {
 	verts  []uint32
 	counts []uint32 // children per parent group

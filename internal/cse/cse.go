@@ -36,9 +36,22 @@ type LevelData interface {
 	// offs[first+1 ... ], i.e. successive values of offs[i+1] starting at
 	// parent index first. Level 1 implementations may return nil.
 	BoundCursor(first int) BoundCursor
+	// VertBlocks returns a block cursor over verts[lo:hi]: the same units as
+	// VertCursor(lo, hi), delivered as decoded slices so hot loops iterate
+	// plain arrays instead of paying one dynamic call per unit. In-memory
+	// levels hand out sub-slices of their backing array (zero copy); disk
+	// levels decode one prefetch block at a time.
+	VertBlocks(lo, hi int) VertBlockCursor
+	// BoundBlocks is the block analogue of BoundCursor(first). Level 1
+	// implementations may return nil.
+	BoundBlocks(first int) BoundBlockCursor
+	// UnitAt returns verts[i] — the random-access read used by Extract; disk
+	// levels serve it with one bounded pread instead of a streaming cursor.
+	UnitAt(i int) (uint32, error)
 	// ParentOf returns the parent index of embedding i: the unique p with
-	// offs[p] <= i < offs[p+1]. Level 1 implementations may return 0.
-	ParentOf(i int) int
+	// offs[p] <= i < offs[p+1]. Level 1 implementations may return 0. Disk
+	// levels report read errors instead of guessing a parent.
+	ParentOf(i int) (int, error)
 	// GroupStart returns offs[g], the index of the first child of group g;
 	// g may equal Groups(), addressing one past the last child. Level 1
 	// implementations may return 0.
@@ -71,6 +84,80 @@ type BoundCursor interface {
 	Err() error
 	Close() error
 }
+
+// VertBlockCursor streams decoded unit blocks. A returned block is never
+// empty and stays valid only until the following NextBlock call (disk
+// implementations reuse one decode buffer).
+type VertBlockCursor interface {
+	// NextBlock returns the next run of units; ok is false once the range is
+	// exhausted or a stream error occurred (check Err).
+	NextBlock() ([]uint32, bool)
+	Err() error
+	Close() error
+}
+
+// BoundBlockCursor streams blocks of successive group end positions, with the
+// same block validity rules as VertBlockCursor.
+type BoundBlockCursor interface {
+	NextBlock() ([]uint64, bool)
+	Err() error
+	Close() error
+}
+
+// VertCursorOverBlocks adapts a block cursor to the unit-at-a-time interface,
+// so implementations only maintain the block path.
+func VertCursorOverBlocks(bc VertBlockCursor) VertCursor {
+	return &blockVertCursor{bc: bc}
+}
+
+type blockVertCursor struct {
+	bc  VertBlockCursor
+	blk []uint32
+	pos int
+}
+
+func (c *blockVertCursor) Next() (uint32, bool) {
+	if c.pos >= len(c.blk) {
+		blk, ok := c.bc.NextBlock()
+		if !ok {
+			return 0, false
+		}
+		c.blk, c.pos = blk, 0
+	}
+	v := c.blk[c.pos]
+	c.pos++
+	return v, true
+}
+
+func (c *blockVertCursor) Err() error   { return c.bc.Err() }
+func (c *blockVertCursor) Close() error { return c.bc.Close() }
+
+// BoundCursorOverBlocks adapts a bound block cursor to the unit interface.
+func BoundCursorOverBlocks(bc BoundBlockCursor) BoundCursor {
+	return &blockBoundCursor{bc: bc}
+}
+
+type blockBoundCursor struct {
+	bc  BoundBlockCursor
+	blk []uint64
+	pos int
+}
+
+func (c *blockBoundCursor) Next() (uint64, bool) {
+	if c.pos >= len(c.blk) {
+		blk, ok := c.bc.NextBlock()
+		if !ok {
+			return 0, false
+		}
+		c.blk, c.pos = blk, 0
+	}
+	v := c.blk[c.pos]
+	c.pos++
+	return v, true
+}
+
+func (c *blockBoundCursor) Err() error   { return c.bc.Err() }
+func (c *blockBoundCursor) Close() error { return c.bc.Close() }
 
 // PredictChunk is the granularity of the load balancer's predicted-work
 // summaries: one segment per this many embeddings (segments at part seams
@@ -157,7 +244,9 @@ func (c *CSE) Close() error {
 
 // Extract materializes the embedding at index idx of the top level — the
 // §3.1.1 "obtain an arbitrary embedding" operation, O(k·log) via per-level
-// parent searches. The result is written into dst (length Depth()).
+// parent searches. The result is written into dst (length Depth()). Each
+// level is read with one UnitAt — a single bounded pread on disk levels, no
+// streaming cursor.
 func (c *CSE) Extract(idx int, dst []uint32) error {
 	if len(dst) != c.Depth() {
 		return fmt.Errorf("cse: dst length %d, want %d", len(dst), c.Depth())
@@ -167,15 +256,17 @@ func (c *CSE) Extract(idx int, dst []uint32) error {
 		if idx < 0 || idx >= lv.Len() {
 			return fmt.Errorf("cse: index %d out of range at level %d (len %d)", idx, l, lv.Len())
 		}
-		cur := lv.VertCursor(idx, idx+1)
-		u, ok := cur.Next()
-		cur.Close()
-		if !ok {
-			return fmt.Errorf("cse: empty cursor at level %d index %d", l, idx)
+		u, err := lv.UnitAt(idx)
+		if err != nil {
+			return fmt.Errorf("cse: level %d index %d: %w", l, idx, err)
 		}
 		dst[l-1] = u
 		if l > 1 {
-			idx = lv.ParentOf(idx)
+			p, err := lv.ParentOf(idx)
+			if err != nil {
+				return fmt.Errorf("cse: level %d parent of %d: %w", l, idx, err)
+			}
+			idx = p
 		}
 	}
 	return nil
@@ -242,14 +333,35 @@ func (m *MemLevel) BoundCursor(first int) BoundCursor {
 	return &sliceBoundCursor{s: m.Offs[first+1:]}
 }
 
-// ParentOf implements LevelData.
-func (m *MemLevel) ParentOf(i int) int {
+// VertBlocks implements LevelData: the whole range as one zero-copy block.
+func (m *MemLevel) VertBlocks(lo, hi int) VertBlockCursor {
+	return &sliceVertBlocks{s: m.Verts[lo:hi]}
+}
+
+// BoundBlocks implements LevelData: one zero-copy block of end boundaries.
+func (m *MemLevel) BoundBlocks(first int) BoundBlockCursor {
 	if m.Offs == nil {
-		return 0
+		return nil
+	}
+	return &sliceBoundBlocks{s: m.Offs[first+1:]}
+}
+
+// UnitAt implements LevelData.
+func (m *MemLevel) UnitAt(i int) (uint32, error) {
+	if i < 0 || i >= len(m.Verts) {
+		return 0, fmt.Errorf("cse: unit %d out of range %d", i, len(m.Verts))
+	}
+	return m.Verts[i], nil
+}
+
+// ParentOf implements LevelData.
+func (m *MemLevel) ParentOf(i int) (int, error) {
+	if m.Offs == nil {
+		return 0, nil
 	}
 	// Largest p with Offs[p] <= i.
 	p := sort.Search(len(m.Offs), func(x int) bool { return m.Offs[x] > uint64(i) })
-	return p - 1
+	return p - 1, nil
 }
 
 // GroupStart implements LevelData.
@@ -307,3 +419,35 @@ func (c *sliceBoundCursor) Next() (uint64, bool) {
 
 func (c *sliceBoundCursor) Err() error   { return nil }
 func (c *sliceBoundCursor) Close() error { return nil }
+
+type sliceVertBlocks struct {
+	s    []uint32
+	done bool
+}
+
+func (c *sliceVertBlocks) NextBlock() ([]uint32, bool) {
+	if c.done || len(c.s) == 0 {
+		return nil, false
+	}
+	c.done = true
+	return c.s, true
+}
+
+func (c *sliceVertBlocks) Err() error   { return nil }
+func (c *sliceVertBlocks) Close() error { return nil }
+
+type sliceBoundBlocks struct {
+	s    []uint64
+	done bool
+}
+
+func (c *sliceBoundBlocks) NextBlock() ([]uint64, bool) {
+	if c.done || len(c.s) == 0 {
+		return nil, false
+	}
+	c.done = true
+	return c.s, true
+}
+
+func (c *sliceBoundBlocks) Err() error   { return nil }
+func (c *sliceBoundBlocks) Close() error { return nil }

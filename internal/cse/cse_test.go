@@ -230,8 +230,8 @@ func TestParentOf(t *testing.T) {
 	m := &MemLevel{Verts: []uint32{9, 9, 9, 9}, Offs: []uint64{0, 2, 2, 4}}
 	want := []int{0, 0, 2, 2}
 	for i, p := range want {
-		if got := m.ParentOf(i); got != p {
-			t.Errorf("ParentOf(%d) = %d, want %d", i, got, p)
+		if got, err := m.ParentOf(i); err != nil || got != p {
+			t.Errorf("ParentOf(%d) = %d, %v, want %d", i, got, err, p)
 		}
 	}
 }
@@ -303,6 +303,76 @@ func TestWalkerRandomTrie(t *testing.T) {
 			t.Fatalf("trial %d: emitted %d..%d, want up to %d", trial, lo, i, hi)
 		}
 		w.Close()
+	}
+}
+
+// TestWalkerNextRunMatchesNext: the batch API must enumerate exactly the
+// embeddings of the unit API, with changedFrom applying to the first leaf of
+// each run and Depth() within a run.
+func TestWalkerNextRunMatchesNext(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		depth := 1 + rng.Intn(4)
+		c := New(NewBaseLevel(randUnits(rng, 1+rng.Intn(8))))
+		for l := 2; l <= depth; l++ {
+			prev := c.Top().Len()
+			var verts []uint32
+			offs := make([]uint64, 1, prev+1)
+			for p := 0; p < prev; p++ {
+				verts = append(verts, randUnits(rng, rng.Intn(4))...)
+				offs = append(offs, uint64(len(verts)))
+			}
+			if err := c.Push(&MemLevel{Verts: verts, Offs: offs}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := c.Top().Len()
+		lo := 0
+		if n > 0 {
+			lo = rng.Intn(n + 1)
+		}
+		hi := lo + rng.Intn(n-lo+1)
+
+		type emit struct {
+			emb []uint32
+			ch  int
+		}
+		var unit, batch []emit
+		w, err := NewWalker(c, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			emb, ch, ok := w.Next()
+			if !ok {
+				break
+			}
+			unit = append(unit, emit{append([]uint32(nil), emb...), ch})
+		}
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Reset(c, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			emb, ch, leaves, ok := w.NextRun()
+			if !ok {
+				break
+			}
+			for _, u := range leaves {
+				emb[depth-1] = u
+				batch = append(batch, emit{append([]uint32(nil), emb...), ch})
+				ch = depth
+			}
+		}
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		if !reflect.DeepEqual(unit, batch) {
+			t.Fatalf("trial %d range [%d,%d): unit %v\nbatch %v", trial, lo, hi, unit, batch)
+		}
 	}
 }
 

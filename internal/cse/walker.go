@@ -5,15 +5,16 @@ import "fmt"
 // Walker enumerates the embeddings of a CSE's top level sequentially over an
 // index range, materializing the full unit sequence ⟨u1..uk⟩ of each. It is
 // the sequential engine under parallel exploration: each worker walks its own
-// range. All level access is through sequential cursors, so the walk works
-// identically over in-memory and on-disk (hybrid) levels; only the t range
-// starts use random access (ParentOf).
+// range. All level access goes through block cursors, so the per-unit work is
+// a slice index increment — the dynamic dispatch and (for disk levels) the
+// channel receive of the prefetch stream are paid once per block, not once
+// per unit. Only the t range starts use random access (ParentOf).
 //
 // A Walker is reusable: Reset repositions it over a new range (or a new CSE)
-// without reallocating its per-level buffers, and in-memory levels get their
-// cursors from walker-owned storage — a steady-state Reset over MemLevels
-// allocates nothing. Workers therefore keep one Walker each and Reset it per
-// chunk.
+// without reallocating its per-level buffers, and in-memory levels feed the
+// walker their backing arrays directly as a single zero-copy block — a
+// steady-state Reset over MemLevels allocates nothing. Workers therefore keep
+// one Walker each and Reset it per chunk.
 type Walker struct {
 	k        int
 	cur, hi  int // current and end index at level k
@@ -22,13 +23,24 @@ type Walker struct {
 	prefix   []uint32 // prefix[l-1] = unit of current level-l embedding
 	idx      []int    // idx[l-1]   = current global index at level l
 	groupEnd []uint64 // groupEnd[l-1] = end boundary of current group at level l (l ≥ 2)
-	vertCur  []VertCursor
-	boundCur []BoundCursor
 
-	// Reusable ancestor-chain scratch and cursor storage for MemLevels.
+	// Per-level block state: the current decoded vert/bound block and the
+	// consumption position within it. MemLevels contribute their backing
+	// arrays directly (vcur/bcur stay nil — one zero-copy block); other
+	// levels refill from their block cursors.
+	vblk [][]uint32
+	vpos []int
+	bblk [][]uint64
+	bpos []int
+	vcur []VertBlockCursor
+	bcur []BoundBlockCursor
+
+	// Pending run handed out unit-by-unit when the caller mixes in Next.
+	run    []uint32
+	runPos int
+
+	// Reusable ancestor-chain scratch.
 	anca, ancb []int
-	memVert    []sliceVertCursor
-	memBound   []sliceBoundCursor
 }
 
 // NewWalker positions a walker over top-level embeddings [lo, hi).
@@ -56,20 +68,23 @@ func (w *Walker) Reset(c *CSE, lo, hi int) error {
 	w.prefix = growU32(w.prefix, k)
 	w.idx = growInt(w.idx, k)
 	w.groupEnd = growU64(w.groupEnd, k)
-	if cap(w.vertCur) < k {
-		w.vertCur = make([]VertCursor, k)
-		w.boundCur = make([]BoundCursor, k)
-		w.memVert = make([]sliceVertCursor, k)
-		w.memBound = make([]sliceBoundCursor, k)
+	w.vpos = growInt(w.vpos, k)
+	w.bpos = growInt(w.bpos, k)
+	if cap(w.vcur) < k {
+		w.vcur = make([]VertBlockCursor, k)
+		w.bcur = make([]BoundBlockCursor, k)
+		w.vblk = make([][]uint32, k)
+		w.bblk = make([][]uint64, k)
 	} else {
-		w.vertCur = w.vertCur[:k]
-		w.boundCur = w.boundCur[:k]
-		w.memVert = w.memVert[:k]
-		w.memBound = w.memBound[:k]
-		for i := range w.vertCur {
-			w.vertCur[i] = nil
-			w.boundCur[i] = nil
-		}
+		w.vcur = w.vcur[:k]
+		w.bcur = w.bcur[:k]
+		w.vblk = w.vblk[:k]
+		w.bblk = w.bblk[:k]
+	}
+	for i := 0; i < k; i++ {
+		w.vcur[i], w.bcur[i] = nil, nil
+		w.vblk[i], w.bblk[i] = nil, nil
+		w.vpos[i], w.bpos[i] = 0, 0
 	}
 	if lo == hi {
 		return nil
@@ -80,44 +95,172 @@ func (w *Walker) Reset(c *CSE, lo, hi int) error {
 	w.anca, w.ancb = a, b
 	a[k-1], b[k-1] = lo, hi-1
 	for l := k - 1; l >= 1; l-- {
-		a[l-1] = c.Level(l + 1).ParentOf(a[l])
-		b[l-1] = c.Level(l + 1).ParentOf(b[l])
+		var err error
+		if a[l-1], err = c.Level(l + 1).ParentOf(a[l]); err != nil {
+			w.closeAll()
+			return fmt.Errorf("cse: walker: parent of %d at level %d: %w", a[l], l+1, err)
+		}
+		if b[l-1], err = c.Level(l + 1).ParentOf(b[l]); err != nil {
+			w.closeAll()
+			return fmt.Errorf("cse: walker: parent of %d at level %d: %w", b[l], l+1, err)
+		}
 	}
 	for l := 1; l <= k; l++ {
 		lv := c.Level(l)
 		w.idx[l-1] = a[l-1]
 		if ml, ok := lv.(*MemLevel); ok {
-			w.memVert[l-1] = sliceVertCursor{s: ml.Verts[a[l-1] : b[l-1]+1]}
-			w.vertCur[l-1] = &w.memVert[l-1]
+			w.vblk[l-1] = ml.Verts[a[l-1] : b[l-1]+1]
 		} else {
-			w.vertCur[l-1] = lv.VertCursor(a[l-1], b[l-1]+1)
+			w.vcur[l-1] = lv.VertBlocks(a[l-1], b[l-1]+1)
 		}
 		if l >= 2 {
 			if ml, ok := lv.(*MemLevel); ok && ml.Offs != nil {
-				w.memBound[l-1] = sliceBoundCursor{s: ml.Offs[a[l-2]+1:]}
-				w.boundCur[l-1] = &w.memBound[l-1]
+				w.bblk[l-1] = ml.Offs[a[l-2]+1:]
 			} else {
-				w.boundCur[l-1] = lv.BoundCursor(a[l-2])
+				w.bcur[l-1] = lv.BoundBlocks(a[l-2])
 			}
-			ge, ok := w.boundCur[l-1].Next()
+			ge, ok := w.nextBound(l)
 			if !ok {
+				err := streamErr(w.boundErr(l), "boundary", l)
 				w.closeAll()
-				return fmt.Errorf("cse: walker: missing group boundary at level %d", l)
+				return err
 			}
 			w.groupEnd[l-1] = ge
 		}
 	}
 	// Materialize the starting prefix for levels 1..k−1; level k units are
-	// consumed inside Next.
+	// consumed inside Next/NextRun.
 	for l := 1; l < k; l++ {
-		v, ok := w.vertCur[l-1].Next()
+		v, ok := w.nextVert(l)
 		if !ok {
+			err := streamErr(w.vertErr(l), "vert", l)
 			w.closeAll()
-			return fmt.Errorf("cse: walker: level %d cursor empty at start", l)
+			return err
 		}
 		w.prefix[l-1] = v
 	}
 	return nil
+}
+
+// ensureVertBlock makes vblk[i][vpos[i]] addressable, pulling decoded blocks
+// from the level's cursor as needed; false means the stream ended (or erred).
+func (w *Walker) ensureVertBlock(i int) bool {
+	for w.vpos[i] >= len(w.vblk[i]) {
+		if w.vcur[i] == nil {
+			return false
+		}
+		blk, ok := w.vcur[i].NextBlock()
+		if !ok {
+			return false
+		}
+		w.vblk[i], w.vpos[i] = blk, 0
+	}
+	return true
+}
+
+// nextVert returns the next unit of level l.
+func (w *Walker) nextVert(l int) (uint32, bool) {
+	i := l - 1
+	if !w.ensureVertBlock(i) {
+		return 0, false
+	}
+	v := w.vblk[i][w.vpos[i]]
+	w.vpos[i]++
+	return v, true
+}
+
+// nextBound returns the next group end boundary of level l.
+func (w *Walker) nextBound(l int) (uint64, bool) {
+	i := l - 1
+	for w.bpos[i] >= len(w.bblk[i]) {
+		if w.bcur[i] == nil {
+			return 0, false
+		}
+		blk, ok := w.bcur[i].NextBlock()
+		if !ok {
+			return 0, false
+		}
+		w.bblk[i], w.bpos[i] = blk, 0
+	}
+	v := w.bblk[i][w.bpos[i]]
+	w.bpos[i]++
+	return v, true
+}
+
+func (w *Walker) vertErr(l int) error {
+	if w.vcur[l-1] != nil {
+		return w.vcur[l-1].Err()
+	}
+	return nil
+}
+
+func (w *Walker) boundErr(l int) error {
+	if w.bcur[l-1] != nil {
+		return w.bcur[l-1].Err()
+	}
+	return nil
+}
+
+// NextRun returns the next batch of embeddings sharing one prefix. emb is the
+// reused prefix buffer of length Depth(); its leaf slot emb[Depth()-1] is NOT
+// filled — each unit of leaves is, in order, the leaf of one embedding, so
+// consumers run a tight loop assigning emb[Depth()-1] themselves. leaves is
+// only valid until the next walker call; callers must copy it to retain it.
+//
+// changedFrom is the smallest level (1-based) whose unit differs from the
+// previous emission, counting the first embedding of this run — embeddings
+// within a run change only at level Depth(). A run never crosses a
+// level-(k−1) group boundary, but one group may split into several runs at
+// decoded-block seams; continuation runs report changedFrom = Depth().
+//
+// Use either NextRun or Next on a given walk, not both.
+func (w *Walker) NextRun() (emb []uint32, changedFrom int, leaves []uint32, ok bool) {
+	if w.err != nil || w.cur >= w.hi {
+		return nil, 0, nil, false
+	}
+	k := w.k
+	changed := k
+	if k > 1 {
+		for uint64(w.cur) >= w.groupEnd[k-1] {
+			c := w.advance(k - 1)
+			if w.err != nil {
+				return nil, 0, nil, false
+			}
+			if c < changed {
+				changed = c
+			}
+			ge, bok := w.nextBound(k)
+			if !bok {
+				w.err = streamErr(w.boundErr(k), "boundary", k)
+				return nil, 0, nil, false
+			}
+			w.groupEnd[k-1] = ge
+		}
+	}
+	i := k - 1
+	if !w.ensureVertBlock(i) {
+		w.err = streamErr(w.vertErr(k), "vert", k)
+		return nil, 0, nil, false
+	}
+	// Clip the run to the group end, the range end, and the decoded block.
+	take := len(w.vblk[i]) - w.vpos[i]
+	if k > 1 {
+		if g := int(w.groupEnd[i] - uint64(w.cur)); g < take {
+			take = g
+		}
+	}
+	if r := w.hi - w.cur; r < take {
+		take = r
+	}
+	leaves = w.vblk[i][w.vpos[i] : w.vpos[i]+take]
+	w.vpos[i] += take
+	w.cur += take
+	w.idx[i] = w.cur - 1
+	if w.first {
+		w.first = false
+		changed = 1
+	}
+	return w.prefix, changed, leaves, true
 }
 
 // Next returns the next embedding in range. emb is a reused buffer of length
@@ -127,40 +270,18 @@ func (w *Walker) Reset(c *CSE, lo, hi int) error {
 // use it to recompute incremental per-prefix state (candidate sets) only for
 // the levels that actually changed.
 func (w *Walker) Next() (emb []uint32, changedFrom int, ok bool) {
-	if w.err != nil || w.cur >= w.hi {
+	if w.runPos < len(w.run) {
+		w.prefix[w.k-1] = w.run[w.runPos]
+		w.runPos++
+		return w.prefix, w.k, true
+	}
+	emb, ch, leaves, ok := w.NextRun()
+	if !ok {
 		return nil, 0, false
 	}
-	changed := w.k
-	if w.k > 1 {
-		for uint64(w.cur) >= w.groupEnd[w.k-1] {
-			c := w.advance(w.k - 1)
-			if w.err != nil {
-				return nil, 0, false
-			}
-			if c < changed {
-				changed = c
-			}
-			ge, bok := w.boundCur[w.k-1].Next()
-			if !bok {
-				w.err = streamErr(w.boundCur[w.k-1].Err(), "boundary", w.k)
-				return nil, 0, false
-			}
-			w.groupEnd[w.k-1] = ge
-		}
-	}
-	v, vok := w.vertCur[w.k-1].Next()
-	if !vok {
-		w.err = streamErr(w.vertCur[w.k-1].Err(), "vert", w.k)
-		return nil, 0, false
-	}
-	w.prefix[w.k-1] = v
-	w.idx[w.k-1] = w.cur
-	w.cur++
-	if w.first {
-		w.first = false
-		changed = 1
-	}
-	return w.prefix, changed, true
+	w.run, w.runPos = leaves, 1
+	w.prefix[w.k-1] = leaves[0]
+	return emb, ch, true
 }
 
 // advance moves level l to its next embedding, cascading group-boundary
@@ -177,17 +298,17 @@ func (w *Walker) advance(l int) int {
 			if c < changed {
 				changed = c
 			}
-			ge, ok := w.boundCur[l-1].Next()
+			ge, ok := w.nextBound(l)
 			if !ok {
-				w.err = streamErr(w.boundCur[l-1].Err(), "boundary", l)
+				w.err = streamErr(w.boundErr(l), "boundary", l)
 				return changed
 			}
 			w.groupEnd[l-1] = ge
 		}
 	}
-	v, ok := w.vertCur[l-1].Next()
+	v, ok := w.nextVert(l)
 	if !ok {
-		w.err = streamErr(w.vertCur[l-1].Err(), "vert", l)
+		w.err = streamErr(w.vertErr(l), "vert", l)
 		return changed
 	}
 	w.prefix[l-1] = v
@@ -212,26 +333,21 @@ func (w *Walker) Close() error {
 }
 
 func (w *Walker) closeAll() {
-	for i, c := range w.vertCur {
-		if c != nil {
-			c.Close()
-			w.vertCur[i] = nil
+	for i := range w.vcur {
+		if w.vcur[i] != nil {
+			w.vcur[i].Close()
+			w.vcur[i] = nil
 		}
-	}
-	for i, c := range w.boundCur {
-		if c != nil {
-			c.Close()
-			w.boundCur[i] = nil
+		if w.bcur[i] != nil {
+			w.bcur[i].Close()
+			w.bcur[i] = nil
 		}
+		// Drop block references into the walked levels so a pooled idle
+		// walker does not keep a replaced or popped level's arrays alive.
+		w.vblk[i] = nil
+		w.bblk[i] = nil
 	}
-	// Drop references into the walked levels so a pooled idle walker does
-	// not keep a replaced or popped level's arrays alive.
-	for i := range w.memVert {
-		w.memVert[i].s = nil
-	}
-	for i := range w.memBound {
-		w.memBound[i].s = nil
-	}
+	w.run, w.runPos = nil, 0
 }
 
 func growU32(s []uint32, n int) []uint32 {

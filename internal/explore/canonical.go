@@ -75,26 +75,66 @@ func CanonicalEdge(g *graph.Graph, emb []uint32, cand uint32) bool {
 // mergeUnion writes the sorted union of sorted slices a and b into dst
 // (which is reset) and returns it.
 func mergeUnion(dst, a, b []uint32) []uint32 {
-	dst = dst[:0]
-	i, j := 0, 0
+	need := len(a) + len(b)
+	if cap(dst) < need {
+		dst = make([]uint32, need)
+	}
+	dst = dst[:need]
+	n, i, j := 0, 0, 0
 	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			dst = append(dst, a[i])
+		x, y := a[i], b[j]
+		v := x
+		if y < x {
+			v = y
+		}
+		dst[n] = v
+		n++
+		if x <= y {
 			i++
-		case a[i] > b[j]:
-			dst = append(dst, b[j])
-			j++
-		default:
-			dst = append(dst, a[i])
-			i++
+		}
+		if y <= x {
 			j++
 		}
 	}
-	dst = append(dst, a[i:]...)
-	dst = append(dst, b[j:]...)
-	return dst
+	n += copy(dst[n:], a[i:])
+	n += copy(dst[n:], b[j:])
+	return dst[:n]
 }
+
+// gallopGE returns the smallest p in [i, len(s)] with s[p] >= v, for sorted
+// s: an exponential probe from i followed by a binary search, O(log(p−i))
+// instead of O(p−i) — the win when one merge input is much longer than the
+// other.
+func gallopGE(s []uint32, i int, v uint32) int {
+	if i >= len(s) || s[i] >= v {
+		return i
+	}
+	step := 1
+	lo := i // s[lo] < v invariant
+	for lo+step < len(s) && s[lo+step] < v {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > len(s) {
+		hi = len(s)
+	}
+	lo++
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopRatio: when the accumulated candidate list is at least this many
+// times longer than the incoming neighbor list, mergeUnionProv switches from
+// the element-wise merge to galloping + bulk copies.
+const gallopRatio = 4
 
 // mergeUnionProv writes the sorted union of candidate buffer a and sorted
 // list b into dst, carrying provenance: candidates from a keep their
@@ -102,50 +142,118 @@ func mergeUnion(dst, a, b []uint32) []uint32 {
 // every provenance in a precedes bPos by construction (a covers earlier
 // embedding positions), so the result is the earliest adjacent position of
 // each candidate. dst must not alias a.
+//
+// This is the hottest loop of exploration (≈half the expansion profile), so
+// it writes into a pre-sized destination by index — no per-element capacity
+// checks — and, because the candidate list grows with depth while each
+// neighbor list stays at d̄, gallops over the long side in bulk memmoves once
+// the ratio passes gallopRatio.
 func mergeUnionProv(dst, a *candBuf, b []uint32, bPos uint16) {
-	ids := dst.ids[:0]
-	fa := dst.firstAdj[:0]
-	i, j := 0, 0
-	for i < len(a.ids) && j < len(b) {
-		switch {
-		case a.ids[i] < b[j]:
-			ids = append(ids, a.ids[i])
-			fa = append(fa, a.firstAdj[i])
+	aids, afa := a.ids, a.firstAdj
+	need := len(aids) + len(b)
+	ids := dst.ids
+	if cap(ids) < need {
+		ids = make([]uint32, need)
+	}
+	ids = ids[:need]
+	fa := dst.firstAdj
+	if cap(fa) < need {
+		fa = make([]uint16, need)
+	}
+	fa = fa[:need]
+
+	var n int
+	if len(aids) >= gallopRatio*len(b) {
+		n = mergeProvGallop(ids, fa, aids, afa, b, bPos)
+	} else {
+		n = mergeProvLinear(ids, fa, aids, afa, b, bPos)
+	}
+	dst.ids, dst.firstAdj = ids[:n], fa[:n]
+}
+
+// mergeProvLinear is the element-wise merge for comparably sized inputs,
+// written branch-lite (conditional selects plus unconditional index
+// arithmetic) over pre-sized outputs.
+func mergeProvLinear(ids []uint32, fa []uint16, aids []uint32, afa []uint16, b []uint32, bPos uint16) int {
+	n, i, j := 0, 0, 0
+	for i < len(aids) && j < len(b) {
+		x, y := aids[i], b[j]
+		v, f := x, afa[i]
+		if y < x {
+			v, f = y, bPos
+		}
+		ids[n], fa[n] = v, f
+		n++
+		if x <= y {
 			i++
-		case a.ids[i] > b[j]:
-			ids = append(ids, b[j])
-			fa = append(fa, bPos)
-			j++
-		default:
-			ids = append(ids, a.ids[i])
-			fa = append(fa, a.firstAdj[i])
-			i++
+		}
+		if y <= x {
 			j++
 		}
 	}
-	for ; i < len(a.ids); i++ {
-		ids = append(ids, a.ids[i])
-		fa = append(fa, a.firstAdj[i])
+	m := copy(ids[n:], aids[i:])
+	copy(fa[n:], afa[i:])
+	n += m
+	m = copy(ids[n:], b[j:])
+	for x := 0; x < m; x++ {
+		fa[n+x] = bPos
 	}
-	for ; j < len(b); j++ {
-		ids = append(ids, b[j])
-		fa = append(fa, bPos)
+	return n + m
+}
+
+// mergeProvGallop merges a short b into a much longer a: for each b element
+// it gallops to the insertion point and memmoves the intervening run of a —
+// per-unit cost approaches copy bandwidth instead of compare-branch chains.
+func mergeProvGallop(ids []uint32, fa []uint16, aids []uint32, afa []uint16, b []uint32, bPos uint16) int {
+	n, i := 0, 0
+	for _, v := range b {
+		p := gallopGE(aids, i, v)
+		n += copy(ids[n:], aids[i:p])
+		copy(fa[n-(p-i):], afa[i:p])
+		i = p
+		if i < len(aids) && aids[i] == v {
+			ids[n], fa[n] = v, afa[i]
+			i++
+		} else {
+			ids[n], fa[n] = v, bPos
+		}
+		n++
 	}
-	dst.ids, dst.firstAdj = ids, fa
+	m := copy(ids[n:], aids[i:])
+	copy(fa[n:], afa[i:])
+	return n + m
 }
 
 // mergeUnionCount returns |a ∪ b| for sorted slices without materializing
-// the union — the O(d̄) candidate-size prediction of §4.2 (Fig. 8).
+// the union — the O(d̄) candidate-size prediction of §4.2 (Fig. 8). When one
+// side is much longer, the shorter gallops through it (O(d̄·log) instead of a
+// full rescan); for comparable sizes the element-wise count is cheaper.
 func mergeUnionCount(a, b []uint32) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if len(a) >= gallopRatio*len(b) {
+		common := 0
+		i := 0
+		for _, v := range b {
+			i = gallopGE(a, i, v)
+			if i < len(a) && a[i] == v {
+				common++
+				i++
+			}
+		}
+		return len(a) + len(b) - common
+	}
 	n, i, j := 0, 0, 0
 	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
+		x, y := a[i], b[j]
+		if x <= y {
 			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			i++
+		}
+		if y <= x {
 			j++
 		}
 		n++

@@ -72,6 +72,11 @@ type Explorer struct {
 	// memBuilder is the reusable in-memory level builder (exploration ops
 	// run one at a time, so a single instance suffices).
 	memBuilder *cse.MemLevelBuilder
+
+	// lastFanout/prevFanout are the measured children-per-embedding of the
+	// two most recent expansions — the pre-sizing fallback when no §4.2
+	// prediction segments were recorded.
+	lastFanout, prevFanout float64
 }
 
 // memBuilderFor returns the reusable mem builder re-armed for n parts.
@@ -282,6 +287,7 @@ func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
 	} else {
 		bounds = e.partition(top, e.chunks(n))
 		builder = e.memBuilderFor(len(bounds) - 1)
+		e.presizeParts(top, bounds)
 	}
 
 	err := e.runParallel(len(bounds)-1, func(worker, chunk int) error {
@@ -308,7 +314,90 @@ func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
 		e.spilled++
 	}
 	e.charge(lvl.Bytes())
+	if n > 0 {
+		e.prevFanout, e.lastFanout = e.lastFanout, float64(lvl.Len())/float64(n)
+	}
 	return nil
+}
+
+// presizeParts reserves the mem builder's per-part buffers before expansion
+// begins. With §4.2 prediction segments the per-chunk candidate totals are
+// known (an upper bound on children — the canonical filter only removes);
+// without them the fan-out trend of the previous iterations is extrapolated.
+// Either way the cold-start append-doubling of large level buffers (~170 MB
+// of transient growth on the vertex-d4 benchmark) collapses into one
+// allocation per part.
+func (e *Explorer) presizeParts(top cse.LevelData, bounds []int) {
+	n := top.Len()
+	if n == 0 {
+		return
+	}
+	if segs := top.Predicted(); len(segs) > 0 {
+		works := segWorkPerRange(segs, bounds)
+		for i, w := range works {
+			e.memBuilder.ReservePart(i, w, bounds[i+1]-bounds[i])
+		}
+		return
+	}
+	if e.lastFanout <= 0 {
+		return
+	}
+	// Fan-out typically grows with depth; extrapolate the last growth
+	// ratio, capped — an early sparse level can make the ratio explode and
+	// this path is a guess, unlike the prediction segments above.
+	f := e.lastFanout
+	if e.prevFanout > 0 && e.prevFanout < f {
+		g := f / e.prevFanout
+		if g > 3 {
+			g = 3
+		}
+		f *= g
+	}
+	if e.cfg.MemoryBudget > 0 {
+		// Budget-constrained runs: never reserve more than the remaining
+		// budget could hold (4 bytes per reserved unit).
+		avail := e.cfg.MemoryBudget - e.c.Bytes()
+		if avail <= 0 {
+			return
+		}
+		if maxUnits := float64(avail / 4); float64(n)*f > maxUnits {
+			f = maxUnits / float64(n)
+		}
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		leaves := bounds[i+1] - bounds[i]
+		e.memBuilder.ReservePart(i, int(float64(leaves)*f), leaves)
+	}
+}
+
+// segWorkPerRange distributes the segments' predicted work over the leaf
+// ranges [bounds[i], bounds[i+1]), splitting segments that straddle a cut
+// proportionally.
+func segWorkPerRange(segs []cse.PredSeg, bounds []int) []int {
+	out := make([]int, len(bounds)-1)
+	leaf := 0
+	ci := 0
+	for _, s := range segs {
+		if s.Leaves == 0 {
+			continue
+		}
+		start, end := leaf, leaf+int(s.Leaves)
+		leaf = end
+		for ci < len(out) && start < end {
+			rEnd := bounds[ci+1]
+			ov := min(end, rEnd) - start
+			if ov > 0 {
+				out[ci] += int(uint64(ov) * s.Work / uint64(s.Leaves))
+				start += ov
+			}
+			if start >= rEnd {
+				ci++
+			} else {
+				break
+			}
+		}
+	}
+	return out
 }
 
 // expandRange expands top-level embeddings [lo, hi) into pw, using worker's
@@ -326,67 +415,116 @@ func (e *Explorer) expandRange(k, lo, hi, worker int, pw cse.PartWriter, vf Vert
 	defer func() { sc.children, sc.preds = children, preds }()
 	if e.cfg.Mode == VertexInduced {
 		st := e.vertexStateFor(worker, k)
+		if !e.cfg.Predict {
+			// Fused fast path: per run, refresh the shared prefix once; per
+			// leaf, consume cands[k-2] ∪ N(leaf) as it is merged — the
+			// leaf-level candidate set is never materialized.
+			for {
+				emb, from, leaves, ok := w.NextRun()
+				if !ok {
+					break
+				}
+				if from < k {
+					st.updatePrefix(emb, from, k)
+				}
+				for _, u := range leaves {
+					emb[k-1] = u
+					children = st.appendCanonical(k, u, emb, vf, children[:0])
+					if err := pw.AppendGroup(children, nil); err != nil {
+						return err
+					}
+				}
+			}
+			return w.Err()
+		}
+		// Prediction path: materialize the leaf candidate set, since each
+		// child's predicted size is counted against it.
 		for {
-			emb, from, ok := w.Next()
+			emb, from, leaves, ok := w.NextRun()
 			if !ok {
 				break
 			}
-			st.update(emb, from)
-			children = children[:0]
-			preds = preds[:0]
-			c := st.candidates(k)
-			for i, u := range c.ids {
-				if !st.canonical(k, i, emb[0]) {
-					continue
+			for _, u := range leaves {
+				emb[k-1] = u
+				st.update(emb, from)
+				from = k // later leaves of the run share the prefix
+				children = children[:0]
+				preds = preds[:0]
+				// Fused canonical filter: two comparisons per candidate
+				// over plain slices (see vertexState.appendCanonical).
+				cb := st.candidates(k)
+				cids, cfa := cb.ids, cb.firstAdj
+				sufMax := st.sufMax
+				emb0 := emb[0]
+				for ci, cu := range cids {
+					if cu <= emb0 || cu <= sufMax[cfa[ci]+1] {
+						continue
+					}
+					if vf != nil && !vf(emb, cu) {
+						continue
+					}
+					children = append(children, cu)
+					preds = append(preds, clamp32(st.predict(k, cu)))
 				}
-				if vf != nil && !vf(emb, u) {
-					continue
+				if err := pw.AppendGroup(children, preds); err != nil {
+					return err
 				}
-				children = append(children, u)
-				if e.cfg.Predict {
-					preds = append(preds, clamp32(st.predict(k, u)))
-				}
-			}
-			if err := pw.AppendGroup(children, predsOrNil(e.cfg.Predict, preds)); err != nil {
-				return err
 			}
 		}
-	} else {
-		st := e.edgeStateFor(worker, k)
+		return w.Err()
+	}
+	st := e.edgeStateFor(worker, k)
+	if !e.cfg.Predict {
 		for {
-			emb, from, ok := w.Next()
+			emb, from, leaves, ok := w.NextRun()
 			if !ok {
 				break
 			}
-			st.update(emb, from)
-			children = children[:0]
-			preds = preds[:0]
-			c := st.candidates(k)
-			for i, f := range c.ids {
-				if !st.canonical(k, i, emb[0]) {
-					continue
-				}
-				if ef != nil && !ef(emb, st.vertices(k), f) {
-					continue
-				}
-				children = append(children, f)
-				if e.cfg.Predict {
-					preds = append(preds, clamp32(st.predict(k, f)))
+			if from < k {
+				st.updatePrefix(emb, from, k)
+			}
+			for _, f := range leaves {
+				emb[k-1] = f
+				children = st.appendCanonical(k, f, emb, ef, children[:0])
+				if err := pw.AppendGroup(children, nil); err != nil {
+					return err
 				}
 			}
-			if err := pw.AppendGroup(children, predsOrNil(e.cfg.Predict, preds)); err != nil {
+		}
+		return w.Err()
+	}
+	for {
+		emb, from, leaves, ok := w.NextRun()
+		if !ok {
+			break
+		}
+		for _, f := range leaves {
+			emb[k-1] = f
+			st.update(emb, from)
+			from = k
+			children = children[:0]
+			preds = preds[:0]
+			// Fused canonical filter (see edgeState.appendCanonical).
+			cb := st.candidates(k)
+			cids, cfa := cb.ids, cb.firstAdj
+			sufMax := st.sufMax
+			emb0 := emb[0]
+			for ci, cf := range cids {
+				if cf <= emb0 || cf <= sufMax[cfa[ci]+1] {
+					continue
+				}
+				if ef != nil && !ef(emb, st.vertices(k), cf) {
+					continue
+				}
+				children = append(children, cf)
+				preds = append(preds, clamp32(st.predict(k, cf)))
+			}
+			if err := pw.AppendGroup(children, preds); err != nil {
 				return err
 			}
 		}
 	}
 	return w.Err()
-}
-
-func predsOrNil(on bool, preds []uint32) []uint32 {
-	if !on {
-		return nil
-	}
-	return preds
 }
 
 func clamp32(v int) uint32 {
@@ -405,6 +543,7 @@ func clamp32(v int) uint32 {
 // operations it uses the pooled per-worker scratch — do not run it
 // concurrently with another operation on the same Explorer.
 func (e *Explorer) ForEach(visit func(worker int, emb []uint32) error) error {
+	k := e.c.Depth()
 	top := e.c.Top()
 	bounds := e.partition(top, e.chunks(top.Len()))
 	return e.runParallel(len(bounds)-1, func(worker, chunk int) error {
@@ -414,12 +553,15 @@ func (e *Explorer) ForEach(visit func(worker int, emb []uint32) error) error {
 		}
 		defer w.Close()
 		for {
-			emb, _, ok := w.Next()
+			emb, _, leaves, ok := w.NextRun()
 			if !ok {
 				break
 			}
-			if err := visit(worker, emb); err != nil {
-				return err
+			for _, u := range leaves {
+				emb[k-1] = u
+				if err := visit(worker, emb); err != nil {
+					return err
+				}
 			}
 		}
 		return w.Err()
@@ -445,22 +587,22 @@ func (e *Explorer) ForEachExpansion(vf VertexFilter, visit func(worker int, emb 
 		}
 		defer w.Close()
 		st := e.vertexStateFor(worker, k)
+		sc := &e.scratch[worker]
 		for {
-			emb, from, ok := w.Next()
+			emb, from, leaves, ok := w.NextRun()
 			if !ok {
 				break
 			}
-			st.update(emb, from)
-			c := st.candidates(k)
-			for i, u := range c.ids {
-				if !st.canonical(k, i, emb[0]) {
-					continue
-				}
-				if vf != nil && !vf(emb, u) {
-					continue
-				}
-				if err := visit(worker, emb, u); err != nil {
-					return err
+			if from < k {
+				st.updatePrefix(emb, from, k)
+			}
+			for _, u := range leaves {
+				emb[k-1] = u
+				sc.children = st.appendCanonical(k, u, emb, vf, sc.children[:0])
+				for _, cu := range sc.children {
+					if err := visit(worker, emb, cu); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -546,7 +688,7 @@ func (e *Explorer) filterRange(top cse.LevelData, k, plo, phi, worker int, pw cs
 		return err
 	}
 	defer w.Close()
-	bc := top.BoundCursor(plo)
+	bc := cse.BoundCursorOverBlocks(top.BoundBlocks(plo))
 	defer bc.Close()
 
 	end, ok := bc.Next()
@@ -557,25 +699,29 @@ func (e *Explorer) filterRange(top cse.LevelData, k, plo, phi, worker int, pw cs
 	children := sc.children[:0]
 	defer func() { sc.children = children }()
 	emitted := 0
-	for i := lo; i < hi; i++ {
-		emb, _, ok := w.Next()
-		if !ok {
+	for i := lo; i < hi; {
+		emb, _, leaves, wok := w.NextRun()
+		if !wok {
 			return fmt.Errorf("explore: walker ended early at %d: %w", i, w.Err())
 		}
-		for uint64(i) >= end {
-			if err := pw.AppendGroup(children, nil); err != nil {
-				return err
+		for _, u := range leaves {
+			for uint64(i) >= end {
+				if err := pw.AppendGroup(children, nil); err != nil {
+					return err
+				}
+				emitted++
+				children = children[:0]
+				var bok bool
+				end, bok = bc.Next()
+				if !bok {
+					return fmt.Errorf("explore: boundary stream ended at parent %d: %w", plo+emitted, bc.Err())
+				}
 			}
-			emitted++
-			children = children[:0]
-			var bok bool
-			end, bok = bc.Next()
-			if !bok {
-				return fmt.Errorf("explore: boundary stream ended at parent %d: %w", plo+emitted, bc.Err())
+			emb[k-1] = u
+			if keep(worker, emb) {
+				children = append(children, u)
 			}
-		}
-		if keep(worker, emb) {
-			children = append(children, emb[k-1])
+			i++
 		}
 	}
 	// Flush the open group and any trailing empty parents.

@@ -494,6 +494,49 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+func TestSegWorkPerRange(t *testing.T) {
+	segs := []cse.PredSeg{{Leaves: 10, Work: 100}, {Leaves: 10, Work: 50}}
+	bounds := []int{0, 5, 15, 20}
+	got := segWorkPerRange(segs, bounds)
+	want := []int{50, 75, 25}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("segWorkPerRange = %v, want %v", got, want)
+	}
+	// Zero-leaf segments are skipped; ranges beyond the segments get 0.
+	got = segWorkPerRange([]cse.PredSeg{{Leaves: 0, Work: 9}, {Leaves: 4, Work: 8}}, []int{0, 4, 10})
+	if !reflect.DeepEqual(got, []int{8, 0}) {
+		t.Fatalf("segWorkPerRange = %v, want [8 0]", got)
+	}
+}
+
+// TestPresizedExpandMatches runs prediction-enabled expansion (which
+// pre-sizes the builder parts from the recorded segments) against the
+// unpredicted explorer and the brute-force reference.
+func TestPresizedExpandMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomGraph(rng, 30, 120)
+	plain := newVertexExplorer(t, g, 3)
+	pred, err := New(Config{Graph: g, Mode: VertexInduced, Threads: 3, Predict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pred.Close()
+	if err := pred.InitVertices(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := plain.Expand(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := pred.Expand(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(collect(t, plain), collect(t, pred)) {
+			t.Fatalf("depth %d: predicted expansion differs", plain.Depth())
+		}
+	}
+}
+
 func TestPartitionSegs(t *testing.T) {
 	in := []cse.PredSeg{{Leaves: 10, Work: 100}, {Leaves: 10, Work: 1}, {Leaves: 10, Work: 1}, {Leaves: 10, Work: 98}}
 	bounds := partitionSegs(in, 40, 2)

@@ -43,6 +43,10 @@ type vertexState struct {
 	// sufMax[i] = max(emb[i:]) for the embedding of the last update call,
 	// with sentinel sufMax[len(emb)] = 0.
 	sufMax []uint32
+	// psuf[i] = max(emb[i:k-1]) over the prefix of the last updatePrefix
+	// call, with sentinel psuf[k-1] = 0 — the per-run half of the suffix
+	// maxima on the fused leaf path.
+	psuf []uint32
 }
 
 func newVertexState(g *graph.Graph, depth int) *vertexState {
@@ -60,6 +64,19 @@ func (s *vertexState) ensureDepth(depth int) {
 	if cap(s.sufMax) < depth+1 {
 		s.sufMax = make([]uint32, depth+1)
 	}
+	if cap(s.psuf) < depth+1 {
+		s.psuf = make([]uint32, depth+1)
+	}
+}
+
+// refreshLevel recomputes the candidate set of level l from level l−1.
+func (s *vertexState) refreshLevel(emb []uint32, l int) {
+	nb := s.g.Neighbors(emb[l-1])
+	if l == 1 {
+		s.cands[0].setAll(nb, 0)
+		return
+	}
+	mergeUnionProv(&s.cands[l-1], &s.cands[l-2], nb, uint16(l-1))
 }
 
 // update refreshes candidate sets for levels from..len(emb) after the walker
@@ -68,12 +85,7 @@ func (s *vertexState) ensureDepth(depth int) {
 func (s *vertexState) update(emb []uint32, from int) {
 	k := len(emb)
 	for l := from; l <= k; l++ {
-		nb := s.g.Neighbors(emb[l-1])
-		if l == 1 {
-			s.cands[0].setAll(nb, 0)
-			continue
-		}
-		mergeUnionProv(&s.cands[l-1], &s.cands[l-2], nb, uint16(l-1))
+		s.refreshLevel(emb, l)
 	}
 	s.sufMax = s.sufMax[:k+1]
 	s.sufMax[k] = 0
@@ -82,31 +94,103 @@ func (s *vertexState) update(emb []uint32, from int) {
 	}
 }
 
+// updatePrefix refreshes candidate sets for the prefix levels from..k−1 only,
+// plus the prefix suffix maxima — the once-per-run setup of the fused leaf
+// path, which consumes cands[k-2] ∪ N(leaf) without materializing it.
+func (s *vertexState) updatePrefix(emb []uint32, from, k int) {
+	for l := from; l < k; l++ {
+		s.refreshLevel(emb, l)
+	}
+	psuf := s.psuf[:k]
+	psuf[k-1] = 0
+	for i := k - 2; i >= 0; i-- {
+		psuf[i] = max32(emb[i], psuf[i+1])
+	}
+}
+
+// appendCanonical appends to children the canonical extensions of emb (whose
+// leaf emb[k-1] just changed to u), fusing the candidate merge
+// cands[k-2] ∪ N(u) with the Definition-2 filter: the union is consumed as
+// it is produced — no candidate buffer is written or re-read — and, since
+// property (i) is monotone over the sorted inputs, both sides gallop
+// directly to the first candidate exceeding emb[0]. Requires a prior
+// updatePrefix for the current run (any from ≤ k−1).
+//
+// With a = the candidate's earliest adjacent position (merge provenance for
+// the cands side, k−1 for the N(u) side), the three properties of
+// Definition 2 reduce to (i) cand > emb[0] and (iii) cand > max(emb[a+1:]).
+// Duplicates need no explicit check: every stored embedding is connected in
+// order, so a duplicate cand = emb[j] has a < j — it sits after its
+// attachment position and (iii) rejects it (j = 0 falls to property (i)).
+// This is the incremental CanonicalVertex semantics at O(1) per candidate
+// instead of O(k·log d̄); the differential tests verify the equivalence
+// embedding-for-embedding.
+func (s *vertexState) appendCanonical(k int, u uint32, emb []uint32, vf VertexFilter, children []uint32) []uint32 {
+	emb0 := emb[0]
+	if emb0 == ^uint32(0) {
+		return children // nothing can exceed emb[0]; emb0+1 would wrap below
+	}
+	nb := s.g.Neighbors(u)
+	if k == 1 {
+		// Sole property: cand > emb[0] (= u).
+		for j := gallopGE(nb, 0, emb0+1); j < len(nb); j++ {
+			if vf == nil || vf(emb, nb[j]) {
+				children = append(children, nb[j])
+			}
+		}
+		return children
+	}
+	// Extended suffix maxima: suf[i] = max(emb[i:k]) = max(psuf[i], u) for
+	// the positions the filter reads (fa+1 ∈ [1, k−1]); b-side candidates
+	// attach at position k−1, where the suffix is empty and only property
+	// (i) — already galloped past — applies.
+	suf := s.sufMax[:k]
+	psuf := s.psuf
+	for i := 1; i < k; i++ {
+		suf[i] = max32(psuf[i], u)
+	}
+	a := &s.cands[k-2]
+	aids, afa := a.ids, a.firstAdj
+	i := gallopGE(aids, 0, emb0+1)
+	j := gallopGE(nb, 0, emb0+1)
+	for i < len(aids) && j < len(nb) {
+		x, y := aids[i], nb[j]
+		if x <= y {
+			if x == y {
+				j++
+			}
+			if x > suf[int(afa[i])+1] && (vf == nil || vf(emb, x)) {
+				children = append(children, x)
+			}
+			i++
+		} else {
+			if vf == nil || vf(emb, y) {
+				children = append(children, y)
+			}
+			j++
+		}
+	}
+	for ; i < len(aids); i++ {
+		if x := aids[i]; x > suf[int(afa[i])+1] && (vf == nil || vf(emb, x)) {
+			children = append(children, x)
+		}
+	}
+	if vf == nil {
+		children = append(children, nb[j:]...)
+	} else {
+		for ; j < len(nb); j++ {
+			if vf(emb, nb[j]) {
+				children = append(children, nb[j])
+			}
+		}
+	}
+	return children
+}
+
 // candidates returns the candidate set of the full embedding (neighbors of
 // any embedding vertex, including embedding vertices themselves — callers
 // filter those via canonical).
 func (s *vertexState) candidates(k int) *candBuf { return &s.cands[k-1] }
-
-// canonical is the fused Definition-2 filter: may candidate i of the depth-k
-// candidate set extend the embedding of the last update call canonically?
-// With a = firstAdj[i] (property (ii)'s attachment position, known from the
-// merge), the three properties reduce to
-//
-//	(i)   cand > emb[0], and
-//	(iii) cand > max(emb[a+1:]) = sufMax[a+1].
-//
-// Duplicates need no explicit check: every stored embedding is connected in
-// order (each emb[j], j ≥ 1, neighbors an earlier position), so a duplicate
-// cand = emb[j] has a < j — emb[j] then sits after the attachment position
-// and (iii) rejects it via cand > sufMax[a+1] being false (j = 0 falls to
-// property (i)). This is the incremental CanonicalVertex/CanonicalEdge
-// semantics at O(1) instead of O(k·log d̄) per candidate; the differential
-// tests verify the equivalence embedding-for-embedding.
-func (s *vertexState) canonical(k, i int, emb0 uint32) bool {
-	c := &s.cands[k-1]
-	u := c.ids[i]
-	return u > emb0 && u > s.sufMax[int(c.firstAdj[i])+1]
-}
 
 // predict returns the §4.2 prediction of the candidate-set size of the
 // embedding extended with vertex v: |cands ∪ N(v)|.
@@ -123,6 +207,8 @@ type edgeState struct {
 	cands  []candBuf
 	tmp    []uint32
 	sufMax []uint32
+	// psuf mirrors vertexState.psuf for the fused leaf path.
+	psuf []uint32
 }
 
 func newEdgeState(g *graph.Graph, depth int) *edgeState {
@@ -140,6 +226,9 @@ func (s *edgeState) ensureDepth(depth int) {
 	if cap(s.sufMax) < depth+1 {
 		s.sufMax = make([]uint32, depth+1)
 	}
+	if cap(s.psuf) < depth+1 {
+		s.psuf = make([]uint32, depth+1)
+	}
 }
 
 // update refreshes vertex sets and candidate edge sets for levels
@@ -154,36 +243,7 @@ func (s *edgeState) ensureDepth(depth int) {
 func (s *edgeState) update(emb []uint32, from int) {
 	k := len(emb)
 	for l := from; l <= k; l++ {
-		e := s.g.EdgeAt(emb[l-1])
-		if l == 1 {
-			s.verts[0] = append(s.verts[0][:0], e.U, e.V) // E.U < E.V by construction
-			s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
-			s.cands[0].setAll(s.tmp, 0)
-			continue
-		}
-		prev := s.verts[l-2]
-		vl := append(s.verts[l-1][:0], prev...)
-		newU := !containsSorted(prev, e.U)
-		newV := !containsSorted(prev, e.V)
-		if newU {
-			vl = insertSorted(vl, e.U)
-		}
-		if newV {
-			vl = insertSorted(vl, e.V)
-		}
-		s.verts[l-1] = vl
-		pos := uint16(l - 1)
-		switch {
-		case newU && newV:
-			s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
-			mergeUnionProv(&s.cands[l-1], &s.cands[l-2], s.tmp, pos)
-		case newU:
-			mergeUnionProv(&s.cands[l-1], &s.cands[l-2], s.g.IncidentEdges(e.U), pos)
-		case newV:
-			mergeUnionProv(&s.cands[l-1], &s.cands[l-2], s.g.IncidentEdges(e.V), pos)
-		default:
-			s.cands[l-1].copyFrom(&s.cands[l-2])
-		}
+		s.refreshLevel(emb, l)
 	}
 	s.sufMax = s.sufMax[:k+1]
 	s.sufMax[k] = 0
@@ -192,17 +252,144 @@ func (s *edgeState) update(emb []uint32, from int) {
 	}
 }
 
+// refreshLevel recomputes the vertex set and candidate set of level l.
+func (s *edgeState) refreshLevel(emb []uint32, l int) {
+	e := s.g.EdgeAt(emb[l-1])
+	if l == 1 {
+		s.verts[0] = append(s.verts[0][:0], e.U, e.V) // E.U < E.V by construction
+		s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
+		s.cands[0].setAll(s.tmp, 0)
+		return
+	}
+	prev := s.verts[l-2]
+	vl := append(s.verts[l-1][:0], prev...)
+	newU := !containsSorted(prev, e.U)
+	newV := !containsSorted(prev, e.V)
+	if newU {
+		vl = insertSorted(vl, e.U)
+	}
+	if newV {
+		vl = insertSorted(vl, e.V)
+	}
+	s.verts[l-1] = vl
+	pos := uint16(l - 1)
+	switch {
+	case newU && newV:
+		s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
+		mergeUnionProv(&s.cands[l-1], &s.cands[l-2], s.tmp, pos)
+	case newU:
+		mergeUnionProv(&s.cands[l-1], &s.cands[l-2], s.g.IncidentEdges(e.U), pos)
+	case newV:
+		mergeUnionProv(&s.cands[l-1], &s.cands[l-2], s.g.IncidentEdges(e.V), pos)
+	default:
+		s.cands[l-1].copyFrom(&s.cands[l-2])
+	}
+}
+
+// updatePrefix refreshes levels from..k−1 and the prefix suffix maxima — the
+// once-per-run setup of the fused edge leaf path.
+func (s *edgeState) updatePrefix(emb []uint32, from, k int) {
+	for l := from; l < k; l++ {
+		s.refreshLevel(emb, l)
+	}
+	psuf := s.psuf[:k]
+	psuf[k-1] = 0
+	for i := k - 2; i >= 0; i-- {
+		psuf[i] = max32(emb[i], psuf[i+1])
+	}
+}
+
+// appendCanonical is the edge-induced fused leaf expansion: it consumes
+// cands[k-2] ∪ incident(new endpoints of f) as the union is merged, applying
+// the Definition-2 filter inline (see vertexState.appendCanonical). The
+// extended vertex set verts[k-1] is materialized only when ef needs it.
+func (s *edgeState) appendCanonical(k int, f uint32, emb []uint32, ef EdgeFilter, children []uint32) []uint32 {
+	emb0 := emb[0]
+	if emb0 == ^uint32(0) {
+		return children // nothing can exceed emb[0]; emb0+1 would wrap below
+	}
+	e := s.g.EdgeAt(f)
+	if k == 1 {
+		s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
+		if ef != nil {
+			s.verts[0] = append(s.verts[0][:0], e.U, e.V)
+		}
+		for j := gallopGE(s.tmp, 0, emb0+1); j < len(s.tmp); j++ {
+			if ef == nil || ef(emb, s.verts[0], s.tmp[j]) {
+				children = append(children, s.tmp[j])
+			}
+		}
+		return children
+	}
+	prev := s.verts[k-2]
+	newU := !containsSorted(prev, e.U)
+	newV := !containsSorted(prev, e.V)
+	var vl []uint32
+	if ef != nil {
+		vl = append(s.verts[k-1][:0], prev...)
+		if newU {
+			vl = insertSorted(vl, e.U)
+		}
+		if newV {
+			vl = insertSorted(vl, e.V)
+		}
+		s.verts[k-1] = vl
+	}
+	var b []uint32
+	switch {
+	case newU && newV:
+		s.tmp = mergeUnion(s.tmp, s.g.IncidentEdges(e.U), s.g.IncidentEdges(e.V))
+		b = s.tmp
+	case newU:
+		b = s.g.IncidentEdges(e.U)
+	case newV:
+		b = s.g.IncidentEdges(e.V)
+	}
+	suf := s.sufMax[:k]
+	psuf := s.psuf
+	for i := 1; i < k; i++ {
+		suf[i] = max32(psuf[i], f)
+	}
+	a := &s.cands[k-2]
+	aids, afa := a.ids, a.firstAdj
+	i := gallopGE(aids, 0, emb0+1)
+	j := gallopGE(b, 0, emb0+1)
+	for i < len(aids) && j < len(b) {
+		x, y := aids[i], b[j]
+		if x <= y {
+			if x == y {
+				j++
+			}
+			if x > suf[int(afa[i])+1] && (ef == nil || ef(emb, vl, x)) {
+				children = append(children, x)
+			}
+			i++
+		} else {
+			if ef == nil || ef(emb, vl, y) {
+				children = append(children, y)
+			}
+			j++
+		}
+	}
+	for ; i < len(aids); i++ {
+		if x := aids[i]; x > suf[int(afa[i])+1] && (ef == nil || ef(emb, vl, x)) {
+			children = append(children, x)
+		}
+	}
+	if ef == nil {
+		children = append(children, b[j:]...)
+	} else {
+		for ; j < len(b); j++ {
+			if ef(emb, vl, b[j]) {
+				children = append(children, b[j])
+			}
+		}
+	}
+	return children
+}
+
 // candidates returns the candidate edge ids of the full embedding.
 func (s *edgeState) candidates(k int) *candBuf { return &s.cands[k-1] }
-
-// canonical is the fused Definition-2 filter for edge-induced mode; see
-// vertexState.canonical — the same two comparisons over edge ids (adjacency
-// is endpoint sharing, and every stored embedding is connected in order).
-func (s *edgeState) canonical(k, i int, emb0 uint32) bool {
-	c := &s.cands[k-1]
-	f := c.ids[i]
-	return f > emb0 && f > s.sufMax[int(c.firstAdj[i])+1]
-}
 
 // vertices returns the sorted vertex set of the full embedding.
 func (s *edgeState) vertices(k int) []uint32 { return s.verts[k-1] }

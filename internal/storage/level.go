@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"kaleido/internal/cse"
 	"kaleido/internal/memtrack"
@@ -101,16 +102,34 @@ func (d *DiskLevel) partForGroup(g int) *diskPartMeta {
 	return &d.parts[p]
 }
 
-// readCnts reads the cnt entries [lo, hi) of a part.
-func (d *DiskLevel) readCnts(pm *diskPartMeta, lo, hi int) ([]uint32, error) {
-	buf := make([]byte, 4*(hi-lo))
+// cntScratch pools the buffers of readCnts: ParentOf/GroupStart run once per
+// walker seeding — t workers per iteration — and previously allocated a fresh
+// byte buffer plus decode slice on every call.
+type cntScratch struct {
+	buf []byte
+	out []uint32
+}
+
+var cntPool = sync.Pool{New: func() any { return new(cntScratch) }}
+
+// readCnts reads the cnt entries [lo, hi) of a part into sc's buffers; the
+// returned slice is valid until sc is reused or returned to the pool.
+func (d *DiskLevel) readCnts(pm *diskPartMeta, lo, hi int, sc *cntScratch) ([]uint32, error) {
+	n := hi - lo
+	if cap(sc.buf) < 4*n {
+		sc.buf = make([]byte, 4*n)
+	}
+	buf := sc.buf[:4*n]
 	if _, err := pm.cf.ReadAt(buf, int64(4*lo)); err != nil {
 		return nil, fmt.Errorf("storage: cnt read [%d,%d) of %s: %w", lo, hi, pm.cf.Name(), err)
 	}
 	if d.tracker != nil {
 		d.tracker.ReadIO(int64(len(buf)))
 	}
-	out := make([]uint32, hi-lo)
+	if cap(sc.out) < n {
+		sc.out = make([]uint32, n)
+	}
+	out := sc.out[:n]
 	for i := range out {
 		out[i] = binary.LittleEndian.Uint32(buf[4*i:])
 	}
@@ -118,7 +137,9 @@ func (d *DiskLevel) readCnts(pm *diskPartMeta, lo, hi int) ([]uint32, error) {
 }
 
 // ParentOf implements cse.LevelData: sparse index + one bounded cnt read.
-func (d *DiskLevel) ParentOf(i int) int {
+// Read errors are returned so walker seeding surfaces corruption instead of
+// silently starting from a wrong parent.
+func (d *DiskLevel) ParentOf(i int) (int, error) {
 	pm := d.partForVert(i)
 	li := uint64(i - pm.vertBase)
 	j := sort.Search(len(pm.chunkCum), func(x int) bool { return pm.chunkCum[x] > li }) - 1
@@ -127,21 +148,37 @@ func (d *DiskLevel) ParentOf(i int) int {
 	if hi > pm.numGroups {
 		hi = pm.numGroups
 	}
-	cnts, err := d.readCnts(pm, lo, hi)
+	sc := cntPool.Get().(*cntScratch)
+	defer cntPool.Put(sc)
+	cnts, err := d.readCnts(pm, lo, hi, sc)
 	if err != nil {
-		// ParentOf is used only to seed walkers at partition starts; the
-		// walker will surface the corruption as a stream error. Returning
-		// the chunk base keeps the call total.
-		return pm.groupBase + lo
+		return 0, err
 	}
 	cum := pm.chunkCum[j]
 	for idx, c := range cnts {
 		if li < cum+uint64(c) {
-			return pm.groupBase + lo + idx
+			return pm.groupBase + lo + idx, nil
 		}
 		cum += uint64(c)
 	}
-	return pm.groupBase + hi - 1
+	return pm.groupBase + hi - 1, nil
+}
+
+// UnitAt implements cse.LevelData: one bounded 4-byte pread, no streaming
+// cursor or prefetch goroutine — the random access Extract needs.
+func (d *DiskLevel) UnitAt(i int) (uint32, error) {
+	if i < 0 || i >= d.totalVerts {
+		return 0, fmt.Errorf("storage: unit %d out of range %d", i, d.totalVerts)
+	}
+	pm := d.partForVert(i)
+	var b [4]byte
+	if _, err := pm.vf.ReadAt(b[:], int64(4*(i-pm.vertBase))); err != nil {
+		return 0, fmt.Errorf("storage: vert read %d of %s: %w", i, pm.vf.Name(), err)
+	}
+	if d.tracker != nil {
+		d.tracker.ReadIO(4)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
 }
 
 // offAt returns the global offs value of group g (the global vert index
@@ -155,13 +192,16 @@ func (d *DiskLevel) offAt(g int) (uint64, error) {
 	j := lg / CntChunk
 	cum := pm.chunkCum[j]
 	if lg > j*CntChunk {
-		cnts, err := d.readCnts(pm, j*CntChunk, lg)
+		sc := cntPool.Get().(*cntScratch)
+		cnts, err := d.readCnts(pm, j*CntChunk, lg, sc)
 		if err != nil {
+			cntPool.Put(sc)
 			return 0, err
 		}
 		for _, c := range cnts {
 			cum += uint64(c)
 		}
+		cntPool.Put(sc)
 	}
 	return uint64(pm.vertBase) + cum, nil
 }
@@ -174,12 +214,8 @@ func (d *DiskLevel) GroupStart(g int) (uint64, error) {
 	return d.offAt(g)
 }
 
-// VertCursor implements cse.LevelData with a prefetching block stream over
-// the vert part files.
-func (d *DiskLevel) VertCursor(lo, hi int) cse.VertCursor {
-	if lo >= hi {
-		return &diskVertCursor{remaining: 0}
-	}
+// vertSpans returns the file byte ranges covering global verts [lo, hi).
+func (d *DiskLevel) vertSpans(lo, hi int) []fileSpan {
 	var spans []fileSpan
 	for i := range d.parts {
 		pm := &d.parts[i]
@@ -190,19 +226,11 @@ func (d *DiskLevel) VertCursor(lo, hi int) cse.VertCursor {
 		from, to := max(s, lo), min(e, hi)
 		spans = append(spans, fileSpan{f: pm.vf, off: int64(4 * (from - s)), n: int64(4 * (to - from))})
 	}
-	return &diskVertCursor{
-		bs:        newBlockStream(spans, d.blockSize, d.tracker),
-		remaining: hi - lo,
-	}
+	return spans
 }
 
-// BoundCursor implements cse.LevelData: it streams cnt entries starting at
-// group first, emitting successive global group-end boundaries.
-func (d *DiskLevel) BoundCursor(first int) cse.BoundCursor {
-	base, err := d.offAt(first)
-	if err != nil {
-		return &diskBoundCursor{err: err}
-	}
+// cntSpans returns the file byte ranges of all cnt entries from group first.
+func (d *DiskLevel) cntSpans(first int) []fileSpan {
 	var spans []fileSpan
 	for i := range d.parts {
 		pm := &d.parts[i]
@@ -213,62 +241,80 @@ func (d *DiskLevel) BoundCursor(first int) cse.BoundCursor {
 		from := max(s, first)
 		spans = append(spans, fileSpan{f: pm.cf, off: int64(4 * (from - s)), n: int64(4 * (e - from))})
 	}
-	return &diskBoundCursor{
-		bs:  newBlockStream(spans, d.blockSize, d.tracker),
+	return spans
+}
+
+// VertBlocks implements cse.LevelData: it decodes whole prefetch blocks of
+// the vert part files into a reused buffer, so consumers iterate thousands of
+// units per channel receive.
+func (d *DiskLevel) VertBlocks(lo, hi int) cse.VertBlockCursor {
+	if lo >= hi {
+		return &diskVertBlocks{}
+	}
+	return &diskVertBlocks{
+		bs:        newBlockStream(d.vertSpans(lo, hi), d.blockSize, d.tracker),
+		remaining: hi - lo,
+	}
+}
+
+// BoundBlocks implements cse.LevelData: it decodes blocks of cnt entries
+// starting at group first into blocks of global group-end boundaries.
+func (d *DiskLevel) BoundBlocks(first int) cse.BoundBlockCursor {
+	base, err := d.offAt(first)
+	if err != nil {
+		return &diskBoundBlocks{err: err}
+	}
+	return &diskBoundBlocks{
+		bs:  newBlockStream(d.cntSpans(first), d.blockSize, d.tracker),
 		cum: base,
 	}
 }
 
-type diskVertCursor struct {
+// VertCursor implements cse.LevelData as a unit-at-a-time view of VertBlocks.
+func (d *DiskLevel) VertCursor(lo, hi int) cse.VertCursor {
+	return cse.VertCursorOverBlocks(d.VertBlocks(lo, hi))
+}
+
+// BoundCursor implements cse.LevelData as a unit view of BoundBlocks.
+func (d *DiskLevel) BoundCursor(first int) cse.BoundCursor {
+	return cse.BoundCursorOverBlocks(d.BoundBlocks(first))
+}
+
+type diskVertBlocks struct {
 	bs        *blockStream
 	remaining int
+	dec       []uint32
+	err       error
 }
 
-func (c *diskVertCursor) Next() (uint32, bool) {
-	if c.remaining <= 0 || c.bs == nil {
-		return 0, false
+func (c *diskVertBlocks) NextBlock() ([]uint32, bool) {
+	if c.err != nil || c.remaining <= 0 || c.bs == nil {
+		return nil, false
 	}
-	v, ok := c.bs.next(4)
+	raw, ok := c.bs.nextBlock()
 	if !ok {
-		return 0, false
+		return nil, false
 	}
-	c.remaining--
-	return uint32(v), true
+	if len(raw)%4 != 0 {
+		c.err = fmt.Errorf("storage: torn word in vert block")
+		return nil, false
+	}
+	n := len(raw) / 4
+	if n > c.remaining {
+		n = c.remaining
+	}
+	if cap(c.dec) < n {
+		c.dec = make([]uint32, n)
+	}
+	dec := c.dec[:n]
+	for i := range dec {
+		dec[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	c.remaining -= n
+	return dec, true
 }
 
-func (c *diskVertCursor) Err() error {
-	if c.bs == nil {
-		return nil
-	}
-	return c.bs.Err()
-}
-
-func (c *diskVertCursor) Close() error {
-	if c.bs == nil {
-		return nil
-	}
-	return c.bs.Close()
-}
-
-type diskBoundCursor struct {
-	bs  *blockStream
-	cum uint64
-	err error
-}
-
-func (c *diskBoundCursor) Next() (uint64, bool) {
-	if c.err != nil || c.bs == nil {
-		return 0, false
-	}
-	v, ok := c.bs.next(4)
-	if !ok {
-		return 0, false
-	}
-	c.cum += v
-	return c.cum, true
-}
-
-func (c *diskBoundCursor) Err() error {
+func (c *diskVertBlocks) Err() error {
 	if c.err != nil {
 		return c.err
 	}
@@ -278,7 +324,57 @@ func (c *diskBoundCursor) Err() error {
 	return c.bs.Err()
 }
 
-func (c *diskBoundCursor) Close() error {
+func (c *diskVertBlocks) Close() error {
+	if c.bs == nil {
+		return nil
+	}
+	return c.bs.Close()
+}
+
+type diskBoundBlocks struct {
+	bs  *blockStream
+	cum uint64
+	dec []uint64
+	err error
+}
+
+func (c *diskBoundBlocks) NextBlock() ([]uint64, bool) {
+	if c.err != nil || c.bs == nil {
+		return nil, false
+	}
+	raw, ok := c.bs.nextBlock()
+	if !ok {
+		return nil, false
+	}
+	if len(raw)%4 != 0 {
+		c.err = fmt.Errorf("storage: torn word in cnt block")
+		return nil, false
+	}
+	n := len(raw) / 4
+	if cap(c.dec) < n {
+		c.dec = make([]uint64, n)
+	}
+	dec := c.dec[:n]
+	cum := c.cum
+	for i := range dec {
+		cum += uint64(binary.LittleEndian.Uint32(raw[4*i:]))
+		dec[i] = cum
+	}
+	c.cum = cum
+	return dec, true
+}
+
+func (c *diskBoundBlocks) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.bs == nil {
+		return nil
+	}
+	return c.bs.Err()
+}
+
+func (c *diskBoundBlocks) Close() error {
 	if c.bs == nil {
 		return nil
 	}

@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -86,37 +85,29 @@ func newBlockStream(spans []fileSpan, blockSize int, tracker *memtrack.Tracker) 
 	return s
 }
 
-// next returns the next w-byte word (w = 4 or 8) from the stream.
-func (s *blockStream) next(w int) (uint64, bool) {
-	for {
-		if s.err != nil || s.done {
-			return 0, false
-		}
-		if s.pos+w <= len(s.cur) {
-			var v uint64
-			if w == 4 {
-				v = uint64(binary.LittleEndian.Uint32(s.cur[s.pos:]))
-			} else {
-				v = binary.LittleEndian.Uint64(s.cur[s.pos:])
-			}
-			s.pos += w
-			return v, true
-		}
-		if s.pos != len(s.cur) {
-			s.err = fmt.Errorf("storage: torn word at block boundary")
-			return 0, false
-		}
+// nextBlock returns the unread remainder of the current block, receiving the
+// following prefetched block once the current one is consumed — one channel
+// receive per block instead of one dynamic call per word. The returned slice
+// is valid until the next nextBlock call.
+func (s *blockStream) nextBlock() ([]byte, bool) {
+	if s.err != nil || s.done {
+		return nil, false
+	}
+	for s.pos >= len(s.cur) {
 		b, ok := <-s.ch
 		if !ok {
 			s.done = true
-			return 0, false
+			return nil, false
 		}
 		if b.err != nil {
 			s.err = b.err
-			return 0, false
+			return nil, false
 		}
 		s.cur, s.pos = b.data, 0
 	}
+	out := s.cur[s.pos:]
+	s.pos = len(s.cur)
+	return out, true
 }
 
 // Err returns the first stream error.

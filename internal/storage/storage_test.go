@@ -122,8 +122,10 @@ func TestDiskLevelMatchesMemLevel(t *testing.T) {
 		}
 		// ParentOf at every index.
 		for i := 0; i < ml.Len(); i++ {
-			if mp, dp := ml.ParentOf(i), dl.ParentOf(i); mp != dp {
-				t.Fatalf("trial %d: ParentOf(%d) = %d vs %d", trial, i, mp, dp)
+			mp, merr := ml.ParentOf(i)
+			dp, derr := dl.ParentOf(i)
+			if merr != nil || derr != nil || mp != dp {
+				t.Fatalf("trial %d: ParentOf(%d) = %d (%v) vs %d (%v)", trial, i, mp, merr, dp, derr)
 			}
 		}
 		// Bound cursors from several starting groups.
@@ -360,6 +362,273 @@ func TestCloseRemovesFiles(t *testing.T) {
 	}
 }
 
+// TestBlockCursorsMatchMemLevel is the block-API conformance property: the
+// concatenation of VertBlocks/BoundBlocks blocks must equal the mem level's
+// backing arrays, over full ranges, random sub-ranges (spanning part seams —
+// buildBoth uses a 128-byte block size, so every range covers many blocks),
+// and random bound starts.
+func TestBlockCursorsMatchMemLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 6; trial++ {
+		groups := randGroups(rng, 1+rng.Intn(300))
+		nparts := 1 + rng.Intn(4)
+		ml, dl, _ := buildBoth(t, groups, nparts, false)
+		for r := 0; r < 8; r++ {
+			lo := rng.Intn(ml.Len() + 1)
+			hi := lo + rng.Intn(ml.Len()-lo+1)
+			if r == 0 {
+				lo, hi = 0, ml.Len()
+			}
+			got := make([]uint32, 0, hi-lo)
+			bc := dl.VertBlocks(lo, hi)
+			for {
+				blk, ok := bc.NextBlock()
+				if !ok {
+					break
+				}
+				if len(blk) == 0 {
+					t.Fatalf("trial %d range [%d,%d): empty block with ok=true", trial, lo, hi)
+				}
+				got = append(got, blk...)
+			}
+			if err := bc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			bc.Close()
+			if !reflect.DeepEqual(got, append(make([]uint32, 0, hi-lo), ml.Verts[lo:hi]...)) {
+				t.Fatalf("trial %d range [%d,%d): blocks differ from mem verts", trial, lo, hi)
+			}
+		}
+		for r := 0; r < 5; r++ {
+			first := rng.Intn(ml.Groups())
+			want := ml.Offs[first+1:]
+			got := make([]uint64, 0, len(want))
+			bb := dl.BoundBlocks(first)
+			for {
+				blk, ok := bb.NextBlock()
+				if !ok {
+					break
+				}
+				got = append(got, blk...)
+			}
+			if err := bb.Err(); err != nil {
+				t.Fatal(err)
+			}
+			bb.Close()
+			if !reflect.DeepEqual(got, append(make([]uint64, 0, len(want)), want...)) {
+				t.Fatalf("trial %d bounds from %d: blocks differ from mem offs", trial, first)
+			}
+		}
+	}
+}
+
+// TestBlockCursorsAcrossEmptyParts streams a level whose part sequence has
+// completely empty parts in the middle and at the end.
+func TestBlockCursorsAcrossEmptyParts(t *testing.T) {
+	tracker := memtrack.New()
+	q := NewWriteQueue(0, tracker)
+	defer q.Close()
+	db, err := NewDiskLevelBuilder(t.TempDir(), 2, 5, q, 64, tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parts 0 and 3 get groups; parts 1, 2, 4 stay empty.
+	for _, g := range [][]uint32{{1, 2, 3}, {}, {4}} {
+		if err := db.Part(0).AppendGroup(g, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, g := range [][]uint32{{5}, {}, {6, 7, 8, 9}} {
+		if err := db.Part(3).AppendGroup(g, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := db.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lvl, err := db.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lvl.Close()
+	dl := lvl.(*DiskLevel)
+	if dl.Len() != 9 || dl.Groups() != 6 {
+		t.Fatalf("shape %d/%d, want 9/6", dl.Len(), dl.Groups())
+	}
+	var verts []uint32
+	bc := dl.VertBlocks(0, 9)
+	for {
+		blk, ok := bc.NextBlock()
+		if !ok {
+			break
+		}
+		verts = append(verts, blk...)
+	}
+	bc.Close()
+	if !reflect.DeepEqual(verts, []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Fatalf("verts = %v", verts)
+	}
+	var bounds []uint64
+	bb := dl.BoundBlocks(0)
+	for {
+		blk, ok := bb.NextBlock()
+		if !ok {
+			break
+		}
+		bounds = append(bounds, blk...)
+	}
+	bb.Close()
+	if !reflect.DeepEqual(bounds, []uint64{3, 3, 4, 5, 5, 9}) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// Walk a hybrid CSE over it: the walker must skip the empty groups.
+	base := []uint32{10, 11, 12, 13, 14, 15}
+	c := cse.New(cse.NewBaseLevel(base))
+	if err := c.Push(dl); err != nil {
+		t.Fatal(err)
+	}
+	w, err := cse.NewWalker(c, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	want := [][]uint32{
+		{10, 1}, {10, 2}, {10, 3}, {12, 4}, {13, 5}, {15, 6}, {15, 7}, {15, 8}, {15, 9},
+	}
+	for i := 0; ; i++ {
+		emb, _, ok := w.Next()
+		if !ok {
+			break
+		}
+		if i >= len(want) || !reflect.DeepEqual(append([]uint32(nil), emb...), want[i]) {
+			t.Fatalf("embedding %d = %v, want %v", i, emb, want[i])
+		}
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCntChunkBoundaries checks ParentOf and GroupStart exactly at the sparse
+// index's CntChunk seams, single- and multi-part.
+func TestCntChunkBoundaries(t *testing.T) {
+	n := 2*CntChunk + 3
+	groups := make([][]uint32, n)
+	for i := range groups {
+		groups[i] = []uint32{uint32(i)}
+	}
+	for _, nparts := range []int{1, 2} {
+		ml, dl, _ := buildBoth(t, groups, nparts, false)
+		for _, g := range []int{0, 1, CntChunk - 1, CntChunk, CntChunk + 1, 2*CntChunk - 1, 2 * CntChunk, n - 1, n} {
+			ms, merr := ml.GroupStart(g)
+			ds, derr := dl.GroupStart(g)
+			if merr != nil || derr != nil || ms != ds {
+				t.Fatalf("nparts %d: GroupStart(%d) = %d (%v) vs %d (%v)", nparts, g, ms, merr, ds, derr)
+			}
+		}
+		for _, i := range []int{0, CntChunk - 1, CntChunk, CntChunk + 1, 2*CntChunk - 1, 2 * CntChunk, n - 1} {
+			mp, merr := ml.ParentOf(i)
+			dp, derr := dl.ParentOf(i)
+			if merr != nil || derr != nil || mp != dp {
+				t.Fatalf("nparts %d: ParentOf(%d) = %d (%v) vs %d (%v)", nparts, i, mp, merr, dp, derr)
+			}
+		}
+	}
+}
+
+// TestParentOfSurfacesCorruption: a broken cnt file must turn into an error
+// from ParentOf — and hence a failed walker seed — not a silent wrong parent.
+func TestParentOfSurfacesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	groups := randGroups(rng, 120)
+	_, dl, _ := buildBoth(t, groups, 1, false)
+	if dl.Len() == 0 {
+		t.Skip("empty level")
+	}
+	if err := os.Truncate(dl.parts[0].cf.Name(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dl.ParentOf(dl.Len() - 1); err == nil {
+		t.Fatal("ParentOf on truncated cnt file returned no error")
+	}
+	base := make([]uint32, dl.Groups())
+	c := cse.New(cse.NewBaseLevel(base))
+	if err := c.Push(dl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cse.NewWalker(c, 1, dl.Len()); err == nil {
+		t.Fatal("walker seeded from corrupt level without error")
+	}
+}
+
+// TestWalkerMixedLevelStack walks every mem/disk combination of a 3-level
+// stack (the §4.1 hybrid configuration) and compares to the all-memory walk.
+func TestWalkerMixedLevelStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	base := make([]uint32, 40)
+	for i := range base {
+		base[i] = uint32(i + 100)
+	}
+	groups2 := randGroups(rng, len(base))
+	groups2[0] = []uint32{1, 2, 3} // ensure a non-empty level
+	ml2, dl2, _ := buildBoth(t, groups2, 2, false)
+	groups3 := randGroups(rng, ml2.Len())
+	groups3[ml2.Len()-1] = []uint32{7, 8} // exercise the last group
+	ml3, dl3, _ := buildBoth(t, groups3, 3, false)
+
+	stack := func(l2, l3 cse.LevelData) *cse.CSE {
+		c := cse.New(cse.NewBaseLevel(base))
+		if err := c.Push(l2); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Push(l3); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	walk := func(c *cse.CSE, lo, hi int) ([][]uint32, []int) {
+		w, err := cse.NewWalker(c, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		var embs [][]uint32
+		var chs []int
+		for {
+			emb, ch, ok := w.Next()
+			if !ok {
+				break
+			}
+			embs = append(embs, append([]uint32(nil), emb...))
+			chs = append(chs, ch)
+		}
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return embs, chs
+	}
+
+	ref := stack(ml2, ml3)
+	n := ml3.Len()
+	variants := map[string]*cse.CSE{
+		"disk2-mem3":  stack(dl2, ml3),
+		"mem2-disk3":  stack(ml2, dl3),
+		"disk2-disk3": stack(dl2, dl3),
+	}
+	ranges := [][2]int{{0, n}, {1, n}, {n / 3, 2 * n / 3}, {n - 1, n}}
+	for _, r := range ranges {
+		wantE, wantC := walk(ref, r[0], r[1])
+		for name, c := range variants {
+			gotE, gotC := walk(c, r[0], r[1])
+			if !reflect.DeepEqual(gotE, wantE) || !reflect.DeepEqual(gotC, wantC) {
+				t.Fatalf("%s range %v: walk differs from all-memory", name, r)
+			}
+		}
+	}
+}
+
 func TestChunkIndexLargeLevel(t *testing.T) {
 	// More than CntChunk groups exercises the sparse index path.
 	rng := rand.New(rand.NewSource(13))
@@ -373,8 +642,10 @@ func TestChunkIndexLargeLevel(t *testing.T) {
 	}
 	ml, dl, _ := buildBoth(t, groups, 2, false)
 	for _, i := range []int{0, 1, ml.Len() / 2, ml.Len() - 1} {
-		if ml.ParentOf(i) != dl.ParentOf(i) {
-			t.Fatalf("ParentOf(%d): %d vs %d", i, ml.ParentOf(i), dl.ParentOf(i))
+		mp, merr := ml.ParentOf(i)
+		dp, derr := dl.ParentOf(i)
+		if merr != nil || derr != nil || mp != dp {
+			t.Fatalf("ParentOf(%d): %d (%v) vs %d (%v)", i, mp, merr, dp, derr)
 		}
 	}
 }
