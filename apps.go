@@ -70,7 +70,7 @@ func (g *Graph) Triangles(cfg Config) (uint64, error) {
 		return 0, err
 	}
 	opt, tracker := cfg.appOptions()
-	defer cfg.finish(tracker)
+	defer cfg.finish(tracker, opt.Spill)
 	return apps.TriangleCount(g.g, opt)
 }
 
@@ -80,7 +80,7 @@ func (g *Graph) Cliques(k int, cfg Config) (uint64, error) {
 		return 0, err
 	}
 	opt, tracker := cfg.appOptions()
-	defer cfg.finish(tracker)
+	defer cfg.finish(tracker, opt.Spill)
 	return apps.CliqueCount(g.g, k, opt)
 }
 
@@ -91,7 +91,7 @@ func (g *Graph) Motifs(k int, cfg Config) ([]PatternCount, error) {
 		return nil, err
 	}
 	opt, tracker := cfg.appOptions()
-	defer cfg.finish(tracker)
+	defer cfg.finish(tracker, opt.Spill)
 	res, err := apps.MotifCount(g.g, k, opt)
 	if err != nil {
 		return nil, err
@@ -108,7 +108,7 @@ func (g *Graph) FSM(k int, support uint64, cfg Config) ([]PatternCount, error) {
 		return nil, err
 	}
 	opt, tracker := cfg.appOptions()
-	defer cfg.finish(tracker)
+	defer cfg.finish(tracker, opt.Spill)
 	res, err := apps.FSM(g.g, k, support, opt)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,8 @@ func main() {
 	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
 	cache := flag.String("cache", defaultCache(), "dataset cache directory")
 	spill := flag.String("spill", os.TempDir(), "scratch directory for hybrid storage")
+	watermark := flag.Float64("watermark", 0, "spill watermark as a fraction of the memory budget (0 = engine default)")
+	predictSample := flag.Int("predict-sample", 0, "exactly-predicted groups per chunk for §4.2 prediction (0 = engine default, -1 = every group)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -36,10 +38,12 @@ func main() {
 		return
 	}
 	cfg := bench.RunConfig{
-		Threads:  *threads,
-		CacheDir: *cache,
-		SpillDir: *spill,
-		Quick:    *quick,
+		Threads:        *threads,
+		CacheDir:       *cache,
+		SpillDir:       *spill,
+		Quick:          *quick,
+		SpillWatermark: *watermark,
+		PredictSample:  *predictSample,
 	}
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -33,22 +33,44 @@ const (
 
 // Options configures an application run.
 type Options struct {
-	Threads      int
-	MemoryBudget int64
-	SpillDir     string
-	Predict      bool
-	BufSize      int
-	BlockSize    int
-	Iso          IsoAlgo
-	Tracker      *memtrack.Tracker
+	Threads        int
+	MemoryBudget   int64
+	SpillDir       string
+	SpillWatermark float64 // fraction of MemoryBudget where spilling starts (0 = default)
+	Predict        bool
+	PredictSample  int // exactly-predicted groups per chunk (0 = default, <0 = all)
+	BufSize        int
+	BlockSize      int
+	Iso            IsoAlgo
+	Tracker        *memtrack.Tracker
+	// Spill, when non-nil, receives the run's part-level spill accounting.
+	Spill *SpillInfo
+}
+
+// SpillInfo is the hybrid-storage accounting of one application run.
+type SpillInfo struct {
+	// SpilledLevels counts expansions that migrated at least one part.
+	SpilledLevels int
+	// SpilledParts counts the level parts migrated to disk.
+	SpilledParts int
 }
 
 func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config {
 	return explore.Config{
 		Graph: g, Mode: mode, Threads: o.Threads,
 		MemoryBudget: o.MemoryBudget, SpillDir: o.SpillDir,
-		Predict: o.Predict, BufSize: o.BufSize, BlockSize: o.BlockSize,
+		SpillWatermark: o.SpillWatermark,
+		Predict:        o.Predict, PredictSample: o.PredictSample,
+		BufSize: o.BufSize, BlockSize: o.BlockSize,
 		Tracker: o.Tracker,
+	}
+}
+
+// captureSpill snapshots the explorer's spill counters into opt.Spill; use
+// it as a deferred call so the final expansion is included.
+func captureSpill(opt Options, e *explore.Explorer) {
+	if opt.Spill != nil {
+		*opt.Spill = SpillInfo{SpilledLevels: e.SpilledLevels(), SpilledParts: e.SpilledParts()}
 	}
 }
 
@@ -104,6 +126,7 @@ func TriangleCount(g *graph.Graph, opt Options) (uint64, error) {
 		return 0, err
 	}
 	defer e.Close()
+	defer captureSpill(opt, e)
 	if err := e.InitVertices(nil); err != nil {
 		return 0, err
 	}
@@ -155,6 +178,7 @@ func CliqueCount(g *graph.Graph, k int, opt Options) (uint64, error) {
 		return 0, err
 	}
 	defer e.Close()
+	defer captureSpill(opt, e)
 	if err := e.InitVertices(nil); err != nil {
 		return 0, err
 	}
@@ -187,6 +211,7 @@ func MotifCount(g *graph.Graph, k int, opt Options) ([]PatternCount, error) {
 		return nil, err
 	}
 	defer e.Close()
+	defer captureSpill(opt, e)
 	if err := e.InitVertices(nil); err != nil {
 		return nil, err
 	}

@@ -42,6 +42,7 @@ func FSM(g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, er
 		return nil, err
 	}
 	defer e.Close()
+	defer captureSpill(opt, e)
 	err = e.InitEdges(func(eid uint32) bool {
 		ed := g.EdgeAt(eid)
 		return freqPairs[pairKey(g.Label(ed.U), g.Label(ed.V))]

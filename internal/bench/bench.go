@@ -24,6 +24,12 @@ type RunConfig struct {
 	CacheDir string // dataset cache ("" regenerates)
 	SpillDir string // scratch space for hybrid storage and RStream tables
 	Quick    bool   // reduced grids for CI
+
+	// SpillWatermark and PredictSample are passed to the hybrid-storage
+	// experiments (table4, fig16, fig17) so the paper-artifact runs can
+	// sweep the governor watermark and the §4.2 sampling budget.
+	SpillWatermark float64
+	PredictSample  int
 }
 
 // Result is one rendered experiment artifact.

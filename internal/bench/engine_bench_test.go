@@ -82,6 +82,12 @@ func expandCases() []expandCase {
 		{name: "vertex-d4", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 3, threads: 4},
 		{name: "edge-d3", mode: explore.EdgeInduced, n: 2000, m: 6000, seed: 7, depth: 2, threads: 4},
 		{name: "vertex-d3-disk", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4, budget: 1},
+		// The hybrid case sizes the budget so the governor sends roughly
+		// half of the ~2.2 MB leaf level to disk and keeps the rest
+		// resident (the §4.1 half-memory-half-disk configuration); its
+		// throughput must land strictly between vertex-d3 (all-mem) and
+		// vertex-d3-disk (all-disk).
+		{name: "vertex-d3-hybrid", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4, budget: 1_350_000},
 	}
 }
 
@@ -170,6 +176,40 @@ func BenchmarkForEachExpansion(b *testing.B) {
 	}
 }
 
+// TestHybridBenchCasePlacement pins the vertex-d3-hybrid budget to its
+// intent: the leaf level must end up genuinely hybrid, with a substantial
+// share of its bytes on each side, so the benchmark really measures the
+// half-memory-half-disk path (not a disguised all-mem or all-disk run).
+func TestHybridBenchCasePlacement(t *testing.T) {
+	var c expandCase
+	for _, ec := range expandCases() {
+		if ec.name == "vertex-d3-hybrid" {
+			c = ec
+		}
+	}
+	if c.name == "" {
+		t.Fatal("vertex-d3-hybrid case missing")
+	}
+	g := engineGraph(t, c.n, c.m, c.seed)
+	ex := engineExplorer(t, g, c)
+	defer ex.Close()
+	if err := ex.Expand(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	stats := ex.LevelStats()
+	top := stats[len(stats)-1]
+	if top.MemParts == 0 || top.DiskParts == 0 {
+		t.Fatalf("leaf level not hybrid: %+v", top)
+	}
+	total := top.ResidentBytes + top.DiskBytes
+	if top.DiskBytes < total/5 || top.DiskBytes > total*4/5 {
+		t.Fatalf("placement skewed: %d of %d bytes on disk (want a real split)", top.DiskBytes, total)
+	}
+	if ex.Bytes() > c.budget {
+		t.Fatalf("resident CSE %d exceeds the case budget %d", ex.Bytes(), c.budget)
+	}
+}
+
 // expandSnapshot is one benchmark measurement in BENCH_expand.json.
 type expandSnapshot struct {
 	Name        string  `json:"name"`
@@ -245,7 +285,7 @@ func TestBenchThroughputGuard(t *testing.T) {
 	for _, r := range snap.After.Results {
 		byName[r.Name] = r
 	}
-	guarded := map[string]bool{"vertex-d3": true, "edge-d3": true, "vertex-d3-disk": true}
+	guarded := map[string]bool{"vertex-d3": true, "edge-d3": true, "vertex-d3-disk": true, "vertex-d3-hybrid": true}
 	for _, c := range expandCases() {
 		if !guarded[c.name] {
 			continue

@@ -233,6 +233,7 @@ func table4(cfg RunConfig) ([]Result, error) {
 				opt := apps.Options{
 					Threads: cfg.Threads, Tracker: tr,
 					MemoryBudget: budget, SpillDir: dir, Predict: budget > 0,
+					SpillWatermark: cfg.SpillWatermark, PredictSample: cfg.PredictSample,
 				}
 				if w.app == "motif" {
 					_, err := apps.MotifCount(g, 4, opt)
@@ -301,6 +302,7 @@ func fig16(cfg RunConfig) ([]Result, error) {
 		_, err = apps.FSM(g, 4, f16support, apps.Options{
 			Threads: cfg.Threads, Tracker: tr,
 			MemoryBudget: budget, SpillDir: dir, Predict: true,
+			SpillWatermark: cfg.SpillWatermark, PredictSample: cfg.PredictSample,
 		})
 		secs := time.Since(start).Seconds()
 		os.RemoveAll(dir)
@@ -361,6 +363,7 @@ func fig17(cfg RunConfig) ([]Result, error) {
 				opt := apps.Options{
 					Threads: cfg.Threads, Tracker: tr,
 					MemoryBudget: 1, SpillDir: dir, Predict: predict,
+					SpillWatermark: cfg.SpillWatermark, PredictSample: cfg.PredictSample,
 				}
 				if w.app == "motif" {
 					_, err := apps.MotifCount(g, 4, opt)

@@ -1,6 +1,9 @@
 package cse
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // LevelBuilder assembles a new CSE level from t ordered parts — the output
 // side of one exploration iteration (paper Fig. 7). Part i receives the
@@ -33,13 +36,38 @@ type PartWriter interface {
 // it for another level while keeping the per-part buffer capacity, so a
 // steady-state exploration loop appends into already-sized buffers instead
 // of regrowing every part from nil each iteration.
+//
+// Finish streams: whenever the flushed parts form a contiguous prefix, the
+// flushing worker copies that prefix into the final arrays while the other
+// workers are still expanding, so by the time Finish runs only the
+// last-flushed part (usually) remains to drain — the per-part memmove
+// overlaps the computation instead of serializing after it.
 type MemLevelBuilder struct {
 	parts []memPart
+
+	mu           sync.Mutex
+	flushed      []bool
+	drained      int       // parts whose offs/pred are drained into out
+	vertsDrained int       // parts whose verts are copied into out (≤ drained)
+	out          *MemLevel // final arrays, assembled incrementally in part order
+
+	sawPred          bool // some part recorded §4.2 predictions
+	sawPlainNonEmpty bool // some non-empty part recorded none
+
+	// reserveVerts/reserveGroups accumulate the §4.2 pre-sizing hints so the
+	// final arrays are allocated once, at their predicted full size.
+	reserveVerts, reserveGroups int
+	// trustReserve marks the verts reserve as a dependable §4.2 estimate,
+	// enabling the streaming verts drain; guessed reserves (fan-out
+	// extrapolation) keep the exact single allocation at Finish.
+	trustReserve bool
 }
 
 // NewMemLevelBuilder returns a builder with n parts.
 func NewMemLevelBuilder(n int) *MemLevelBuilder {
-	return &MemLevelBuilder{parts: make([]memPart, n)}
+	b := &MemLevelBuilder{}
+	b.Reset(n)
+	return b
 }
 
 // Reset re-arms the builder for a new level of n parts, retaining the
@@ -56,11 +84,32 @@ func (b *MemLevelBuilder) Reset(n int) {
 		p := &b.parts[i]
 		p.verts = p.verts[:0]
 		p.counts = p.counts[:0]
-		p.segs = p.segs[:0]
-		p.open = PredSeg{}
+		p.acc.Reset()
 		p.pred = false
 	}
+	if cap(b.flushed) < n {
+		b.flushed = make([]bool, n)
+	} else {
+		b.flushed = b.flushed[:n]
+		for i := range b.flushed {
+			b.flushed[i] = false
+		}
+	}
+	b.drained = 0
+	b.vertsDrained = 0
+	b.out = nil
+	b.sawPred, b.sawPlainNonEmpty = false, false
+	b.reserveVerts, b.reserveGroups = 0, 0
+	b.trustReserve = false
 }
+
+// TrustReserve declares the accumulated verts reserve a dependable size
+// estimate (§4.2 prediction totals — exact upper bounds without sampling,
+// close ones with), so Finish may stream the verts memmove into the final
+// array as parts flush instead of waiting for the exact total. If the
+// reserve still undershoots, streaming stops at its capacity and Finish
+// falls back to the exact single allocation.
+func (b *MemLevelBuilder) TrustReserve() { b.trustReserve = true }
 
 // maxPartReserve caps a single part's pre-sized capacity (in units) so a
 // wildly overestimated prediction cannot balloon resident memory.
@@ -85,49 +134,115 @@ func (b *MemLevelBuilder) ReservePart(i, verts, groups int) {
 		copy(s, p.counts)
 		p.counts = s
 	}
+	b.reserveVerts += verts
+	b.reserveGroups += groups
 }
 
 type memPart struct {
+	b      *MemLevelBuilder
+	idx    int
 	verts  []uint32
 	counts []uint32 // children per parent group
-	segs   []PredSeg
-	open   PredSeg
+	acc    PredAccum
 	pred   bool
 }
 
 // Part implements LevelBuilder.
-func (b *MemLevelBuilder) Part(i int) PartWriter { return &b.parts[i] }
+func (b *MemLevelBuilder) Part(i int) PartWriter {
+	p := &b.parts[i]
+	p.b, p.idx = b, i
+	return p
+}
 
 // Parts implements LevelBuilder.
 func (b *MemLevelBuilder) Parts() int { return len(b.parts) }
 
-// Finish implements LevelBuilder.
-func (b *MemLevelBuilder) Finish() (LevelData, error) {
-	total, groups := 0, 0
-	pred := false
-	for i := range b.parts {
-		total += len(b.parts[i].verts)
-		groups += len(b.parts[i].counts)
-		if b.parts[i].pred {
-			pred = true
+// noteFlushed records part i as complete and drains the contiguous flushed
+// prefix into the final arrays.
+func (b *MemLevelBuilder) noteFlushed(i int) {
+	b.mu.Lock()
+	b.flushed[i] = true
+	for b.drained < len(b.parts) && b.flushed[b.drained] {
+		b.drainLocked(b.drained)
+		b.drained++
+	}
+	b.mu.Unlock()
+}
+
+// drainLocked folds part i into the final arrays. Caller holds b.mu. The
+// offs transform and prediction segments always stream; the verts memmove
+// streams only while the final array's reserved capacity covers it — growing
+// it here would pay append-doubling copies on every level, so when the §4.2
+// (or fan-out) reserve runs out, the remaining verts wait for Finish, which
+// allocates the exact total once, like a non-streaming build. The part's
+// buffers are left intact so Reset keeps their capacity.
+func (b *MemLevelBuilder) drainLocked(i int) {
+	p := &b.parts[i]
+	if b.out == nil {
+		rv := 0
+		if b.trustReserve {
+			rv = b.reserveVerts
+		}
+		rg := b.reserveGroups
+		if len(p.counts) > rg {
+			rg = len(p.counts)
+		}
+		b.out = &MemLevel{
+			Verts: make([]uint32, 0, rv),
+			Offs:  make([]uint64, 1, rg+1),
 		}
 	}
-	m := &MemLevel{
-		Verts: make([]uint32, 0, total),
-		Offs:  make([]uint64, 1, groups+1),
+	if p.pred {
+		b.sawPred = true
+	} else if len(p.verts) > 0 {
+		b.sawPlainNonEmpty = true
 	}
-	for i := range b.parts {
-		p := &b.parts[i]
-		if pred != p.pred && len(p.verts) > 0 {
-			return nil, fmt.Errorf("cse: mixed prediction state across parts")
-		}
+	m := b.out
+	if b.trustReserve && b.vertsDrained == i && len(m.Verts)+len(p.verts) <= cap(m.Verts) {
 		m.Verts = append(m.Verts, p.verts...)
-		for _, c := range p.counts {
-			m.Offs = append(m.Offs, m.Offs[len(m.Offs)-1]+uint64(c))
+		b.vertsDrained++
+	}
+	off := m.Offs[len(m.Offs)-1]
+	for _, c := range p.counts {
+		off += uint64(c)
+		m.Offs = append(m.Offs, off)
+	}
+	m.Pred = append(m.Pred, p.acc.Segs...)
+}
+
+// Finish implements LevelBuilder: parts already drained by their Flush calls
+// cost nothing here; any remainder (typically just the last-flushed part,
+// plus the verts of parts the streaming reserve could not hold) is drained
+// now, with one exact-size allocation.
+func (b *MemLevelBuilder) Finish() (LevelData, error) {
+	b.mu.Lock()
+	for b.drained < len(b.parts) {
+		b.drainLocked(b.drained)
+		b.drained++
+	}
+	m := b.out
+	if m != nil && b.vertsDrained < len(b.parts) {
+		total := 0
+		for i := range b.parts {
+			total += len(b.parts[i].verts)
 		}
-		if pred {
-			m.Pred = append(m.Pred, p.segs...)
+		if cap(m.Verts) < total {
+			nv := make([]uint32, len(m.Verts), total)
+			copy(nv, m.Verts)
+			m.Verts = nv
 		}
+		for i := b.vertsDrained; i < len(b.parts); i++ {
+			m.Verts = append(m.Verts, b.parts[i].verts...)
+		}
+	}
+	b.out = nil
+	sawPred, sawPlain := b.sawPred, b.sawPlainNonEmpty
+	b.mu.Unlock()
+	if sawPred && sawPlain {
+		return nil, fmt.Errorf("cse: mixed prediction state across parts")
+	}
+	if m == nil {
+		m = &MemLevel{Offs: make([]uint64, 1)}
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -137,7 +252,12 @@ func (b *MemLevelBuilder) Finish() (LevelData, error) {
 
 // Abort implements LevelBuilder.
 func (b *MemLevelBuilder) Abort() error {
+	b.mu.Lock()
 	b.parts = nil
+	b.flushed = nil
+	b.drained = 0
+	b.out = nil
+	b.mu.Unlock()
 	return nil
 }
 
@@ -150,23 +270,15 @@ func (p *memPart) AppendGroup(children []uint32, preds []uint32) error {
 			return fmt.Errorf("cse: %d preds for %d children", len(preds), len(children))
 		}
 		p.pred = true
-		for _, w := range preds {
-			p.open.Leaves++
-			p.open.Work += uint64(w)
-			if p.open.Leaves == PredictChunk {
-				p.segs = append(p.segs, p.open)
-				p.open = PredSeg{}
-			}
-		}
+		p.acc.Add(preds)
 	}
 	return nil
 }
 
-// Flush implements PartWriter.
+// Flush implements PartWriter: it finalizes the open prediction segment and
+// hands the part to the streaming drain.
 func (p *memPart) Flush() error {
-	if p.open.Leaves > 0 {
-		p.segs = append(p.segs, p.open)
-		p.open = PredSeg{}
-	}
+	p.acc.Flush()
+	p.b.noteFlushed(p.idx)
 	return nil
 }

@@ -11,7 +11,8 @@
 // (units are vertex ids) and edge-induced embeddings (units are edge ids).
 //
 // Levels are accessed through the LevelData interface so that a level can
-// live in memory (MemLevel) or on disk (internal/storage.DiskLevel) — the
+// live in memory (MemLevel), on disk (internal/storage.DiskLevel), or part
+// by part in both at once (internal/storage.HybridLevel) — the
 // half-memory-half-disk hybrid storage of §4.1.
 package cse
 
@@ -169,6 +170,41 @@ const PredictChunk = 4096
 type PredSeg struct {
 	Leaves uint32
 	Work   uint64
+}
+
+// PredAccum accumulates per-child predicted sizes into PredictChunk-sized
+// segments — the one shared implementation behind every part writer's §4.2
+// bookkeeping.
+type PredAccum struct {
+	Segs []PredSeg
+	open PredSeg
+}
+
+// Add folds one group's per-child predictions into the open segment,
+// rolling it into Segs at every PredictChunk leaves.
+func (a *PredAccum) Add(preds []uint32) {
+	for _, w := range preds {
+		a.open.Leaves++
+		a.open.Work += uint64(w)
+		if a.open.Leaves == PredictChunk {
+			a.Segs = append(a.Segs, a.open)
+			a.open = PredSeg{}
+		}
+	}
+}
+
+// Flush rolls the open partial segment into Segs.
+func (a *PredAccum) Flush() {
+	if a.open.Leaves > 0 {
+		a.Segs = append(a.Segs, a.open)
+		a.open = PredSeg{}
+	}
+}
+
+// Reset clears the accumulator, keeping Segs capacity.
+func (a *PredAccum) Reset() {
+	a.Segs = a.Segs[:0]
+	a.open = PredSeg{}
 }
 
 // CSE is a stack of levels. Level 1 (index 0) is the base unit list.

@@ -38,16 +38,30 @@ type Config struct {
 	Mode    Mode
 	Threads int // 0 = GOMAXPROCS
 
-	// MemoryBudget caps the resident bytes of the CSE; a level whose
-	// projected size would exceed it is written to SpillDir instead
-	// (hybrid storage, §4.1). 0 means keep everything in memory.
+	// MemoryBudget caps the resident bytes of the CSE (hybrid storage,
+	// §4.1). Levels are built part by part in memory; when the resident
+	// total crosses the spill watermark, the budget governor migrates the
+	// largest in-flight parts to SpillDir mid-build, so a single level can
+	// end up half in memory and half on disk. 0 means keep everything in
+	// memory.
 	MemoryBudget int64
 	SpillDir     string
+
+	// SpillWatermark is the fraction of MemoryBudget at which mid-build
+	// spilling starts (0 = DefaultSpillWatermark). The headroom above the
+	// watermark absorbs the growth between governor decisions.
+	SpillWatermark float64
 
 	// Predict enables the §4.2 candidate-size prediction: per-chunk work
 	// summaries are recorded during expansion and used to cut balanced
 	// partitions in the next iteration.
 	Predict bool
+
+	// PredictSample bounds the prediction cost: at most this many groups
+	// per chunk pay the exact per-child candidate-union count, the rest
+	// extrapolate the latest sampled mean. 0 = DefaultPredictSample,
+	// negative = predict every group exactly.
+	PredictSample int
 
 	BufSize   int // write-queue buffer size (0 = storage.DefaultBufSize)
 	BlockSize int // read prefetch block size (0 = storage.DefaultBlockSize)
@@ -55,15 +69,30 @@ type Config struct {
 	Tracker *memtrack.Tracker // optional instrumentation
 }
 
+// DefaultSpillWatermark is the default fraction of the memory budget at
+// which the governor starts migrating parts to disk.
+const DefaultSpillWatermark = 0.9
+
+// DefaultPredictSample is the default number of exactly-predicted groups per
+// chunk when Config.PredictSample is 0.
+const DefaultPredictSample = 128
+
 // Explorer drives iterative embedding exploration over one input graph,
 // owning the CSE and its spilled levels.
 type Explorer struct {
-	cfg      Config
-	c        *cse.CSE
-	queue    *storage.WriteQueue
-	levelSeq int
-	spilled  int
-	ledger   []int64 // tracker bytes charged per level
+	cfg          Config
+	c            *cse.CSE
+	queue        *storage.WriteQueue
+	levelSeq     int
+	spilled      int     // cumulative expansions that migrated ≥ 1 part to disk
+	spilledParts int     // cumulative parts migrated to disk by expansions
+	ledger       []int64 // tracker bytes charged per level
+
+	// pressure is the external back-pressure flag the budget governor
+	// consults: set by the tracker's high-water callback when total tracked
+	// memory (CSE plus pattern maps and buffers) crosses the budget.
+	pressure        atomic.Bool
+	cancelHighWater func()
 
 	// scratch[w] is worker w's reusable expansion state, pooled across
 	// Expand/ForEach/ForEachExpansion/FilterTop calls so the steady-state
@@ -149,7 +178,16 @@ func New(cfg Config) (*Explorer, error) {
 	if cfg.MemoryBudget > 0 && cfg.SpillDir == "" {
 		return nil, fmt.Errorf("explore: memory budget set but no spill directory")
 	}
-	return &Explorer{cfg: cfg, scratch: make([]workerScratch, cfg.Threads)}, nil
+	if cfg.SpillWatermark < 0 || cfg.SpillWatermark > 1 {
+		return nil, fmt.Errorf("explore: spill watermark %v outside [0, 1]", cfg.SpillWatermark)
+	}
+	e := &Explorer{cfg: cfg, scratch: make([]workerScratch, cfg.Threads)}
+	if cfg.Tracker != nil && cfg.MemoryBudget > 0 {
+		e.cancelHighWater = cfg.Tracker.OnHighWater(cfg.MemoryBudget, func(int64) {
+			e.pressure.Store(true)
+		})
+	}
+	return e, nil
 }
 
 // InitVertices sets level 1 to the graph's vertices (optionally filtered) —
@@ -229,8 +267,53 @@ func (e *Explorer) LevelSizes() []int {
 // Bytes returns the resident footprint of the CSE.
 func (e *Explorer) Bytes() int64 { return e.c.Bytes() }
 
-// SpilledLevels reports how many levels live on disk.
+// SpilledLevels reports how many expansions migrated at least one part to
+// disk (cumulative; popped levels keep counting).
 func (e *Explorer) SpilledLevels() int { return e.spilled }
+
+// SpilledParts reports how many level parts expansions migrated to disk
+// (cumulative). A level under memory pressure typically spills only some of
+// its parts, so this exceeds SpilledLevels by the per-level spill fan-out.
+func (e *Explorer) SpilledParts() int { return e.spilledParts }
+
+// LevelStat describes the storage placement of one live CSE level.
+type LevelStat struct {
+	Len, Groups   int
+	MemParts      int   // memory-resident parts holding data
+	DiskParts     int   // disk-resident parts
+	ResidentBytes int64 // in-memory footprint (arrays + sparse indexes)
+	DiskBytes     int64 // on-disk footprint
+}
+
+// LevelStats reports the placement of every live level, base level first.
+func (e *Explorer) LevelStats() []LevelStat {
+	if e.c == nil {
+		return nil
+	}
+	out := make([]LevelStat, e.c.Depth())
+	for i := range out {
+		l := e.c.Level(i + 1)
+		mp, dp, db := levelPlacement(l)
+		out[i] = LevelStat{
+			Len: l.Len(), Groups: l.Groups(),
+			MemParts: mp, DiskParts: dp,
+			ResidentBytes: l.Bytes(), DiskBytes: db,
+		}
+	}
+	return out
+}
+
+// levelPlacement classifies a level's parts by residency.
+func levelPlacement(l cse.LevelData) (memParts, diskParts int, diskBytes int64) {
+	switch v := l.(type) {
+	case *storage.HybridLevel:
+		return v.MemParts(), v.DiskParts(), v.DiskBytes()
+	case *storage.DiskLevel:
+		return 0, v.NumParts(), v.DiskBytes()
+	default:
+		return 1, 0, 0
+	}
+}
 
 // CSE exposes the underlying structure (read-only use).
 func (e *Explorer) CSE() *cse.CSE { return e.c }
@@ -238,6 +321,10 @@ func (e *Explorer) CSE() *cse.CSE { return e.c }
 // Close releases the CSE (removing spilled files) and stops the write queue.
 func (e *Explorer) Close() error {
 	var first error
+	if e.cancelHighWater != nil {
+		e.cancelHighWater()
+		e.cancelHighWater = nil
+	}
 	if e.c != nil {
 		if err := e.c.Close(); err != nil {
 			first = err
@@ -270,27 +357,13 @@ func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
 	n := top.Len()
 	k := e.c.Depth()
 
-	spill := e.shouldSpill(n, top)
-	var bounds []int
-	var builder cse.LevelBuilder
-	if spill {
-		bounds = e.partition(top, e.cfg.Threads)
-		if e.queue == nil {
-			e.queue = storage.NewWriteQueue(e.cfg.BufSize, e.cfg.Tracker)
-		}
-		db, err := storage.NewDiskLevelBuilder(e.cfg.SpillDir, e.levelSeq, e.cfg.Threads, e.queue, e.cfg.BlockSize, e.cfg.Tracker)
-		if err != nil {
-			return err
-		}
-		e.levelSeq++
-		builder = db
-	} else {
-		bounds = e.partition(top, e.chunks(n))
-		builder = e.memBuilderFor(len(bounds) - 1)
-		e.presizeParts(top, bounds)
+	bounds := e.partition(top, e.buildChunks(n, e.c.Bytes()))
+	builder, err := e.levelBuilderFor(top, bounds, e.c.Bytes())
+	if err != nil {
+		return err
 	}
 
-	err := e.runParallel(len(bounds)-1, func(worker, chunk int) error {
+	err = e.runParallel(len(bounds)-1, func(worker, chunk int) error {
 		lo, hi := bounds[chunk], bounds[chunk+1]
 		pw := builder.Part(chunk)
 		if err := e.expandRange(k, lo, hi, worker, pw, vf, ef); err != nil {
@@ -310,8 +383,9 @@ func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
 		lvl.Close()
 		return err
 	}
-	if spill {
+	if _, dp, _ := levelPlacement(lvl); dp > 0 {
 		e.spilled++
+		e.spilledParts += dp
 	}
 	e.charge(lvl.Bytes())
 	if n > 0 {
@@ -320,14 +394,74 @@ func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
 	return nil
 }
 
-// presizeParts reserves the mem builder's per-part buffers before expansion
+// partReserver is the pre-sizing hook shared by the memory and hybrid level
+// builders.
+type partReserver interface {
+	ReservePart(i, verts, groups int)
+}
+
+// levelBuilderFor picks the builder of a new level. Without a memory budget
+// the pooled in-memory builder is used; with one, the level is built
+// part-granular by a HybridLevelBuilder whose governor watermark is the
+// budget share left after the resident levels (baseBytes). The up-front
+// mem-vs-disk projection of earlier versions is gone: placement is decided
+// per part, during the build.
+func (e *Explorer) levelBuilderFor(top cse.LevelData, bounds []int, baseBytes int64) (cse.LevelBuilder, error) {
+	nparts := len(bounds) - 1
+	if e.cfg.MemoryBudget <= 0 || e.cfg.SpillDir == "" {
+		b := e.memBuilderFor(nparts)
+		e.presizeParts(top, bounds, b)
+		return b, nil
+	}
+	hb, err := e.hybridBuilderFor(nparts, baseBytes)
+	if err != nil {
+		return nil, err
+	}
+	e.presizeParts(top, bounds, hb)
+	return hb, nil
+}
+
+// hybridBuilderFor creates a budget-governed hybrid builder of nparts parts,
+// where baseBytes of the budget are already held by levels that will remain
+// resident alongside the new one.
+func (e *Explorer) hybridBuilderFor(nparts int, baseBytes int64) (*storage.HybridLevelBuilder, error) {
+	if e.queue == nil {
+		e.queue = storage.NewWriteQueue(e.cfg.BufSize, e.cfg.Tracker)
+	}
+	// Refresh external pressure: tracked memory may already exceed the
+	// budget before this build starts (pattern maps, earlier levels).
+	e.pressure.Store(e.cfg.Tracker != nil && e.cfg.Tracker.Live() >= e.cfg.MemoryBudget)
+	hb, err := storage.NewHybridLevelBuilder(
+		e.cfg.SpillDir, e.levelSeq, nparts, e.queue, e.cfg.BlockSize, e.cfg.Tracker,
+		e.buildBudget(baseBytes), &e.pressure, e.cfg.MemoryBudget)
+	if err != nil {
+		return nil, err
+	}
+	e.levelSeq++
+	return hb, nil
+}
+
+// buildBudget returns the governor watermark for a new level build: the
+// watermark fraction of the memory budget, minus the bytes the resident
+// levels already hold. Negative means nothing fits — every part goes
+// straight to disk.
+func (e *Explorer) buildBudget(baseBytes int64) int64 {
+	w := e.cfg.SpillWatermark
+	if w == 0 {
+		w = DefaultSpillWatermark
+	}
+	return int64(w*float64(e.cfg.MemoryBudget)) - baseBytes
+}
+
+// presizeParts reserves the builder's per-part buffers before expansion
 // begins. With §4.2 prediction segments the per-chunk candidate totals are
 // known (an upper bound on children — the canonical filter only removes);
 // without them the fan-out trend of the previous iterations is extrapolated.
 // Either way the cold-start append-doubling of large level buffers (~170 MB
 // of transient growth on the vertex-d4 benchmark) collapses into one
-// allocation per part.
-func (e *Explorer) presizeParts(top cse.LevelData, bounds []int) {
+// allocation per part. The hybrid builder additionally caps reserves at its
+// governor watermark, since reserved capacity is real resident memory.
+func (e *Explorer) presizeParts(top cse.LevelData, bounds []int, r partReserver) {
 	n := top.Len()
 	if n == 0 {
 		return
@@ -335,7 +469,18 @@ func (e *Explorer) presizeParts(top cse.LevelData, bounds []int) {
 	if segs := top.Predicted(); len(segs) > 0 {
 		works := segWorkPerRange(segs, bounds)
 		for i, w := range works {
-			e.memBuilder.ReservePart(i, w, bounds[i+1]-bounds[i])
+			r.ReservePart(i, w, bounds[i+1]-bounds[i])
+		}
+		// Prediction totals bound the level size — exactly with
+		// PredictSample < 0 (candidate counts only shrink under the
+		// canonical filter), approximately under the sampled default (mean
+		// extrapolation can undershoot) — so the builder may stream its
+		// final assembly against them: an undershoot merely stops the
+		// streamed verts at the reserve and falls back to the exact
+		// allocation at Finish. The fan-out guess below is pure
+		// extrapolation and gets no such promise.
+		if tr, ok := r.(interface{ TrustReserve() }); ok {
+			tr.TrustReserve()
 		}
 		return
 	}
@@ -353,20 +498,9 @@ func (e *Explorer) presizeParts(top cse.LevelData, bounds []int) {
 		}
 		f *= g
 	}
-	if e.cfg.MemoryBudget > 0 {
-		// Budget-constrained runs: never reserve more than the remaining
-		// budget could hold (4 bytes per reserved unit).
-		avail := e.cfg.MemoryBudget - e.c.Bytes()
-		if avail <= 0 {
-			return
-		}
-		if maxUnits := float64(avail / 4); float64(n)*f > maxUnits {
-			f = maxUnits / float64(n)
-		}
-	}
 	for i := 0; i+1 < len(bounds); i++ {
 		leaves := bounds[i+1] - bounds[i]
-		e.memBuilder.ReservePart(i, int(float64(leaves)*f), leaves)
+		r.ReservePart(i, int(float64(leaves)*f), leaves)
 	}
 }
 
@@ -413,68 +547,23 @@ func (e *Explorer) expandRange(k, lo, hi, worker int, pw cse.PartWriter, vf Vert
 	children := sc.children[:0]
 	preds := sc.preds[:0]
 	defer func() { sc.children, sc.preds = children, preds }()
+
+	// Both modes run the fused fast path: per run, refresh the shared prefix
+	// once; per leaf, consume cands[k-2] ∪ N(leaf) as it is merged — the
+	// leaf-level candidate set is never materialized. When the §4.2
+	// prediction is on, only every stride-th group pays the exact per-child
+	// candidate-union count (which needs the materialized level-k candidate
+	// set, refreshLevel); the groups in between reuse the latest sampled
+	// per-child mean, bounding prediction cost to PredictSample groups per
+	// chunk instead of every embedding.
+	predicting := e.cfg.Predict
+	ps := predSampler{
+		stride: e.predictStride(hi - lo),
+		mean:   uint32(e.cfg.Graph.AvgDegree()) + 1,
+	}
+
 	if e.cfg.Mode == VertexInduced {
 		st := e.vertexStateFor(worker, k)
-		if !e.cfg.Predict {
-			// Fused fast path: per run, refresh the shared prefix once; per
-			// leaf, consume cands[k-2] ∪ N(leaf) as it is merged — the
-			// leaf-level candidate set is never materialized.
-			for {
-				emb, from, leaves, ok := w.NextRun()
-				if !ok {
-					break
-				}
-				if from < k {
-					st.updatePrefix(emb, from, k)
-				}
-				for _, u := range leaves {
-					emb[k-1] = u
-					children = st.appendCanonical(k, u, emb, vf, children[:0])
-					if err := pw.AppendGroup(children, nil); err != nil {
-						return err
-					}
-				}
-			}
-			return w.Err()
-		}
-		// Prediction path: materialize the leaf candidate set, since each
-		// child's predicted size is counted against it.
-		for {
-			emb, from, leaves, ok := w.NextRun()
-			if !ok {
-				break
-			}
-			for _, u := range leaves {
-				emb[k-1] = u
-				st.update(emb, from)
-				from = k // later leaves of the run share the prefix
-				children = children[:0]
-				preds = preds[:0]
-				// Fused canonical filter: two comparisons per candidate
-				// over plain slices (see vertexState.appendCanonical).
-				cb := st.candidates(k)
-				cids, cfa := cb.ids, cb.firstAdj
-				sufMax := st.sufMax
-				emb0 := emb[0]
-				for ci, cu := range cids {
-					if cu <= emb0 || cu <= sufMax[cfa[ci]+1] {
-						continue
-					}
-					if vf != nil && !vf(emb, cu) {
-						continue
-					}
-					children = append(children, cu)
-					preds = append(preds, clamp32(st.predict(k, cu)))
-				}
-				if err := pw.AppendGroup(children, preds); err != nil {
-					return err
-				}
-			}
-		}
-		return w.Err()
-	}
-	st := e.edgeStateFor(worker, k)
-	if !e.cfg.Predict {
 		for {
 			emb, from, leaves, ok := w.NextRun()
 			if !ok {
@@ -483,48 +572,99 @@ func (e *Explorer) expandRange(k, lo, hi, worker int, pw cse.PartWriter, vf Vert
 			if from < k {
 				st.updatePrefix(emb, from, k)
 			}
-			for _, f := range leaves {
-				emb[k-1] = f
-				children = st.appendCanonical(k, f, emb, ef, children[:0])
-				if err := pw.AppendGroup(children, nil); err != nil {
+			for _, u := range leaves {
+				emb[k-1] = u
+				children = st.appendCanonical(k, u, emb, vf, children[:0])
+				var pr []uint32
+				if predicting {
+					preds = ps.groupPreds(st, k, emb, children, preds)
+					pr = preds
+				}
+				if err := pw.AppendGroup(children, pr); err != nil {
 					return err
 				}
 			}
 		}
 		return w.Err()
 	}
+	st := e.edgeStateFor(worker, k)
 	for {
 		emb, from, leaves, ok := w.NextRun()
 		if !ok {
 			break
 		}
+		if from < k {
+			st.updatePrefix(emb, from, k)
+		}
 		for _, f := range leaves {
 			emb[k-1] = f
-			st.update(emb, from)
-			from = k
-			children = children[:0]
-			preds = preds[:0]
-			// Fused canonical filter (see edgeState.appendCanonical).
-			cb := st.candidates(k)
-			cids, cfa := cb.ids, cb.firstAdj
-			sufMax := st.sufMax
-			emb0 := emb[0]
-			for ci, cf := range cids {
-				if cf <= emb0 || cf <= sufMax[cfa[ci]+1] {
-					continue
-				}
-				if ef != nil && !ef(emb, st.vertices(k), cf) {
-					continue
-				}
-				children = append(children, cf)
-				preds = append(preds, clamp32(st.predict(k, cf)))
+			children = st.appendCanonical(k, f, emb, ef, children[:0])
+			var pr []uint32
+			if predicting {
+				preds = ps.groupPreds(st, k, emb, children, preds)
+				pr = preds
 			}
-			if err := pw.AppendGroup(children, preds); err != nil {
+			if err := pw.AppendGroup(children, pr); err != nil {
 				return err
 			}
 		}
 	}
 	return w.Err()
+}
+
+// predictor is the slice of worker state the sampled §4.2 prediction needs:
+// materialize the level-k candidate set of the current leaf, then price each
+// child against it. Both vertexState and edgeState implement it.
+type predictor interface {
+	refreshLevel(emb []uint32, l int)
+	predict(k int, u uint32) int
+}
+
+// predSampler applies the PredictSample policy over one chunk: every
+// stride-th group is priced exactly (refreshLevel + per-child predict), the
+// groups in between reuse the latest sampled per-child mean.
+type predSampler struct {
+	stride, gi int
+	mean       uint32
+}
+
+// groupPreds returns the per-child predicted sizes of the current group,
+// reusing buf.
+func (s *predSampler) groupPreds(st predictor, k int, emb []uint32, children, buf []uint32) []uint32 {
+	buf = buf[:0]
+	if s.gi%s.stride == 0 && len(children) > 0 {
+		st.refreshLevel(emb, k)
+		var sum uint64
+		for _, c := range children {
+			p := clamp32(st.predict(k, c))
+			buf = append(buf, p)
+			sum += uint64(p)
+		}
+		s.mean = uint32(sum / uint64(len(children)))
+	} else {
+		for range children {
+			buf = append(buf, s.mean)
+		}
+	}
+	s.gi++
+	return buf
+}
+
+// predictStride converts the PredictSample budget (exactly-predicted groups
+// per chunk) into a sampling stride over a chunk of the given group count.
+func (e *Explorer) predictStride(groups int) int {
+	s := e.cfg.PredictSample
+	if s < 0 {
+		return 1 // exact prediction for every group
+	}
+	if s == 0 {
+		s = DefaultPredictSample
+	}
+	stride := groups / s
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
 }
 
 func clamp32(v int) uint32 {
@@ -623,26 +763,18 @@ func (e *Explorer) FilterTop(keep func(worker int, emb []uint32) bool) error {
 	top := e.c.Top()
 	parents := e.c.Level(k - 1).Len()
 
-	_, isMem := top.(*cse.MemLevel)
-	wasDisk := !isMem // keep the rewritten level on the same storage tier
-
-	nchunks := e.chunks(parents)
-	if wasDisk {
-		nchunks = e.cfg.Threads
-	}
+	nchunks := e.buildChunks(parents, e.c.Bytes()-top.Bytes())
 	bounds := partitionEven(parents, nchunks)
 
+	// The rewritten level replaces the old top, so the budget share it may
+	// occupy excludes the level being replaced.
 	var builder cse.LevelBuilder
-	if wasDisk {
-		if e.queue == nil {
-			e.queue = storage.NewWriteQueue(e.cfg.BufSize, e.cfg.Tracker)
-		}
-		db, err := storage.NewDiskLevelBuilder(e.cfg.SpillDir, e.levelSeq, nchunks, e.queue, e.cfg.BlockSize, e.cfg.Tracker)
+	if e.cfg.MemoryBudget > 0 && e.cfg.SpillDir != "" {
+		hb, err := e.hybridBuilderFor(nchunks, e.c.Bytes()-top.Bytes())
 		if err != nil {
 			return err
 		}
-		e.levelSeq++
-		builder = db
+		builder = hb
 	} else {
 		builder = e.memBuilderFor(nchunks)
 	}
@@ -735,23 +867,28 @@ func (e *Explorer) filterRange(top cse.LevelData, k, plo, phi, worker int, pw cs
 	return nil
 }
 
-// shouldSpill decides whether the next level goes to disk: the projected
-// resident size of the CSE after the expansion must stay within the budget.
-func (e *Explorer) shouldSpill(n int, top cse.LevelData) bool {
-	if e.cfg.MemoryBudget <= 0 || e.cfg.SpillDir == "" {
-		return false
-	}
-	var est int64
-	if segs := top.Predicted(); segs != nil {
-		for _, s := range segs {
-			est += int64(s.Work)
+// buildChunks picks the chunk (= builder part) count of a level build.
+// In-memory builds keep the fine work-stealing chunking — parts are pooled
+// slices, so they are nearly free. Budgeted builds pay real fixed costs per
+// part (files, write buffers, governor bookkeeping), so they use two parts
+// per thread — enough placement granularity for a meaningful mem/disk split
+// — and the all-disk regime (budget exhausted before the build starts)
+// falls back to one part per thread like the classic DiskLevel layout.
+func (e *Explorer) buildChunks(n int, baseBytes int64) int {
+	if e.cfg.MemoryBudget > 0 && e.cfg.SpillDir != "" {
+		t := e.cfg.Threads
+		if e.buildBudget(baseBytes) > 0 {
+			t *= 2
 		}
-	} else {
-		d := e.cfg.Graph.AvgDegree()
-		est = int64(float64(n) * d)
+		if n < t {
+			t = n
+		}
+		if t < 1 {
+			t = 1
+		}
+		return t
 	}
-	projected := e.c.Bytes() + est*4 + int64(n+1)*8
-	return projected > e.cfg.MemoryBudget
+	return e.chunks(n)
 }
 
 // chunks picks the work-stealing chunk count for in-memory parallel walks.

@@ -8,6 +8,7 @@
 package memtrack
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -21,8 +22,23 @@ type Tracker struct {
 	readBytes  atomic.Int64
 	writeBytes atomic.Int64
 
+	// marks is a copy-on-write list of high-water callbacks; Alloc/Free read
+	// it with one atomic load so untriggered watermarks cost nothing on the
+	// hot path.
+	marks   atomic.Pointer[[]*watermark]
+	marksMu sync.Mutex
+
 	samples  []IOSample
 	sampleMu chan struct{} // 1-buffered semaphore guarding samples
+}
+
+// watermark is one registered high-water callback. fired keeps the callback
+// edge-triggered: it runs once when live crosses limit from below and is
+// re-armed only after live drops back under limit.
+type watermark struct {
+	limit int64
+	fired atomic.Bool
+	fn    func(live int64)
 }
 
 type dialAtomic struct{ v atomic.Int64 }
@@ -44,6 +60,13 @@ func New() *Tracker {
 // Alloc records n live bytes and updates the peak watermark.
 func (t *Tracker) Alloc(n int64) {
 	live := t.live.v.Add(n)
+	if ms := t.marks.Load(); ms != nil {
+		for _, m := range *ms {
+			if live >= m.limit && m.fired.CompareAndSwap(false, true) {
+				m.fn(live)
+			}
+		}
+	}
 	for {
 		p := t.peak.Load()
 		if live <= p || t.peak.CompareAndSwap(p, live) {
@@ -53,7 +76,50 @@ func (t *Tracker) Alloc(n int64) {
 }
 
 // Free releases n live bytes.
-func (t *Tracker) Free(n int64) { t.live.v.Add(-n) }
+func (t *Tracker) Free(n int64) {
+	live := t.live.v.Add(-n)
+	if ms := t.marks.Load(); ms != nil {
+		for _, m := range *ms {
+			if live < m.limit {
+				m.fired.Store(false) // re-arm for the next crossing
+			}
+		}
+	}
+}
+
+// OnHighWater registers fn to run when live bytes cross limit from below —
+// the back-pressure signal of the §4.1 budget governor: hybrid level builders
+// subscribe so that tracked allocations outside the CSE (pattern maps,
+// buffers) can force mid-build spilling before the budget is blown. The
+// callback is edge-triggered (once per crossing; re-armed when live drops
+// back under limit) and runs on the allocating goroutine, so it must be
+// cheap and non-blocking. The returned cancel removes the registration.
+func (t *Tracker) OnHighWater(limit int64, fn func(live int64)) (cancel func()) {
+	m := &watermark{limit: limit, fn: fn}
+	t.marksMu.Lock()
+	var next []*watermark
+	if cur := t.marks.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, m)
+	t.marks.Store(&next)
+	t.marksMu.Unlock()
+	return func() {
+		t.marksMu.Lock()
+		defer t.marksMu.Unlock()
+		cur := t.marks.Load()
+		if cur == nil {
+			return
+		}
+		trimmed := make([]*watermark, 0, len(*cur))
+		for _, w := range *cur {
+			if w != m {
+				trimmed = append(trimmed, w)
+			}
+		}
+		t.marks.Store(&trimmed)
+	}
+}
 
 // Live returns the current live byte count.
 func (t *Tracker) Live() int64 { return t.live.v.Load() }

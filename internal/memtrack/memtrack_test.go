@@ -2,6 +2,7 @@ package memtrack
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -72,5 +73,58 @@ func TestReset(t *testing.T) {
 	}
 	if len(tr.Samples()) != 0 {
 		t.Fatal("reset did not clear samples")
+	}
+}
+
+func TestOnHighWater(t *testing.T) {
+	tr := New()
+	var fired int
+	var lastLive int64
+	cancel := tr.OnHighWater(100, func(live int64) {
+		fired++
+		lastLive = live
+	})
+	tr.Alloc(50)
+	if fired != 0 {
+		t.Fatal("fired below the limit")
+	}
+	tr.Alloc(60) // crosses 100
+	if fired != 1 || lastLive != 110 {
+		t.Fatalf("fired=%d live=%d after crossing", fired, lastLive)
+	}
+	tr.Alloc(5) // still above: edge-triggered, no refire
+	if fired != 1 {
+		t.Fatalf("refired while above the limit (fired=%d)", fired)
+	}
+	tr.Free(20) // drops to 95: re-arms
+	tr.Alloc(10)
+	if fired != 2 {
+		t.Fatalf("did not refire after re-arming (fired=%d)", fired)
+	}
+	tr.Free(105)
+	cancel()
+	tr.Alloc(200)
+	if fired != 2 {
+		t.Fatalf("fired after cancel (fired=%d)", fired)
+	}
+}
+
+func TestOnHighWaterConcurrent(t *testing.T) {
+	tr := New()
+	var fired atomic.Int64
+	tr.OnHighWater(1000, func(int64) { fired.Add(1) })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Alloc(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("high-water fired %d times for one crossing", got)
 	}
 }

@@ -1,0 +1,874 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kaleido/internal/cse"
+	"kaleido/internal/memtrack"
+)
+
+// HybridLevel is one CSE level whose parts are individually memory- or
+// disk-resident — the genuinely half-memory-half-disk storage of §4.1.
+// Placement is per part, decided during the build by the budget governor
+// (see HybridLevelBuilder): a level slightly over budget keeps most parts in
+// RAM and pays disk I/O only for the migrated remainder, instead of the
+// all-or-nothing cliff of routing the whole level to a DiskLevel.
+//
+// All LevelData operations dispatch per part: memory parts hand out
+// zero-copy slices (exactly like MemLevel), disk parts decode whole prefetch
+// blocks (exactly like DiskLevel), and cursors stream transparently across
+// the mem→disk seams.
+type HybridLevel struct {
+	parts       []hybridPart
+	totalVerts  int
+	totalGroups int
+	pred        []cse.PredSeg
+	blockSize   int
+	tracker     *memtrack.Tracker
+	closed      bool
+}
+
+var _ cse.LevelData = (*HybridLevel)(nil)
+
+// hybridPart is one part of a hybrid level: either resident (verts+bounds
+// populated, files nil) or on disk (vf/cf+chunkCum populated, slices nil).
+type hybridPart struct {
+	// Memory residency.
+	verts  []uint32
+	bounds []uint64 // global end boundary of each local group; len = numGroups
+
+	// Disk residency.
+	vf, cf   *os.File
+	chunkCum []uint64 // chunkCum[j] = children in local groups [0, j·CntChunk)
+
+	numVerts  int
+	numGroups int
+	vertBase  int
+	groupBase int
+}
+
+func (p *hybridPart) onDisk() bool { return p.vf != nil }
+
+// Len implements cse.LevelData.
+func (h *HybridLevel) Len() int { return h.totalVerts }
+
+// Groups implements cse.LevelData.
+func (h *HybridLevel) Groups() int { return h.totalGroups }
+
+// Predicted implements cse.LevelData.
+func (h *HybridLevel) Predicted() []cse.PredSeg { return h.pred }
+
+// Bytes reports the resident footprint: the full arrays of memory parts plus
+// the sparse indexes of disk parts.
+func (h *HybridLevel) Bytes() int64 {
+	var b int64
+	for i := range h.parts {
+		p := &h.parts[i]
+		if p.onDisk() {
+			b += int64(len(p.chunkCum)) * 8
+		} else {
+			b += int64(len(p.verts))*4 + int64(len(p.bounds))*8
+		}
+	}
+	return b + int64(len(h.pred))*16
+}
+
+// DiskBytes reports the on-disk footprint of the migrated parts.
+func (h *HybridLevel) DiskBytes() int64 {
+	var b int64
+	for i := range h.parts {
+		p := &h.parts[i]
+		if p.onDisk() {
+			b += int64(p.numVerts)*4 + int64(p.numGroups)*4
+		}
+	}
+	return b
+}
+
+// MemParts counts the memory-resident parts holding data (empty parts carry
+// no placement information and are not counted).
+func (h *HybridLevel) MemParts() int {
+	n := 0
+	for i := range h.parts {
+		p := &h.parts[i]
+		if !p.onDisk() && (p.numVerts > 0 || p.numGroups > 0) {
+			n++
+		}
+	}
+	return n
+}
+
+// DiskParts counts the disk-resident parts.
+func (h *HybridLevel) DiskParts() int {
+	n := 0
+	for i := range h.parts {
+		if h.parts[i].onDisk() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close removes the backing files of the disk-resident parts; memory parts
+// are simply dropped.
+func (h *HybridLevel) Close() error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	var first error
+	for i := range h.parts {
+		p := &h.parts[i]
+		if !p.onDisk() {
+			continue
+		}
+		for _, f := range []*os.File{p.vf, p.cf} {
+			name := f.Name()
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			if err := os.Remove(name); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// partIndexForVert returns the index of the part containing global vert i.
+func (h *HybridLevel) partIndexForVert(i int) int {
+	return sort.Search(len(h.parts), func(x int) bool { return h.parts[x].vertBase > i }) - 1
+}
+
+// partIndexForGroup returns the index of the part containing global group g.
+func (h *HybridLevel) partIndexForGroup(g int) int {
+	return sort.Search(len(h.parts), func(x int) bool { return h.parts[x].groupBase > g }) - 1
+}
+
+// UnitAt implements cse.LevelData: a slice index for memory parts, one
+// bounded pread for disk parts.
+func (h *HybridLevel) UnitAt(i int) (uint32, error) {
+	if i < 0 || i >= h.totalVerts {
+		return 0, fmt.Errorf("storage: unit %d out of range %d", i, h.totalVerts)
+	}
+	p := &h.parts[h.partIndexForVert(i)]
+	li := i - p.vertBase
+	if !p.onDisk() {
+		return p.verts[li], nil
+	}
+	var b [4]byte
+	if _, err := p.vf.ReadAt(b[:], int64(4*li)); err != nil {
+		return 0, fmt.Errorf("storage: vert read %d of %s: %w", i, p.vf.Name(), err)
+	}
+	if h.tracker != nil {
+		h.tracker.ReadIO(4)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// ParentOf implements cse.LevelData: binary search over the resident bounds
+// for memory parts, sparse index plus one bounded cnt read for disk parts.
+func (h *HybridLevel) ParentOf(i int) (int, error) {
+	if i < 0 || i >= h.totalVerts {
+		return 0, fmt.Errorf("storage: parent of %d out of range %d", i, h.totalVerts)
+	}
+	p := &h.parts[h.partIndexForVert(i)]
+	if !p.onDisk() {
+		// First local group whose end boundary exceeds i.
+		j := sort.Search(len(p.bounds), func(x int) bool { return p.bounds[x] > uint64(i) })
+		return p.groupBase + j, nil
+	}
+	li := uint64(i - p.vertBase)
+	j := sort.Search(len(p.chunkCum), func(x int) bool { return p.chunkCum[x] > li }) - 1
+	lo := j * CntChunk
+	hi := lo + CntChunk
+	if hi > p.numGroups {
+		hi = p.numGroups
+	}
+	sc := cntPool.Get().(*cntScratch)
+	defer cntPool.Put(sc)
+	cnts, err := readCntsAt(p.cf, lo, hi, h.tracker, sc)
+	if err != nil {
+		return 0, err
+	}
+	cum := p.chunkCum[j]
+	for idx, c := range cnts {
+		if li < cum+uint64(c) {
+			return p.groupBase + lo + idx, nil
+		}
+		cum += uint64(c)
+	}
+	return p.groupBase + hi - 1, nil
+}
+
+// offAtLocal returns the global offs value at local group lg of a disk part
+// (the global vert index where lg's children start).
+func (p *hybridPart) offAtLocal(lg int, tracker *memtrack.Tracker) (uint64, error) {
+	j := lg / CntChunk
+	cum := p.chunkCum[j]
+	if lg > j*CntChunk {
+		sc := cntPool.Get().(*cntScratch)
+		defer cntPool.Put(sc)
+		cnts, err := readCntsAt(p.cf, j*CntChunk, lg, tracker, sc)
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range cnts {
+			cum += uint64(c)
+		}
+	}
+	return uint64(p.vertBase) + cum, nil
+}
+
+// GroupStart implements cse.LevelData.
+func (h *HybridLevel) GroupStart(g int) (uint64, error) {
+	if g < 0 || g > h.totalGroups {
+		return 0, fmt.Errorf("storage: group %d out of range %d", g, h.totalGroups)
+	}
+	if g == h.totalGroups {
+		return uint64(h.totalVerts), nil
+	}
+	p := &h.parts[h.partIndexForGroup(g)]
+	lg := g - p.groupBase
+	if !p.onDisk() {
+		if lg == 0 {
+			return uint64(p.vertBase), nil
+		}
+		return p.bounds[lg-1], nil
+	}
+	return p.offAtLocal(lg, h.tracker)
+}
+
+// VertBlocks implements cse.LevelData: memory parts contribute zero-copy
+// sub-slices, disk parts whole-prefetch-block decodes, stitched across part
+// seams in one stream.
+func (h *HybridLevel) VertBlocks(lo, hi int) cse.VertBlockCursor {
+	if lo >= hi {
+		return &hybridVertBlocks{}
+	}
+	return &hybridVertBlocks{h: h, next: lo, end: hi, pi: h.partIndexForVert(lo)}
+}
+
+// BoundBlocks implements cse.LevelData: the block stream of global group end
+// boundaries from parent index first, across mem and disk parts.
+func (h *HybridLevel) BoundBlocks(first int) cse.BoundBlockCursor {
+	if first >= h.totalGroups {
+		return &hybridBoundBlocks{}
+	}
+	pi := h.partIndexForGroup(first)
+	return &hybridBoundBlocks{h: h, g: first, pi: pi, active: true}
+}
+
+// VertCursor implements cse.LevelData as a unit view of VertBlocks.
+func (h *HybridLevel) VertCursor(lo, hi int) cse.VertCursor {
+	return cse.VertCursorOverBlocks(h.VertBlocks(lo, hi))
+}
+
+// BoundCursor implements cse.LevelData as a unit view of BoundBlocks.
+func (h *HybridLevel) BoundCursor(first int) cse.BoundCursor {
+	return cse.BoundCursorOverBlocks(h.BoundBlocks(first))
+}
+
+type hybridVertBlocks struct {
+	h         *HybridLevel
+	next, end int
+	pi        int
+	dv        *diskVertBlocks // active disk sub-cursor, nil otherwise
+	err       error
+}
+
+func (c *hybridVertBlocks) NextBlock() ([]uint32, bool) {
+	if c.err != nil || c.h == nil {
+		return nil, false
+	}
+	for {
+		if c.dv != nil {
+			blk, ok := c.dv.NextBlock()
+			if ok {
+				c.next += len(blk)
+				return blk, true
+			}
+			if err := c.dv.Err(); err != nil {
+				c.err = err
+				return nil, false
+			}
+			c.dv.Close()
+			c.dv = nil
+			c.pi++
+		}
+		if c.next >= c.end || c.pi >= len(c.h.parts) {
+			return nil, false
+		}
+		p := &c.h.parts[c.pi]
+		pEnd := p.vertBase + p.numVerts
+		if c.next >= pEnd {
+			c.pi++
+			continue
+		}
+		take := min(c.end, pEnd) - c.next
+		if !p.onDisk() {
+			blk := p.verts[c.next-p.vertBase : c.next-p.vertBase+take]
+			c.next += take
+			c.pi++
+			return blk, true
+		}
+		span := fileSpan{f: p.vf, off: int64(4 * (c.next - p.vertBase)), n: int64(4 * take)}
+		c.dv = &diskVertBlocks{
+			bs:        newBlockStream([]fileSpan{span}, c.h.blockSize, c.h.tracker),
+			remaining: take,
+		}
+	}
+}
+
+func (c *hybridVertBlocks) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.dv != nil {
+		return c.dv.Err()
+	}
+	return nil
+}
+
+func (c *hybridVertBlocks) Close() error {
+	if c.dv != nil {
+		return c.dv.Close()
+	}
+	return nil
+}
+
+type hybridBoundBlocks struct {
+	h      *HybridLevel
+	g      int // next global group whose end boundary to deliver
+	pi     int
+	active bool
+	dv     *diskBoundBlocks
+	err    error
+}
+
+func (c *hybridBoundBlocks) NextBlock() ([]uint64, bool) {
+	if c.err != nil || !c.active {
+		return nil, false
+	}
+	for {
+		if c.dv != nil {
+			blk, ok := c.dv.NextBlock()
+			if ok {
+				c.g += len(blk)
+				return blk, true
+			}
+			if err := c.dv.Err(); err != nil {
+				c.err = err
+				return nil, false
+			}
+			c.dv.Close()
+			c.dv = nil
+			c.pi++
+		}
+		if c.pi >= len(c.h.parts) {
+			return nil, false
+		}
+		p := &c.h.parts[c.pi]
+		lf := c.g - p.groupBase
+		if lf >= p.numGroups {
+			c.pi++
+			continue
+		}
+		if !p.onDisk() {
+			blk := p.bounds[lf:]
+			c.g += len(blk)
+			c.pi++
+			return blk, true
+		}
+		base, err := p.offAtLocal(lf, c.h.tracker)
+		if err != nil {
+			c.err = err
+			return nil, false
+		}
+		span := fileSpan{f: p.cf, off: int64(4 * lf), n: int64(4 * (p.numGroups - lf))}
+		c.dv = &diskBoundBlocks{
+			bs:  newBlockStream([]fileSpan{span}, c.h.blockSize, c.h.tracker),
+			cum: base,
+		}
+	}
+}
+
+func (c *hybridBoundBlocks) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.dv != nil {
+		return c.dv.Err()
+	}
+	return nil
+}
+
+func (c *hybridBoundBlocks) Close() error {
+	if c.dv != nil {
+		return c.dv.Close()
+	}
+	return nil
+}
+
+// HybridLevelBuilder builds a HybridLevel from t concurrently written parts.
+// Every part starts in memory; the budget governor watches the total
+// resident bytes of the in-flight parts and, when they cross the watermark,
+// marks the largest parts for migration. A marked part is drained to disk
+// through the WriteQueue (write-behind: the part's accumulated — oldest —
+// data goes out, the still-growing parts stay hot in RAM) and keeps
+// appending to disk from then on. With a watermark the build can never
+// over-run the memory budget by more than one part's growth between
+// appends, and a level that fits stays entirely in memory with no I/O.
+type HybridLevelBuilder struct {
+	dir       string
+	level     int
+	queue     *WriteQueue
+	blockSize int
+	tracker   *memtrack.Tracker
+	gov       governor
+	parts     []hybridPartWriter
+	reserved  int64
+}
+
+// NewHybridLevelBuilder creates a builder of nparts parts. memBudget is the
+// resident-byte watermark for this build (≤ 0 sends every part to disk
+// immediately, reproducing the all-disk DiskLevel behavior). pressure, when
+// non-nil, is an external back-pressure flag (e.g. a memtrack high-water
+// callback): while set, the governor spills as if the budget were exhausted.
+// A positive pressureLimit lets the governor clear the flag once the
+// tracker's live bytes drop back under it, so a transient spike does not
+// condemn the whole remainder of the level to disk. Part files are created
+// lazily, only when a part actually migrates.
+func NewHybridLevelBuilder(dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker, memBudget int64, pressure *atomic.Bool, pressureLimit int64) (*HybridLevelBuilder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	b := &HybridLevelBuilder{
+		dir: dir, level: level, queue: q, blockSize: blockSize, tracker: tracker,
+		parts: make([]hybridPartWriter, nparts),
+	}
+	b.gov.budget = memBudget
+	b.gov.pressure = pressure
+	b.gov.pressureLimit = pressureLimit
+	b.gov.tracker = tracker
+	b.gov.b = b
+	for i := range b.parts {
+		p := &b.parts[i]
+		p.b, p.idx = b, i
+		if memBudget <= 0 {
+			// Nothing fits: skip the pointless memory stay, the first append
+			// migrates with an empty replay.
+			p.spillReq.Store(true)
+		}
+	}
+	return b, nil
+}
+
+// governor is the placement policy: an atomic running total of in-flight
+// resident bytes, compared against the build's watermark on every append.
+// Crossing it marks the largest unmarked parts until the projected resident
+// total is back under the watermark. pending tracks the bytes of parts
+// marked but not yet migrated, so the post-crossing fast path stays two
+// atomic loads — the full part scan runs only when a new victim is needed.
+type governor struct {
+	budget        int64
+	pressure      *atomic.Bool
+	pressureLimit int64
+	tracker       *memtrack.Tracker
+	inflight      atomic.Int64
+	pending       atomic.Int64
+	b             *HybridLevelBuilder
+
+	mu  sync.Mutex // serializes victim selection and error recording
+	err error
+}
+
+func (g *governor) noteAlloc(delta int64) {
+	in := g.inflight.Add(delta)
+	budget := g.budget
+	if g.pressure != nil && g.pressure.Load() {
+		if g.pressureLimit > 0 && g.tracker != nil && g.tracker.Live() < g.pressureLimit {
+			// The spike has passed: stop force-spilling. The high-water
+			// callback re-arms below the limit, so a second crossing sets
+			// the flag again.
+			g.pressure.Store(false)
+		} else {
+			budget = 0
+		}
+	}
+	if in-g.pending.Load() <= budget {
+		return
+	}
+	g.spillOver(budget)
+}
+
+func (g *governor) noteFree(n int64) { g.inflight.Add(-n) }
+
+// spillOver marks the largest unmarked parts until the projected resident
+// bytes fit the budget, migrating already-flushed victims on the calling
+// goroutine (their owner is done with them).
+func (g *governor) spillOver(budget int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.inflight.Load()-g.pending.Load() > budget {
+		var victim *hybridPartWriter
+		var victimBytes int64
+		for i := range g.b.parts {
+			p := &g.b.parts[i]
+			if p.spillReq.Load() {
+				continue
+			}
+			if bb := p.bytes.Load(); bb > victimBytes {
+				victim, victimBytes = p, bb
+			}
+		}
+		if victim == nil {
+			return // everything already marked; migrations will catch up
+		}
+		victim.claimed = victimBytes
+		g.pending.Add(victimBytes)
+		victim.spillReq.Store(true)
+		if victim.flushed.Load() {
+			// The owner has moved on; migrate here.
+			g.mu.Unlock()
+			err := victim.migrate()
+			g.mu.Lock()
+			if err != nil && g.err == nil {
+				g.err = err
+			}
+		}
+	}
+}
+
+func (g *governor) takeErr() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// hybridPartWriter receives one part's groups. Each part is appended by a
+// single goroutine; the governor only touches a part after its Flush.
+type hybridPartWriter struct {
+	b   *HybridLevelBuilder
+	idx int
+
+	// Memory stage (owner-only until flushed).
+	verts  []uint32
+	counts []uint32
+
+	// Placement control.
+	bytes    atomic.Int64
+	spillReq atomic.Bool
+	flushed  atomic.Bool
+	claimed  int64      // bytes credited to governor.pending at mark time
+	mu       sync.Mutex // guards migration and dw sealing
+	migrated bool
+	dwSealed bool
+	dw       diskPartWriter
+
+	// §4.2 prediction accounting, kept here across migration.
+	acc  cse.PredAccum
+	pred bool
+}
+
+// Part implements cse.LevelBuilder.
+func (b *HybridLevelBuilder) Part(i int) cse.PartWriter { return &b.parts[i] }
+
+// Parts implements cse.LevelBuilder.
+func (b *HybridLevelBuilder) Parts() int { return len(b.parts) }
+
+// ReservePart pre-grows part i's memory buffers (§4.2 pre-sizing). A part's
+// reserve is capped at twice its even share of the memory watermark, and
+// reserves stop once their sum reaches the watermark — capacity is real
+// resident memory, and a part likely to migrate should not pre-claim it.
+func (b *HybridLevelBuilder) ReservePart(i, verts, groups int) {
+	if b.gov.budget <= 0 {
+		return
+	}
+	if verts > maxHybridReserve {
+		verts = maxHybridReserve
+	}
+	if perPart := int(b.gov.budget / int64(4*len(b.parts)) * 2); verts > perPart {
+		verts = perPart
+	}
+	bytes := int64(verts)*4 + int64(groups)*4
+	if b.reserved+bytes > b.gov.budget {
+		return
+	}
+	b.reserved += bytes
+	p := &b.parts[i]
+	if p.verts == nil {
+		p.verts = poolGetU32() // a pooled buffer may already cover the reserve
+	}
+	if p.counts == nil {
+		p.counts = poolGetU32()
+	}
+	if verts > cap(p.verts) {
+		s := make([]uint32, len(p.verts), verts)
+		copy(s, p.verts)
+		p.verts = s
+	}
+	if groups > cap(p.counts) {
+		s := make([]uint32, len(p.counts), groups)
+		copy(s, p.counts)
+		p.counts = s
+	}
+}
+
+// maxHybridReserve mirrors cse.MemLevelBuilder's per-part reserve cap.
+const maxHybridReserve = 1 << 27
+
+// AppendGroup implements cse.PartWriter.
+func (p *hybridPartWriter) AppendGroup(children []uint32, preds []uint32) error {
+	if preds != nil {
+		if len(preds) != len(children) {
+			return fmt.Errorf("storage: %d preds for %d children", len(preds), len(children))
+		}
+		p.pred = true
+		p.acc.Add(preds)
+	}
+	if !p.migratedByOwner() && p.spillReq.Load() {
+		if err := p.migrate(); err != nil {
+			return err
+		}
+	}
+	if p.migratedByOwner() {
+		return p.dw.AppendGroup(children, nil)
+	}
+	if p.verts == nil {
+		p.verts = poolGetU32()
+	}
+	if p.counts == nil {
+		p.counts = poolGetU32()
+	}
+	p.verts = append(p.verts, children...)
+	p.counts = append(p.counts, uint32(len(children)))
+	// Charge the part's eventual resident size: the 4-byte counts become
+	// 8-byte global bounds at Finish, so a group costs 8 bytes for good.
+	delta := int64(len(children))*4 + 8
+	p.bytes.Add(delta)
+	p.b.gov.noteAlloc(delta)
+	return nil
+}
+
+// migratedByOwner reads the migration state from the owning goroutine.
+// Before Flush only the owner migrates the part, so a plain read is safe.
+func (p *hybridPartWriter) migratedByOwner() bool { return p.migrated }
+
+// migrate drains the part's accumulated memory data to freshly created part
+// files through the write queue and switches the part to disk appends.
+func (p *hybridPartWriter) migrate() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.migrated {
+		return nil
+	}
+	b := p.b
+	vf, err := os.OpenFile(filepath.Join(b.dir, fmt.Sprintf("L%d.p%d.vert", b.level, p.idx)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	cf, err := os.OpenFile(filepath.Join(b.dir, fmt.Sprintf("L%d.p%d.cnt", b.level, p.idx)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		vf.Close()
+		os.Remove(vf.Name())
+		return err
+	}
+	p.dw = diskPartWriter{q: b.queue, vf: vf, cf: cf, vbuf: b.queue.GetBuf(), cbuf: b.queue.GetBuf()}
+	// Bulk-drain the accumulated arrays: straight-line encodes into queue
+	// buffers (no per-group bookkeeping — this runs on the critical path of
+	// whichever worker triggered the migration), then seed the disk writer's
+	// counters and sparse index so subsequent appends continue seamlessly.
+	p.dw.vbuf = bulkEncode(b.queue, vf, p.dw.vbuf, p.verts)
+	p.dw.cbuf = bulkEncode(b.queue, cf, p.dw.cbuf, p.counts)
+	p.dw.numVerts = len(p.verts)
+	p.dw.numGroups = len(p.counts)
+	var cum uint64
+	for j, c := range p.counts {
+		if j%CntChunk == 0 {
+			p.dw.chunkCum = append(p.dw.chunkCum, cum)
+		}
+		cum += uint64(c)
+	}
+	poolPutU32(p.verts)
+	poolPutU32(p.counts)
+	p.verts, p.counts = nil, nil
+	p.b.gov.noteFree(p.bytes.Swap(0))
+	p.b.gov.pending.Add(-p.claimed)
+	p.claimed = 0
+	p.migrated = true
+	if p.flushed.Load() && !p.dwSealed {
+		// Migrated after the owner's Flush (governor path): seal now.
+		if err := p.dw.Flush(); err != nil {
+			return err
+		}
+		p.dwSealed = true
+	}
+	return nil
+}
+
+// partBufPool recycles the memory-stage buffers a build no longer needs: a
+// migrated part's verts and counts (the data just moved to disk) and a
+// resident part's counts (turned into bounds at Finish). Steady-state hybrid
+// builds then allocate only what the finished level actually keeps — the
+// resident verts and bounds — instead of regrowing every part from nil.
+var partBufPool = sync.Pool{New: func() any { return []uint32(nil) }}
+
+func poolGetU32() []uint32 {
+	return partBufPool.Get().([]uint32)[:0]
+}
+
+func poolPutU32(s []uint32) {
+	if cap(s) > 0 {
+		partBufPool.Put(s[:0])
+	}
+}
+
+// bulkEncode appends vals to f through the write queue in buffer-sized
+// chunks, returning the open (unsubmitted) tail buffer.
+func bulkEncode(q *WriteQueue, f *os.File, buf []byte, vals []uint32) []byte {
+	for off := 0; off < len(vals); {
+		space := (cap(buf) - len(buf)) / 4
+		if space == 0 {
+			q.Submit(f, buf)
+			buf = q.GetBuf()
+			continue
+		}
+		n := min(space, len(vals)-off)
+		base := len(buf)
+		buf = buf[:base+4*n]
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[base+4*i:], vals[off+i])
+		}
+		off += n
+	}
+	return buf
+}
+
+// Flush implements cse.PartWriter.
+func (p *hybridPartWriter) Flush() error {
+	p.acc.Flush()
+	p.flushed.Store(true)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.migrated && p.spillReq.Load() {
+		p.mu.Unlock()
+		err := p.migrate()
+		p.mu.Lock()
+		if err != nil {
+			return err
+		}
+	}
+	if p.migrated && !p.dwSealed {
+		if err := p.dw.Flush(); err != nil {
+			return err
+		}
+		p.dwSealed = true
+	}
+	return nil
+}
+
+// Finish implements cse.LevelBuilder: it waits for the write queue to drain
+// the migrated parts, verifies their file sizes, and assembles the
+// HybridLevel — computing the global group end boundaries of the memory
+// parts now that every part's base offsets are known.
+func (b *HybridLevelBuilder) Finish() (cse.LevelData, error) {
+	if err := b.gov.takeErr(); err != nil {
+		b.Abort()
+		return nil, err
+	}
+	anyDisk := false
+	for i := range b.parts {
+		if b.parts[i].migrated {
+			anyDisk = true
+		}
+	}
+	if anyDisk {
+		if err := b.queue.Barrier(); err != nil {
+			b.Abort()
+			return nil, err
+		}
+	}
+	h := &HybridLevel{blockSize: b.blockSize, tracker: b.tracker}
+	sawPred, sawPlainNonEmpty := false, false
+	for i := range b.parts {
+		p := &b.parts[i]
+		hp := hybridPart{vertBase: h.totalVerts, groupBase: h.totalGroups}
+		if p.migrated {
+			for _, chk := range []struct {
+				f    *os.File
+				want int64
+			}{{p.dw.vf, int64(4 * p.dw.numVerts)}, {p.dw.cf, int64(4 * p.dw.numGroups)}} {
+				st, err := chk.f.Stat()
+				if err != nil {
+					b.Abort()
+					return nil, err
+				}
+				if st.Size() != chk.want {
+					b.Abort()
+					return nil, fmt.Errorf("storage: %s has %d bytes, want %d", chk.f.Name(), st.Size(), chk.want)
+				}
+			}
+			hp.vf, hp.cf, hp.chunkCum = p.dw.vf, p.dw.cf, p.dw.chunkCum
+			hp.numVerts, hp.numGroups = p.dw.numVerts, p.dw.numGroups
+		} else {
+			hp.verts = p.verts
+			hp.numVerts, hp.numGroups = len(p.verts), len(p.counts)
+			hp.bounds = make([]uint64, len(p.counts))
+			off := uint64(h.totalVerts)
+			for j, c := range p.counts {
+				off += uint64(c)
+				hp.bounds[j] = off
+			}
+			poolPutU32(p.counts) // bounds replace the counts; recycle them
+			p.counts = nil
+		}
+		if p.pred {
+			sawPred = true
+		} else if hp.numVerts > 0 {
+			sawPlainNonEmpty = true
+		}
+		h.parts = append(h.parts, hp)
+		h.totalVerts += hp.numVerts
+		h.totalGroups += hp.numGroups
+		h.pred = append(h.pred, p.acc.Segs...)
+	}
+	if sawPred && sawPlainNonEmpty {
+		b.Abort()
+		return nil, fmt.Errorf("storage: mixed prediction state across parts")
+	}
+	b.parts = nil
+	return h, nil
+}
+
+// Abort implements cse.LevelBuilder: close and remove any migrated parts'
+// files and drop the memory parts.
+func (b *HybridLevelBuilder) Abort() error {
+	var first error
+	for i := range b.parts {
+		p := &b.parts[i]
+		if !p.migrated {
+			continue
+		}
+		for _, f := range []*os.File{p.dw.vf, p.dw.cf} {
+			if f == nil {
+				continue
+			}
+			name := f.Name()
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			if err := os.Remove(name); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	b.parts = nil
+	return first
+}

@@ -1,0 +1,521 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"kaleido/internal/cse"
+	"kaleido/internal/memtrack"
+)
+
+// buildHybridMixed writes groups through a MemLevelBuilder and a
+// HybridLevelBuilder whose parts in spillParts are forced to disk, returning
+// both levels. The budget is effectively unlimited, so placement follows
+// spillParts exactly — deterministic mixed mem/disk layouts for conformance.
+func buildHybridMixed(t *testing.T, groups [][]uint32, nparts int, spillParts map[int]bool, withPred bool) (*cse.MemLevel, *HybridLevel) {
+	t.Helper()
+	tracker := memtrack.New()
+	q := NewWriteQueue(64, tracker) // tiny buffers force frequent queue traffic
+	t.Cleanup(func() { q.Close() })
+
+	mb := cse.NewMemLevelBuilder(nparts)
+	hb, err := NewHybridLevelBuilder(t.TempDir(), 2, nparts, q, 128, tracker, 1<<40, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spillParts {
+		hb.parts[i].spillReq.Store(true)
+	}
+	per := (len(groups) + nparts - 1) / nparts
+	for i := 0; i < nparts; i++ {
+		lo, hi := min(i*per, len(groups)), min(i*per+per, len(groups))
+		for _, g := range groups[lo:hi] {
+			var preds []uint32
+			if withPred {
+				preds = make([]uint32, len(g))
+				for j := range preds {
+					preds[j] = g[j] % 7
+				}
+			}
+			if err := mb.Part(i).AppendGroup(g, preds); err != nil {
+				t.Fatal(err)
+			}
+			if err := hb.Part(i).AppendGroup(g, preds); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := mb.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := hb.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ml, err := mb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, err := hb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hl.Close() })
+	return ml.(*cse.MemLevel), hl.(*HybridLevel)
+}
+
+// TestHybridLevelMatchesMemLevel is the conformance property over mixed
+// mem/disk part layouts: every LevelData operation must agree with the
+// all-memory reference, including cursors that stream across mem→disk seams.
+func TestHybridLevelMatchesMemLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		groups := randGroups(rng, 1+rng.Intn(400))
+		nparts := 2 + rng.Intn(4)
+		spill := map[int]bool{}
+		for i := 0; i < nparts; i++ {
+			if rng.Intn(2) == 0 {
+				spill[i] = true
+			}
+		}
+		if len(spill) == nparts {
+			delete(spill, rng.Intn(nparts)) // keep at least one part in memory
+		}
+		if len(spill) == 0 {
+			spill[rng.Intn(nparts)] = true // and at least one on disk
+		}
+		ml, hl := buildHybridMixed(t, groups, nparts, spill, trial%2 == 0)
+
+		if ml.Len() != hl.Len() || ml.Groups() != hl.Groups() {
+			t.Fatalf("trial %d: shape %d/%d vs %d/%d", trial, ml.Len(), ml.Groups(), hl.Len(), hl.Groups())
+		}
+		if hl.DiskParts() == 0 {
+			t.Fatalf("trial %d: no disk parts despite forced spill", trial)
+		}
+		// Vert blocks over full and random sub-ranges (128-byte blocks, so
+		// every disk segment spans many blocks).
+		for r := 0; r < 8; r++ {
+			lo := rng.Intn(ml.Len() + 1)
+			hi := lo + rng.Intn(ml.Len()-lo+1)
+			if r == 0 {
+				lo, hi = 0, ml.Len()
+			}
+			got := make([]uint32, 0, hi-lo)
+			bc := hl.VertBlocks(lo, hi)
+			for {
+				blk, ok := bc.NextBlock()
+				if !ok {
+					break
+				}
+				if len(blk) == 0 {
+					t.Fatalf("trial %d range [%d,%d): empty block with ok=true", trial, lo, hi)
+				}
+				got = append(got, blk...)
+			}
+			if err := bc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			bc.Close()
+			if !reflect.DeepEqual(got, append(make([]uint32, 0, hi-lo), ml.Verts[lo:hi]...)) {
+				t.Fatalf("trial %d range [%d,%d): blocks differ from mem verts", trial, lo, hi)
+			}
+		}
+		// Bound blocks from random starts.
+		for r := 0; r < 6; r++ {
+			first := rng.Intn(ml.Groups())
+			want := ml.Offs[first+1:]
+			got := make([]uint64, 0, len(want))
+			bb := hl.BoundBlocks(first)
+			for {
+				blk, ok := bb.NextBlock()
+				if !ok {
+					break
+				}
+				got = append(got, blk...)
+			}
+			if err := bb.Err(); err != nil {
+				t.Fatal(err)
+			}
+			bb.Close()
+			if !reflect.DeepEqual(got, append(make([]uint64, 0, len(want)), want...)) {
+				t.Fatalf("trial %d bounds from %d: blocks differ from mem offs", trial, first)
+			}
+		}
+		// Random access: UnitAt, ParentOf at every index; GroupStart at every
+		// group including the end sentinel.
+		for i := 0; i < ml.Len(); i++ {
+			mu, merr := ml.UnitAt(i)
+			hu, herr := hl.UnitAt(i)
+			if merr != nil || herr != nil || mu != hu {
+				t.Fatalf("trial %d: UnitAt(%d) = %d (%v) vs %d (%v)", trial, i, mu, merr, hu, herr)
+			}
+			mp, merr := ml.ParentOf(i)
+			hp, herr := hl.ParentOf(i)
+			if merr != nil || herr != nil || mp != hp {
+				t.Fatalf("trial %d: ParentOf(%d) = %d (%v) vs %d (%v)", trial, i, mp, merr, hp, herr)
+			}
+		}
+		for g := 0; g <= ml.Groups(); g++ {
+			ms, merr := ml.GroupStart(g)
+			hs, herr := hl.GroupStart(g)
+			if merr != nil || herr != nil || ms != hs {
+				t.Fatalf("trial %d: GroupStart(%d) = %d (%v) vs %d (%v)", trial, g, ms, merr, hs, herr)
+			}
+		}
+		if !reflect.DeepEqual(ml.Predicted(), hl.Predicted()) {
+			t.Fatalf("trial %d: predictions differ", trial)
+		}
+		if hl.Bytes() >= ml.Bytes() && ml.Len() > 50 {
+			t.Fatalf("trial %d: hybrid resident bytes %d not below mem level %d", trial, hl.Bytes(), ml.Bytes())
+		}
+	}
+}
+
+// TestHybridMidBuildSpill drives a build against a budget sized to roughly
+// half the level: the governor must migrate the largest in-flight parts mid
+// build, ending with both residencies present and the resident bytes near
+// the watermark, while the data stays bit-identical to the mem reference.
+func TestHybridMidBuildSpill(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	groups := make([][]uint32, 600)
+	var totalBytes int64
+	for i := range groups {
+		g := make([]uint32, 2+rng.Intn(6))
+		for j := range g {
+			g[j] = rng.Uint32() % 5000
+		}
+		groups[i] = g
+		totalBytes += int64(len(g))*4 + 4
+	}
+	tracker := memtrack.New()
+	q := NewWriteQueue(0, tracker)
+	defer q.Close()
+	budget := totalBytes / 2
+	const nparts = 8
+	hb, err := NewHybridLevelBuilder(t.TempDir(), 3, nparts, q, 0, tracker, budget, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := cse.NewMemLevelBuilder(nparts)
+	per := (len(groups) + nparts - 1) / nparts
+	for i := 0; i < nparts; i++ {
+		lo, hi := min(i*per, len(groups)), min(i*per+per, len(groups))
+		for _, g := range groups[lo:hi] {
+			if err := hb.Part(i).AppendGroup(g, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := mb.Part(i).AppendGroup(g, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := hb.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := mb.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lvl, err := hb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lvl.Close()
+	hl := lvl.(*HybridLevel)
+	if hl.DiskParts() == 0 || hl.MemParts() == 0 {
+		t.Fatalf("placement not hybrid: %d mem / %d disk parts", hl.MemParts(), hl.DiskParts())
+	}
+	// The resident data (excluding the mem parts' 8-byte bounds index) must
+	// respect the governor budget up to one part's growth.
+	var residentVerts int64
+	for i := range hl.parts {
+		if !hl.parts[i].onDisk() {
+			residentVerts += int64(len(hl.parts[i].verts))*4 + int64(hl.parts[i].numGroups)*4
+		}
+	}
+	slack := totalBytes / int64(nparts)
+	if residentVerts > budget+slack {
+		t.Fatalf("resident part bytes %d exceed budget %d + slack %d", residentVerts, budget, slack)
+	}
+	ml, err := mb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ml.(*cse.MemLevel)
+	got := make([]uint32, 0, hl.Len())
+	bc := hl.VertBlocks(0, hl.Len())
+	for {
+		blk, ok := bc.NextBlock()
+		if !ok {
+			break
+		}
+		got = append(got, blk...)
+	}
+	bc.Close()
+	if !reflect.DeepEqual(got, mem.Verts) {
+		t.Fatal("hybrid level data differs from mem reference after mid-build spill")
+	}
+}
+
+// TestHybridPressureSpill shrinks the effective budget mid-build through the
+// external pressure flag (the memtrack high-water signal): parts that fit
+// comfortably before the flag must migrate after it.
+func TestHybridPressureSpill(t *testing.T) {
+	tracker := memtrack.New()
+	q := NewWriteQueue(0, tracker)
+	defer q.Close()
+	var pressure atomic.Bool
+	hb, err := NewHybridLevelBuilder(t.TempDir(), 4, 2, q, 0, tracker, 1<<40, &pressure, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := []uint32{1, 2, 3, 4}
+	for i := 0; i < 50; i++ {
+		if err := hb.Part(0).AppendGroup(group, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pressure.Store(true) // budget collapses mid-build
+	for i := 0; i < 50; i++ {
+		if err := hb.Part(0).AppendGroup(group, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hb.Part(0).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hb.Part(1).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lvl, err := hb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lvl.Close()
+	hl := lvl.(*HybridLevel)
+	if hl.DiskParts() != 1 {
+		t.Fatalf("pressure flag did not migrate the active part: %d disk parts", hl.DiskParts())
+	}
+	if hl.Len() != 400 {
+		t.Fatalf("level len = %d, want 400", hl.Len())
+	}
+}
+
+// TestHybridPressureClears: with a positive pressureLimit, a stale pressure
+// flag (the tracked spike has passed, live is back under the limit) must be
+// cleared by the governor instead of condemning the rest of the level to
+// disk.
+func TestHybridPressureClears(t *testing.T) {
+	tracker := memtrack.New()
+	q := NewWriteQueue(0, tracker)
+	defer q.Close()
+	var pressure atomic.Bool
+	pressure.Store(true) // spike already over: live (0) < limit
+	hb, err := NewHybridLevelBuilder(t.TempDir(), 7, 1, q, 0, tracker, 1<<40, &pressure, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := hb.Part(0).AppendGroup([]uint32{1, 2, 3}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pressure.Load() {
+		t.Fatal("governor did not clear the stale pressure flag")
+	}
+	if err := hb.Part(0).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lvl, err := hb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lvl.Close()
+	if lvl.(*HybridLevel).DiskParts() != 0 {
+		t.Fatal("stale pressure spilled parts despite live bytes under the limit")
+	}
+}
+
+// TestHybridCloseRemovesOnlyDiskParts: Close must delete exactly the files
+// of the migrated parts and be idempotent; memory parts own no files.
+func TestHybridCloseRemovesOnlyDiskParts(t *testing.T) {
+	tracker := memtrack.New()
+	q := NewWriteQueue(0, tracker)
+	defer q.Close()
+	dir := t.TempDir()
+	hb, err := NewHybridLevelBuilder(dir, 5, 3, q, 0, tracker, 1<<40, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb.parts[1].spillReq.Store(true) // only the middle part goes to disk
+	for i := 0; i < 3; i++ {
+		if err := hb.Part(i).AppendGroup([]uint32{uint32(i), uint32(i + 10)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := hb.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lvl, err := hb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 { // L5.p1.vert + L5.p1.cnt, nothing for mem parts
+		t.Fatalf("disk files before Close: %v, want exactly the spilled part's pair", files)
+	}
+	if err := lvl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lvl.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	files, err = filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("Close left files: %v", files)
+	}
+}
+
+// TestWalkerHybridLevelStack runs walker stacks where hybrid levels with
+// mixed placements appear at multiple depths, against the all-memory walk.
+func TestWalkerHybridLevelStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	base := make([]uint32, 40)
+	for i := range base {
+		base[i] = uint32(i + 100)
+	}
+	groups2 := randGroups(rng, len(base))
+	groups2[0] = []uint32{1, 2, 3}
+	ml2, hl2 := buildHybridMixed(t, groups2, 3, map[int]bool{0: true, 2: true}, false)
+	groups3 := randGroups(rng, ml2.Len())
+	groups3[ml2.Len()-1] = []uint32{7, 8}
+	ml3, hl3 := buildHybridMixed(t, groups3, 4, map[int]bool{1: true}, false)
+
+	stack := func(l2, l3 cse.LevelData) *cse.CSE {
+		c := cse.New(cse.NewBaseLevel(base))
+		if err := c.Push(l2); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Push(l3); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	walk := func(c *cse.CSE, lo, hi int) ([][]uint32, []int) {
+		w, err := cse.NewWalker(c, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		var embs [][]uint32
+		var chs []int
+		for {
+			emb, ch, ok := w.Next()
+			if !ok {
+				break
+			}
+			embs = append(embs, append([]uint32(nil), emb...))
+			chs = append(chs, ch)
+		}
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return embs, chs
+	}
+
+	ref := stack(ml2, ml3)
+	n := ml3.Len()
+	variants := map[string]*cse.CSE{
+		"hyb2-mem3": stack(hl2, ml3),
+		"mem2-hyb3": stack(ml2, hl3),
+		"hyb2-hyb3": stack(hl2, hl3),
+	}
+	for _, r := range [][2]int{{0, n}, {1, n}, {n / 3, 2 * n / 3}, {n - 1, n}} {
+		wantE, wantC := walk(ref, r[0], r[1])
+		for name, c := range variants {
+			gotE, gotC := walk(c, r[0], r[1])
+			if !reflect.DeepEqual(gotE, wantE) || !reflect.DeepEqual(gotC, wantC) {
+				t.Fatalf("%s range %v: walk differs from all-memory", name, r)
+			}
+		}
+	}
+}
+
+// TestHybridExtract exercises the random-access path (UnitAt + ParentOf)
+// through CSE.Extract over a hybrid stack.
+func TestHybridExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	base := make([]uint32, 30)
+	for i := range base {
+		base[i] = uint32(i)
+	}
+	groups := randGroups(rng, len(base))
+	groups[3] = []uint32{9, 9, 9}
+	ml, hl := buildHybridMixed(t, groups, 3, map[int]bool{1: true}, false)
+
+	mem := cse.New(cse.NewBaseLevel(base))
+	if err := mem.Push(ml); err != nil {
+		t.Fatal(err)
+	}
+	hyb := cse.New(cse.NewBaseLevel(base))
+	if err := hyb.Push(hl); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint32, 2)
+	got := make([]uint32, 2)
+	for i := 0; i < ml.Len(); i++ {
+		if err := mem.Extract(i, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := hyb.Extract(i, got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Extract(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestHybridAllMemFinish: a build that never crosses the watermark must
+// produce a level with zero disk parts, zero disk bytes, and no files.
+func TestHybridAllMemFinish(t *testing.T) {
+	tracker := memtrack.New()
+	q := NewWriteQueue(0, tracker)
+	defer q.Close()
+	dir := t.TempDir()
+	hb, err := NewHybridLevelBuilder(dir, 6, 2, q, 0, tracker, 1<<40, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := hb.Part(i).AppendGroup([]uint32{uint32(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := hb.Part(i).Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lvl, err := hb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lvl.Close()
+	hl := lvl.(*HybridLevel)
+	if hl.DiskParts() != 0 || hl.DiskBytes() != 0 {
+		t.Fatalf("all-mem build produced %d disk parts / %d disk bytes", hl.DiskParts(), hl.DiskBytes())
+	}
+	if _, w := tracker.IOTotals(); w != 0 {
+		t.Fatalf("all-mem build wrote %d bytes", w)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("all-mem build left files: %v", entries)
+	}
+}

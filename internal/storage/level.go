@@ -68,6 +68,9 @@ func (d *DiskLevel) DiskBytes() int64 {
 	return int64(d.totalVerts)*4 + int64(d.totalGroups)*4
 }
 
+// NumParts reports how many parts the level was written in.
+func (d *DiskLevel) NumParts() int { return len(d.parts) }
+
 // Close closes and removes the level's backing files. The data is scratch
 // output of one exploration run, useless once the level is dropped.
 func (d *DiskLevel) Close() error {
@@ -115,16 +118,23 @@ var cntPool = sync.Pool{New: func() any { return new(cntScratch) }}
 // readCnts reads the cnt entries [lo, hi) of a part into sc's buffers; the
 // returned slice is valid until sc is reused or returned to the pool.
 func (d *DiskLevel) readCnts(pm *diskPartMeta, lo, hi int, sc *cntScratch) ([]uint32, error) {
+	return readCntsAt(pm.cf, lo, hi, d.tracker, sc)
+}
+
+// readCntsAt reads cnt entries [lo, hi) of cf into sc's buffers; the returned
+// slice is valid until sc is reused or returned to the pool. Shared between
+// DiskLevel and the disk-resident parts of HybridLevel.
+func readCntsAt(cf *os.File, lo, hi int, tracker *memtrack.Tracker, sc *cntScratch) ([]uint32, error) {
 	n := hi - lo
 	if cap(sc.buf) < 4*n {
 		sc.buf = make([]byte, 4*n)
 	}
 	buf := sc.buf[:4*n]
-	if _, err := pm.cf.ReadAt(buf, int64(4*lo)); err != nil {
-		return nil, fmt.Errorf("storage: cnt read [%d,%d) of %s: %w", lo, hi, pm.cf.Name(), err)
+	if _, err := cf.ReadAt(buf, int64(4*lo)); err != nil {
+		return nil, fmt.Errorf("storage: cnt read [%d,%d) of %s: %w", lo, hi, cf.Name(), err)
 	}
-	if d.tracker != nil {
-		d.tracker.ReadIO(int64(len(buf)))
+	if tracker != nil {
+		tracker.ReadIO(int64(len(buf)))
 	}
 	if cap(sc.out) < n {
 		sc.out = make([]uint32, n)
@@ -463,7 +473,7 @@ func (b *DiskLevelBuilder) Finish() (cse.LevelData, error) {
 		d.totalVerts += p.numVerts
 		d.totalGroups += p.numGroups
 		if pred {
-			d.pred = append(d.pred, p.segs...)
+			d.pred = append(d.pred, p.acc.Segs...)
 		}
 	}
 	b.parts = nil
@@ -498,8 +508,7 @@ type diskPartWriter struct {
 	numVerts   int
 	numGroups  int
 	chunkCum   []uint64
-	segs       []cse.PredSeg
-	open       cse.PredSeg
+	acc        cse.PredAccum
 	pred       bool
 }
 
@@ -527,14 +536,7 @@ func (p *diskPartWriter) AppendGroup(children []uint32, preds []uint32) error {
 			return fmt.Errorf("storage: %d preds for %d children", len(preds), len(children))
 		}
 		p.pred = true
-		for _, w := range preds {
-			p.open.Leaves++
-			p.open.Work += uint64(w)
-			if p.open.Leaves == cse.PredictChunk {
-				p.segs = append(p.segs, p.open)
-				p.open = cse.PredSeg{}
-			}
-		}
+		p.acc.Add(preds)
 	}
 	return nil
 }
@@ -544,9 +546,6 @@ func (p *diskPartWriter) Flush() error {
 	p.q.Submit(p.vf, p.vbuf)
 	p.q.Submit(p.cf, p.cbuf)
 	p.vbuf, p.cbuf = nil, nil
-	if p.open.Leaves > 0 {
-		p.segs = append(p.segs, p.open)
-		p.open = cse.PredSeg{}
-	}
+	p.acc.Flush()
 	return nil
 }

@@ -1,9 +1,13 @@
 // Package storage implements Kaleido's half-memory-half-disk hybrid storage
-// for CSE levels (paper §4.1, Fig. 7). A level too large for the memory
-// budget is written to disk in t parts (one per exploration thread) through a
-// single writing queue that keeps disk writes sequential; reading streams the
-// parts back through sliding-window prefetch cursors, so the I/O of the next
-// window is hidden behind the computation on the current one.
+// for CSE levels (paper §4.1, Fig. 7). Levels are built in t parts; every
+// part starts in memory and a budget governor migrates the largest in-flight
+// parts to disk when the resident bytes cross the spill watermark
+// (HybridLevelBuilder), so one level's parts can be split between RAM and
+// disk. Migrated parts are written through a single writing queue that keeps
+// disk writes sequential; reading streams them back through sliding-window
+// prefetch cursors, so the I/O of the next window is hidden behind the
+// computation on the current one. DiskLevel remains as the all-disk level
+// representation (and the degenerate hybrid case of a zero budget).
 package storage
 
 import (

@@ -5,9 +5,13 @@
 // Kaleido explores the embeddings (subgraph instances) of a labeled input
 // graph level by level, storing the intermediate data in a Compressed Sparse
 // Embedding (CSE) structure that treats the k-embedding set as a sparse
-// k-dimensional tensor. Levels that exceed the memory budget are transparently
-// spilled to disk (half-memory-half-disk hybrid storage) with sliding-window
-// prefetch and prediction-based load balancing. Pattern aggregation solves
+// k-dimensional tensor. Storage is half-memory-half-disk at part granularity
+// (§4.1): every level is built in memory part by part, and when the resident
+// bytes cross the spill watermark a budget governor migrates the largest
+// in-flight parts to disk mid-build — so a level slightly over budget keeps
+// most of itself in RAM and pays disk I/O (with sliding-window prefetch and
+// prediction-based load balancing) only for the spilled remainder. Pattern
+// aggregation solves
 // the graph-isomorphism problem for embeddings of fewer than 9 vertices with
 // a characteristic-polynomial hash (Faddeev–LeVerrier over the label-weighted
 // adjacency matrix) instead of a canonical-labeling search tree.
@@ -38,15 +42,27 @@ import (
 type Config struct {
 	// Threads is the worker count (0 = GOMAXPROCS).
 	Threads int
-	// MemoryBudget caps the resident bytes of intermediate embedding data;
-	// levels that would exceed it are spilled to SpillDir (§4.1 hybrid
-	// storage). 0 keeps everything in memory.
+	// MemoryBudget caps the resident bytes of intermediate embedding data
+	// (§4.1 hybrid storage). Levels are built in memory part by part; when
+	// the resident total crosses SpillWatermark·MemoryBudget mid-build, the
+	// largest in-flight parts migrate to SpillDir, so a single level can be
+	// half in memory and half on disk. 0 keeps everything in memory.
 	MemoryBudget int64
-	// SpillDir receives spilled CSE levels. Required when MemoryBudget > 0.
+	// SpillDir receives spilled CSE level parts. Required when
+	// MemoryBudget > 0.
 	SpillDir string
+	// SpillWatermark is the fraction of MemoryBudget at which mid-build
+	// spilling starts (0 = the default 0.9). The headroom above the
+	// watermark absorbs allocation growth between spill decisions.
+	SpillWatermark float64
 	// Predict enables the §4.2 candidate-size prediction for balanced
 	// partitioning of spilled levels.
 	Predict bool
+	// PredictSample caps the prediction cost: at most this many groups per
+	// worker chunk pay the exact candidate-union count per child, the rest
+	// extrapolate the latest sampled mean (0 = a sensible default, negative
+	// = predict every group exactly).
+	PredictSample int
 	// Iso selects the isomorphism backend for pattern aggregation.
 	Iso IsoAlgo
 	// Stats, when non-nil, receives memory and I/O accounting.
@@ -74,26 +90,41 @@ type Stats struct {
 	PeakBytes int64
 	// ReadBytes and WriteBytes count hybrid-storage I/O.
 	ReadBytes, WriteBytes int64
+	// SpilledLevels counts expansions that migrated at least one level part
+	// to disk; SpilledParts counts the migrated parts themselves. Under the
+	// per-part hybrid storage a level near the budget typically spills only
+	// some of its parts, so SpilledParts/SpilledLevels measures how partial
+	// the spilling was.
+	SpilledLevels, SpilledParts int
 }
 
 func (c Config) appOptions() (apps.Options, *memtrack.Tracker) {
 	tracker := memtrack.New()
-	return apps.Options{
-		Threads:      c.Threads,
-		MemoryBudget: c.MemoryBudget,
-		SpillDir:     c.SpillDir,
-		Predict:      c.Predict,
-		Iso:          apps.IsoAlgo(c.Iso),
-		Tracker:      tracker,
-	}, tracker
+	opt := apps.Options{
+		Threads:        c.Threads,
+		MemoryBudget:   c.MemoryBudget,
+		SpillDir:       c.SpillDir,
+		SpillWatermark: c.SpillWatermark,
+		Predict:        c.Predict,
+		PredictSample:  c.PredictSample,
+		Iso:            apps.IsoAlgo(c.Iso),
+		Tracker:        tracker,
+	}
+	if c.Stats != nil {
+		opt.Spill = &apps.SpillInfo{}
+	}
+	return opt, tracker
 }
 
-func (c Config) finish(tracker *memtrack.Tracker) {
+func (c Config) finish(tracker *memtrack.Tracker, spill *apps.SpillInfo) {
 	if c.Stats == nil {
 		return
 	}
 	c.Stats.PeakBytes = tracker.Peak()
 	c.Stats.ReadBytes, c.Stats.WriteBytes = tracker.IOTotals()
+	if spill != nil {
+		c.Stats.SpilledLevels, c.Stats.SpilledParts = spill.SpilledLevels, spill.SpilledParts
+	}
 }
 
 // Graph is an immutable labeled undirected graph.
@@ -172,6 +203,9 @@ func (g *Graph) Neighbors(v uint32) []uint32 { return g.g.Neighbors(v) }
 func (c Config) validate() error {
 	if c.MemoryBudget > 0 && c.SpillDir == "" {
 		return fmt.Errorf("kaleido: MemoryBudget set but SpillDir empty")
+	}
+	if c.SpillWatermark < 0 || c.SpillWatermark > 1 {
+		return fmt.Errorf("kaleido: SpillWatermark %v outside [0, 1]", c.SpillWatermark)
 	}
 	if c.Iso < IsoEigen || c.Iso > IsoEigenExact {
 		return fmt.Errorf("kaleido: unknown Iso backend %d", c.Iso)

@@ -96,6 +96,60 @@ func TestPublicStatsAndHybrid(t *testing.T) {
 	if hstats.WriteBytes == 0 {
 		t.Fatal("hybrid run recorded no disk writes")
 	}
+	if hstats.SpilledLevels == 0 || hstats.SpilledParts < hstats.SpilledLevels {
+		t.Fatalf("spill accounting: %d levels / %d parts", hstats.SpilledLevels, hstats.SpilledParts)
+	}
+}
+
+// TestMinerLevelStats drives a Miner under a budget sized mid-level and
+// reads the per-part placement through the public LevelStats surface.
+func TestMinerLevelStats(t *testing.T) {
+	g, err := Synthetic(300, 1200, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference run to size the budget between depth-2 and depth-3 CSEs.
+	ref, err := g.NewMiner(VertexInduced, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if err := ref.Expand(nil); err != nil {
+		t.Fatal(err)
+	}
+	after2 := ref.Bytes()
+	if err := ref.Expand(nil); err != nil {
+		t.Fatal(err)
+	}
+	after3 := ref.Bytes()
+
+	m, err := g.NewMiner(VertexInduced, Config{
+		MemoryBudget: after2 + (after3-after2)/2,
+		SpillDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 2; i++ {
+		if err := m.Expand(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Count() != ref.Count() {
+		t.Fatalf("budgeted count %d != reference %d", m.Count(), ref.Count())
+	}
+	stats := m.LevelStats()
+	if len(stats) != 3 {
+		t.Fatalf("LevelStats len = %d, want 3", len(stats))
+	}
+	top := stats[2]
+	if top.MemParts == 0 || top.DiskParts == 0 || top.DiskBytes == 0 {
+		t.Fatalf("top level not hybrid: %+v", top)
+	}
+	if m.SpilledParts() < top.DiskParts || m.SpilledLevels() == 0 {
+		t.Fatalf("spill counters: %d parts / %d levels", m.SpilledParts(), m.SpilledLevels())
+	}
 }
 
 func TestConfigValidation(t *testing.T) {

@@ -37,12 +37,14 @@ func (g *Graph) NewMiner(mode Mode, cfg Config) (*Miner, error) {
 		return nil, err
 	}
 	e, err := explore.New(explore.Config{
-		Graph:        g.g,
-		Mode:         modeOf(mode),
-		Threads:      cfg.Threads,
-		MemoryBudget: cfg.MemoryBudget,
-		SpillDir:     cfg.SpillDir,
-		Predict:      cfg.Predict,
+		Graph:          g.g,
+		Mode:           modeOf(mode),
+		Threads:        cfg.Threads,
+		MemoryBudget:   cfg.MemoryBudget,
+		SpillDir:       cfg.SpillDir,
+		SpillWatermark: cfg.SpillWatermark,
+		Predict:        cfg.Predict,
+		PredictSample:  cfg.PredictSample,
 	})
 	if err != nil {
 		return nil, err
@@ -81,8 +83,40 @@ func (m *Miner) Count() int { return m.e.Count() }
 // Bytes reports the resident footprint of the intermediate data.
 func (m *Miner) Bytes() int64 { return m.e.Bytes() }
 
-// SpilledLevels reports how many CSE levels live on disk.
+// SpilledLevels reports how many expansions migrated at least one CSE level
+// part to disk.
 func (m *Miner) SpilledLevels() int { return m.e.SpilledLevels() }
+
+// SpilledParts reports how many CSE level parts were migrated to disk. The
+// §4.1 storage is hybrid per part: a level near the memory budget typically
+// keeps most parts resident and spills only the largest few.
+func (m *Miner) SpilledParts() int { return m.e.SpilledParts() }
+
+// LevelStat describes the storage placement of one live CSE level.
+type LevelStat struct {
+	// Len and Groups are the level's embedding and parent-group counts.
+	Len, Groups int
+	// MemParts and DiskParts count the level's parts by residency.
+	MemParts, DiskParts int
+	// ResidentBytes is the in-memory footprint (arrays plus the sparse
+	// indexes of disk parts); DiskBytes is the on-disk footprint.
+	ResidentBytes, DiskBytes int64
+}
+
+// LevelStats reports the placement of every live CSE level, base first —
+// the part-level view of the half-memory-half-disk hybrid storage.
+func (m *Miner) LevelStats() []LevelStat {
+	in := m.e.LevelStats()
+	out := make([]LevelStat, len(in))
+	for i, s := range in {
+		out[i] = LevelStat{
+			Len: s.Len, Groups: s.Groups,
+			MemParts: s.MemParts, DiskParts: s.DiskParts,
+			ResidentBytes: s.ResidentBytes, DiskBytes: s.DiskBytes,
+		}
+	}
+	return out
+}
 
 // ForEach visits every current embedding in parallel. worker identifies the
 // calling goroutine (0..Threads-1) for worker-local state; emb is a reused
