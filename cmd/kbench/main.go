@@ -7,7 +7,9 @@
 //	kbench -exp all -quick        # the full suite, reduced grids
 //
 // Experiments: table2 (+fig10), table3, fig11, fig12, fig13, fig14, table4,
-// fig16 (+fig15), fig17 (+fig18). See EXPERIMENTS.md for the paper-vs-
+// fig16 (+fig15), fig17 (+fig18), plus "sinks" — the fused terminal-
+// expansion paths (clique-d4 / motif-d3 of BENCH_expand.json) with their
+// all-disk write-byte accounting. See EXPERIMENTS.md for the paper-vs-
 // measured record.
 package main
 

@@ -57,4 +57,32 @@ func main() {
 	for _, f := range frequent {
 		fmt.Printf("  %v count=%d support=%d\n", f.Pattern, f.Count, f.Support)
 	}
+
+	// Custom workloads use the Miner directly. The EmbeddingFilter is
+	// worker-aware — the worker index lets a filter keep per-goroutine
+	// scratch (the built-in clique filter uses it for a neighbor marker).
+	// When the run only needs a number, finish with ExpandCount instead of
+	// a final Expand: the last level — the largest one — is counted at the
+	// expansion frontier and never materialized, so it writes zero bytes.
+	m, err := g.NewMiner(kaleido.VertexInduced, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	adjacentToAll := func(_ int, emb []uint32, cand uint32) bool {
+		for _, v := range emb {
+			if !g.HasEdge(v, cand) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := m.Expand(adjacentToAll); err != nil { // 2-cliques: the edges
+		log.Fatal(err)
+	}
+	nclq, err := m.ExpandCount(adjacentToAll) // 3-cliques, not stored
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("3-cliques via Miner.ExpandCount:", nclq) // 3
 }

@@ -2,11 +2,19 @@
 // exploration engine: frequent subgraph mining (edge-induced, MNI support),
 // motif counting, clique discovery, and triangle counting. Each follows the
 // paper's two-phase shape — embedding exploration, then pattern aggregation
-// with per-worker PatternMaps merged by a Reducer.
+// with per-worker PatternMaps merged by a Reducer — but the terminal phase
+// is fused into the exploration through the engine's expansion sinks: the
+// final (largest) level of a run is consumed where it is produced instead
+// of being stored. CliqueCount counts its last expansion with a CountSink,
+// MotifCount's Mapper and FSM's final aggregation ride a VisitSink, and
+// FSM's level-synchronous pruning rewrites the top level in place
+// (FilterTop's keep sink) — so every application writes zero bytes for its
+// terminal level, on any storage regime.
 package apps
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"kaleido/internal/blisslike"
@@ -119,7 +127,11 @@ func sortCounts(out []PatternCount) {
 
 // TriangleCount counts triangles (§5.1): explore canonical 2-embeddings,
 // then each Mapper counts common neighbors beyond the larger endpoint so
-// every triangle is counted exactly once.
+// every triangle is counted exactly once. Consecutive embeddings of a
+// worker's range share their first vertex, so each worker marks N(u) once
+// per run with its NeighborMarker and then answers every probe in O(1) —
+// one gallop to the first neighbor past v plus one probe per remaining
+// neighbor, instead of a fresh linear merge of both lists per embedding.
 func TriangleCount(g *graph.Graph, opt Options) (uint64, error) {
 	e, err := explore.New(opt.exploreConfig(g, explore.VertexInduced))
 	if err != nil {
@@ -133,24 +145,31 @@ func TriangleCount(g *graph.Graph, opt Options) (uint64, error) {
 	if err := e.Expand(nil, nil); err != nil {
 		return 0, err
 	}
-	counts := make([]uint64, threadsOf(opt))
+	nw := threadsOf(opt)
+	counts := make([]uint64, nw)
+	type markState struct {
+		mk     *graph.NeighborMarker
+		u      uint32
+		marked bool
+	}
+	states := make([]*markState, nw)
 	err = e.ForEach(func(w int, emb []uint32) error {
 		u, v := emb[0], emb[1]
-		nu, nv := g.Neighbors(u), g.Neighbors(v)
-		i, j := 0, 0
+		st := states[w]
+		if st == nil {
+			st = &markState{mk: g.NewNeighborMarker()}
+			states[w] = st
+		}
+		if !st.marked || st.u != u {
+			st.mk.Begin()
+			st.mk.MarkNeighbors(u)
+			st.u, st.marked = u, true
+		}
+		nv := g.Neighbors(v)
 		var c uint64
-		for i < len(nu) && j < len(nv) {
-			switch {
-			case nu[i] < nv[j]:
-				i++
-			case nu[i] > nv[j]:
-				j++
-			default:
-				if nu[i] > v {
-					c++
-				}
-				i++
-				j++
+		for j := sort.Search(len(nv), func(x int) bool { return nv[x] > v }); j < len(nv); j++ {
+			if st.mk.Marked(nv[j]) {
+				c++
 			}
 		}
 		counts[w] += c
@@ -166,9 +185,45 @@ func TriangleCount(g *graph.Graph, opt Options) (uint64, error) {
 	return total, nil
 }
 
+// cliqueFilter returns the worker-aware clique EmbeddingFilter: a candidate
+// must be adjacent to every embedding vertex. Instead of one adjacency
+// search per (candidate, embedding vertex) pair, each worker keeps a
+// NeighborMarker: the prefix emb[:k-1] — shared by a whole run of leaves —
+// is marked once at O(Σ deg), after which each candidate costs one O(1)
+// count probe (adjacent to all k−1 prefix vertices?) plus a single
+// adjacency test against the leaf.
+func cliqueFilter(g *graph.Graph, nw int) explore.VertexFilter {
+	type markState struct {
+		mk     *graph.NeighborMarker
+		prefix []uint32
+		marked bool
+	}
+	states := make([]*markState, nw)
+	return func(w int, emb []uint32, cand uint32) bool {
+		st := states[w]
+		if st == nil {
+			st = &markState{mk: g.NewNeighborMarker()}
+			states[w] = st
+		}
+		pre := emb[:len(emb)-1]
+		if !st.marked || !slices.Equal(st.prefix, pre) {
+			st.mk.Begin()
+			for _, v := range pre {
+				st.mk.MarkNeighbors(v)
+			}
+			st.prefix = append(st.prefix[:0], pre...)
+			st.marked = true
+		}
+		return st.mk.Count(cand) == len(pre) && g.HasEdge(emb[len(emb)-1], cand)
+	}
+}
+
 // CliqueCount counts k-cliques (§5.1): the EmbeddingFilter admits only
-// candidates adjacent to every embedding vertex, so after k−1 expansions
-// every embedding is a k-clique and no pattern computation is needed.
+// candidates adjacent to every embedding vertex, so every surviving
+// extension is a k-clique and no pattern computation is needed. Only k−2
+// levels are materialized: the final expansion — the largest level of the
+// run — is consumed by a CountSink at the frontier (§6.5 generalized), so
+// zero bytes are written for it.
 func CliqueCount(g *graph.Graph, k int, opt Options) (uint64, error) {
 	if k < 2 {
 		return 0, fmt.Errorf("apps: clique size %d < 2", k)
@@ -182,20 +237,13 @@ func CliqueCount(g *graph.Graph, k int, opt Options) (uint64, error) {
 	if err := e.InitVertices(nil); err != nil {
 		return 0, err
 	}
-	filter := func(emb []uint32, cand uint32) bool {
-		for _, v := range emb {
-			if !g.HasEdge(v, cand) {
-				return false
-			}
-		}
-		return true
-	}
-	for i := 1; i < k; i++ {
+	filter := cliqueFilter(g, threadsOf(opt))
+	for i := 1; i < k-1; i++ {
 		if err := e.Expand(filter, nil); err != nil {
 			return 0, err
 		}
 	}
-	return uint64(e.Count()), nil
+	return e.ExpandCount(filter, nil)
 }
 
 // MotifCount counts the frequency of every k-motif (§5.1): exploration stops
@@ -215,8 +263,8 @@ func MotifCount(g *graph.Graph, k int, opt Options) ([]PatternCount, error) {
 	if err := e.InitVertices(nil); err != nil {
 		return nil, err
 	}
-	// k-Motif stores only k−1 levels (§6.5): the last expansion happens
-	// inside the Mapper.
+	// k-Motif stores only k−1 levels (§6.5): the last expansion is consumed
+	// by the Mapper at the frontier through a VisitSink.
 	for i := 1; i < k-1; i++ {
 		if err := e.Expand(nil, nil); err != nil {
 			return nil, err
@@ -234,7 +282,7 @@ func MotifCount(g *graph.Graph, k int, opt Options) ([]PatternCount, error) {
 	for i := range verts {
 		verts[i] = make([]uint32, k)
 	}
-	err = e.ForEachExpansion(nil, func(w int, emb []uint32, cand uint32) error {
+	err = e.ExpandVisit(nil, nil, func(w int, emb []uint32, cand uint32) error {
 		vs := verts[w]
 		copy(vs, emb)
 		vs[k-1] = cand

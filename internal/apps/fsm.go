@@ -53,7 +53,7 @@ func FSM(g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, er
 
 	// EmbeddingFilter: the candidate edge must itself be frequent and the
 	// embedding must not exceed k distinct vertices.
-	filter := func(emb []uint32, verts []uint32, cand uint32) bool {
+	filter := func(_ int, emb []uint32, verts []uint32, cand uint32) bool {
 		ed := g.EdgeAt(cand)
 		if !freqPairs[pairKey(g.Label(ed.U), g.Label(ed.V))] {
 			return false
@@ -70,15 +70,18 @@ func FSM(g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, er
 
 	var result []PatternCount
 	for level := 2; level <= k-1; level++ {
-		if err := e.Expand(nil, filter); err != nil {
-			return nil, err
-		}
-		merged, err := aggregateFSM(g, e, support, opt)
-		if err != nil {
-			return nil, err
-		}
 		if level < k-1 {
-			// Reducer pruning: drop embeddings of infrequent patterns.
+			if err := e.Expand(nil, filter); err != nil {
+				return nil, err
+			}
+			merged, err := aggregateFSM(g, e, support, opt)
+			if err != nil {
+				return nil, err
+			}
+			// Reducer pruning: drop embeddings of infrequent patterns. The
+			// top level is rewritten in place (keep sink): resident data is
+			// compacted where it sits instead of being copied through a
+			// fresh level builder.
 			nw := threadsOf(opt)
 			hashers := make([]hasher, nw)
 			bufs := make([][]uint32, nw)
@@ -101,7 +104,13 @@ func FSM(g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, er
 			}
 			continue
 		}
-		// Final level: emit frequent patterns.
+		// Final level: the largest level of the run is aggregated at the
+		// expansion frontier (VisitSink) and never materialized — the §6.5
+		// terminal-consumption trick applied to FSM.
+		merged, err := aggregateFSMFused(g, e, filter, support, opt)
+		if err != nil {
+			return nil, err
+		}
 		for _, agg := range merged {
 			if !agg.Frequent() {
 				continue
@@ -176,41 +185,84 @@ func frequentEdgePatterns(g *graph.Graph, support uint64) (map[uint32]bool, []Pa
 	return freq, counts
 }
 
+// fsmAggregator is the per-worker Mapper state of FSM's pattern
+// aggregation, shared by the materialized path (ForEach over a stored
+// level) and the fused path (VisitSink at the expansion frontier).
+type fsmAggregator struct {
+	g       *graph.Graph
+	support uint64
+	maps    []map[uint64]*mni.Agg
+	hashers []hasher
+	bufs    [][]uint32
+}
+
+func newFSMAggregator(g *graph.Graph, support uint64, opt Options) *fsmAggregator {
+	nw := threadsOf(opt)
+	a := &fsmAggregator{
+		g: g, support: support,
+		maps:    make([]map[uint64]*mni.Agg, nw),
+		hashers: make([]hasher, nw),
+		bufs:    make([][]uint32, nw),
+	}
+	for i := range a.maps {
+		a.maps[i] = map[uint64]*mni.Agg{}
+		a.hashers[i] = newHasher(opt.Iso)
+		a.bufs[i] = make([]uint32, 0, 16)
+	}
+	return a
+}
+
+// add folds one embedding into worker w's PatternMap.
+func (a *fsmAggregator) add(w int, emb []uint32) error {
+	p, verts, err := patternOfEdges(a.g, emb, a.bufs[w])
+	a.bufs[w] = verts[:0]
+	if err != nil {
+		return err
+	}
+	var perm [pattern.MaxK]uint8
+	p.SortByLabelDegreeTracked(&perm)
+	h := a.hashers[w].Hash(p) // already sorted; hash only
+	agg, ok := a.maps[w][h]
+	if !ok {
+		agg = mni.NewAgg(p)
+		a.maps[w][h] = agg
+	}
+	agg.Insert(verts, &perm, a.support)
+	return nil
+}
+
+// merge Reduces the per-worker maps into one (the paper notes this merge is
+// the scalability cost of FSM, Fig. 14).
+func (a *fsmAggregator) merge() map[uint64]*mni.Agg {
+	return mni.MergeMaps(a.maps, a.support)
+}
+
 // aggregateFSM runs the Mapper over all top-level embeddings with per-worker
 // PatternMaps, then Reduces them into one map keyed by isomorphism hash.
 func aggregateFSM(g *graph.Graph, e *explore.Explorer, support uint64, opt Options) (map[uint64]*mni.Agg, error) {
-	nw := threadsOf(opt)
-	maps := make([]map[uint64]*mni.Agg, nw)
-	hashers := make([]hasher, nw)
-	bufs := make([][]uint32, nw)
-	for i := range maps {
-		maps[i] = map[uint64]*mni.Agg{}
-		hashers[i] = newHasher(opt.Iso)
-		bufs[i] = make([]uint32, 0, 16)
+	a := newFSMAggregator(g, support, opt)
+	if err := e.ForEach(a.add); err != nil {
+		return nil, err
 	}
-	err := e.ForEach(func(w int, emb []uint32) error {
-		p, verts, err := patternOfEdges(g, emb, bufs[w])
-		bufs[w] = verts[:0]
-		if err != nil {
-			return err
-		}
-		var perm [pattern.MaxK]uint8
-		p.SortByLabelDegreeTracked(&perm)
-		h := hashers[w].Hash(p) // already sorted; hash only
-		agg, ok := maps[w][h]
-		if !ok {
-			agg = mni.NewAgg(p)
-			maps[w][h] = agg
-		}
-		agg.Insert(verts, &perm, support)
-		return nil
+	return a.merge(), nil
+}
+
+// aggregateFSMFused is aggregateFSM fused into the expansion itself: the
+// final level's embeddings are handed to the Mapper as they are produced
+// (VisitSink) and never stored, so FSM's largest level writes zero bytes.
+func aggregateFSMFused(g *graph.Graph, e *explore.Explorer, filter explore.EdgeFilter, support uint64, opt Options) (map[uint64]*mni.Agg, error) {
+	a := newFSMAggregator(g, support, opt)
+	embBufs := make([][]uint32, threadsOf(opt))
+	err := e.ExpandVisit(nil, filter, func(w int, emb []uint32, cand uint32) error {
+		buf := append(embBufs[w][:0], emb...)
+		buf = append(buf, cand)
+		embBufs[w] = buf
+		return a.add(w, buf)
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Reducer: merge per-worker maps (the paper notes this merge is the
-	// scalability cost of FSM, Fig. 14).
-	return mni.MergeMaps(maps, support), nil
+	return a.merge(), nil
 }
 
 // patternOfEdges builds the labeled pattern of an edge-induced embedding.

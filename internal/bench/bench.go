@@ -74,7 +74,7 @@ func (r Result) Render() string {
 
 // Experiments lists the available experiment ids in paper order.
 func Experiments() []string {
-	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17"}
+	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks"}
 }
 
 // Run executes one experiment by id.
@@ -98,6 +98,8 @@ func Run(id string, cfg RunConfig) ([]Result, error) {
 		return fig16(cfg)
 	case "fig17":
 		return fig17(cfg)
+	case "sinks":
+		return sinks(cfg)
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
 	}

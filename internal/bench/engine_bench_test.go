@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"testing"
 
+	"kaleido/internal/apps"
 	"kaleido/internal/explore"
 	"kaleido/internal/gen"
 	"kaleido/internal/graph"
@@ -88,6 +89,73 @@ func expandCases() []expandCase {
 		// throughput must land strictly between vertex-d3 (all-mem) and
 		// vertex-d3-disk (all-disk).
 		{name: "vertex-d3-hybrid", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4, budget: 1_350_000},
+	}
+}
+
+// appCase is an end-to-end application run on the bench graph — the
+// workloads whose terminal expansion the sink pipeline consumes instead of
+// materializing (clique's final level through CountSink, motif's Mapper
+// through VisitSink). The measured unit is the whole run, exploration plus
+// terminal consumption, so the snapshot numbers capture the bytes the fused
+// paths stop writing.
+type appCase struct {
+	name    string
+	threads int
+	run     func(g *graph.Graph, opt apps.Options) (uint64, error)
+}
+
+func appCases() []appCase {
+	return []appCase{
+		{name: "clique-d4", threads: 4, run: func(g *graph.Graph, opt apps.Options) (uint64, error) {
+			return apps.CliqueCount(g, 4, opt)
+		}},
+		{name: "motif-d3", threads: 4, run: func(g *graph.Graph, opt apps.Options) (uint64, error) {
+			res, err := apps.MotifCount(g, 3, opt)
+			if err != nil {
+				return 0, err
+			}
+			var total uint64
+			for _, pc := range res {
+				total += pc.Count
+			}
+			return total, nil
+		}},
+	}
+}
+
+// measureAppCase benchmarks one application run, returning the result and
+// the produced count (clique count / total motif occurrences) so the guard
+// can detect correctness drift alongside throughput regressions.
+func measureAppCase(c appCase) (testing.BenchmarkResult, int) {
+	var produced uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		g := engineGraph(b, 4000, 16000, 42)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := c.run(g, apps.Options{Threads: c.threads})
+			if err != nil {
+				b.Fatal(err)
+			}
+			produced = v
+		}
+	})
+	return r, int(produced)
+}
+
+// BenchmarkApps measures the end-to-end application cases of the snapshot.
+func BenchmarkApps(b *testing.B) {
+	for _, c := range appCases() {
+		b.Run(c.name, func(b *testing.B) {
+			g := engineGraph(b, 4000, 16000, 42)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.run(g, apps.Options{Threads: c.threads}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -238,6 +306,16 @@ func TestEmitExpandBenchSnapshot(t *testing.T) {
 			Embeddings:  produced,
 		})
 	}
+	for _, c := range appCases() {
+		r, produced := measureAppCase(c)
+		snaps = append(snaps, expandSnapshot{
+			Name:        c.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Embeddings:  produced,
+		})
+	}
 	data, err := json.MarshalIndent(snaps, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -285,22 +363,18 @@ func TestBenchThroughputGuard(t *testing.T) {
 	for _, r := range snap.After.Results {
 		byName[r.Name] = r
 	}
-	guarded := map[string]bool{"vertex-d3": true, "edge-d3": true, "vertex-d3-disk": true, "vertex-d3-hybrid": true}
-	for _, c := range expandCases() {
-		if !guarded[c.name] {
-			continue
-		}
-		want, ok := byName[c.name]
+	guardOne := func(name string, measure func() (testing.BenchmarkResult, int)) {
+		want, ok := byName[name]
 		if !ok {
-			t.Errorf("%s: missing from snapshot %s", c.name, path)
-			continue
+			t.Errorf("%s: missing from snapshot %s", name, path)
+			return
 		}
 		// Best of three damps scheduler noise; only a sustained slowdown
 		// beyond the tolerance fails.
 		best := float64(0)
 		produced := 0
 		for run := 0; run < 3; run++ {
-			r, p := measureExpandCase(c)
+			r, p := measure()
 			if ns := float64(r.NsPerOp()); best == 0 || ns < best {
 				best = ns
 			}
@@ -308,13 +382,27 @@ func TestBenchThroughputGuard(t *testing.T) {
 		}
 		if produced != want.Embeddings {
 			t.Errorf("%s: produced %d embeddings, snapshot says %d — correctness drift, regenerate BENCH_expand.json deliberately",
-				c.name, produced, want.Embeddings)
+				name, produced, want.Embeddings)
 		}
 		if best > want.NsPerOp*tolerance {
 			t.Errorf("%s: %.1fms/op vs snapshot %.1fms/op — >%.0f%% throughput regression",
-				c.name, best/1e6, want.NsPerOp/1e6, (tolerance-1)*100)
+				name, best/1e6, want.NsPerOp/1e6, (tolerance-1)*100)
 		} else {
-			t.Logf("%s: %.1fms/op (snapshot %.1fms/op)", c.name, best/1e6, want.NsPerOp/1e6)
+			t.Logf("%s: %.1fms/op (snapshot %.1fms/op)", name, best/1e6, want.NsPerOp/1e6)
 		}
+	}
+	guarded := map[string]bool{"vertex-d3": true, "edge-d3": true, "vertex-d3-disk": true, "vertex-d3-hybrid": true}
+	for _, c := range expandCases() {
+		if !guarded[c.name] {
+			continue
+		}
+		c := c
+		guardOne(c.name, func() (testing.BenchmarkResult, int) { return measureExpandCase(c) })
+	}
+	// The fused application paths (CountSink / VisitSink) are guarded
+	// end-to-end: both the count they produce and their throughput.
+	for _, c := range appCases() {
+		c := c
+		guardOne(c.name, func() (testing.BenchmarkResult, int) { return measureAppCase(c) })
 	}
 }

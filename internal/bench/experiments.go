@@ -7,6 +7,7 @@ import (
 
 	"kaleido/internal/apps"
 	"kaleido/internal/dataset"
+	"kaleido/internal/gen"
 	"kaleido/internal/graph"
 	"kaleido/internal/memtrack"
 )
@@ -382,6 +383,59 @@ func fig17(cfg RunConfig) ([]Result, error) {
 		res.Rows = append(res.Rows, []string{w.name, pred.timeCell(), nopred.timeCell(), speed})
 	}
 	res.Notes = append(res.Notes, "paper: prediction outperforms non-prediction by ~1.2× and smooths CPU utilization (Fig. 18)")
+	return []Result{res}, nil
+}
+
+// sinks measures the fused terminal paths end-to-end on the benchmark's
+// synthetic power-law graph (the clique-d4 / motif-d3 cases of
+// BENCH_expand.json, plus a small FSM): each workload's final level is
+// consumed at the expansion frontier (CountSink / VisitSink), so under an
+// all-disk budget the run's write bytes cover only its stored levels — the
+// terminal level contributes nothing.
+func sinks(cfg RunConfig) ([]Result, error) {
+	res := Result{
+		ID:     "sinks",
+		Title:  "fused terminal expansion, synthetic power-law (4000 v, 16000 e)",
+		Header: []string{"Workload", "t", "peak MB", "disk writes (budget 1 B)"},
+	}
+	g, err := gen.PowerLaw(gen.Config{N: 4000, M: 16000, Alpha: 2.6, NumLabels: 8, LabelSkew: 0.7, Seed: 42})
+	if err != nil {
+		return nil, err
+	}
+	type wl struct {
+		name string
+		run  func(opt apps.Options) error
+	}
+	wls := []wl{
+		{"4-Clique (CountSink)", func(opt apps.Options) error { _, err := apps.CliqueCount(g, 4, opt); return err }},
+		{"3-Motif (VisitSink)", func(opt apps.Options) error { _, err := apps.MotifCount(g, 3, opt); return err }},
+		{"3-FSM s=100 (VisitSink+KeepSink)", func(opt apps.Options) error { _, err := apps.FSM(g, 3, 100, opt); return err }},
+	}
+	if cfg.Quick {
+		wls = wls[:2]
+	}
+	for _, w := range wls {
+		m := timed(func(tr *memtrack.Tracker) error {
+			return w.run(apps.Options{Threads: cfg.Threads, Tracker: tr})
+		})
+		dir, err := os.MkdirTemp(cfg.SpillDir, "sinks")
+		if err != nil {
+			return nil, err
+		}
+		tr := memtrack.New()
+		err = w.run(apps.Options{
+			Threads: cfg.Threads, Tracker: tr, MemoryBudget: 1, SpillDir: dir,
+			SpillWatermark: cfg.SpillWatermark, PredictSample: cfg.PredictSample,
+		})
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s under all-disk budget: %w", w.name, err)
+		}
+		_, wr := tr.IOTotals()
+		res.Rows = append(res.Rows, []string{w.name, m.timeCell(), m.memCell(), fmt.Sprintf("%.1f KB", float64(wr)/1024)})
+	}
+	res.Notes = append(res.Notes,
+		"terminal levels write zero bytes: the disk-writes column counts only the k-2 stored levels (differential tests in internal/apps pin the counts)")
 	return []Result{res}, nil
 }
 

@@ -34,7 +34,7 @@ func refExpandVertex(g *graph.Graph, embs [][]uint32, vf VertexFilter) [][]uint3
 			if !CanonicalVertex(g, emb, u) {
 				continue
 			}
-			if vf != nil && !vf(emb, u) {
+			if vf != nil && !vf(0, emb, u) {
 				continue
 			}
 			child := append(append([]uint32(nil), emb...), u)
@@ -171,7 +171,7 @@ func TestDifferentialFusedCanonicalVertexWithFilter(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		n := 10 + rng.Intn(15)
 		g := randomGraph(rng, n, rng.Intn(5*n)+n)
-		clique := func(emb []uint32, cand uint32) bool {
+		clique := func(_ int, emb []uint32, cand uint32) bool {
 			for _, v := range emb {
 				if !g.HasEdge(v, cand) {
 					return false

@@ -1,3 +1,17 @@
+// Package explore drives Kaleido's level-synchronous embedding exploration
+// (§4, Listing 1): an Explorer owns the CSE, expands it one level per
+// iteration under the fused Definition-2 canonical filter, and parallelizes
+// every operation over work-stealing chunks with pooled per-worker scratch.
+//
+// Expansion is sink-driven: Expand produces a stream of (parent embedding,
+// canonical children) pairs and emits it into a pluggable ExpandSink.
+// StoreSink materializes the stream as the next CSE level (in memory, or
+// part-by-part hybrid under a memory budget); the terminal sinks consume it
+// at the frontier instead — CountSink tallies it (ExpandCount), VisitSink
+// hands every extension to a per-worker callback (ExpandVisit), so the
+// largest level of a counting or aggregating workload is never written
+// (§6.5 generalized). FilterTop is the keep-side analogue: resident levels
+// are rewritten in place rather than copied through a fresh builder.
 package explore
 
 import (
@@ -25,12 +39,17 @@ const (
 
 // VertexFilter is the user-defined EmbeddingFilter of the Kaleido API for
 // vertex-induced exploration: may cand be appended to emb? The default
-// canonical filter has already passed when it is called.
-type VertexFilter func(emb []uint32, cand uint32) bool
+// canonical filter has already passed when it is called. worker identifies
+// the calling goroutine (0..Threads-1) so a filter can keep per-worker
+// scratch — e.g. a graph.NeighborMarker that marks the embedding's
+// neighborhoods once per prefix and answers each candidate probe in O(1)
+// instead of per-candidate adjacency searches.
+type VertexFilter func(worker int, emb []uint32, cand uint32) bool
 
 // EdgeFilter is the edge-induced EmbeddingFilter: emb holds edge ids, verts
-// the sorted vertex set, cand the candidate edge id.
-type EdgeFilter func(emb []uint32, verts []uint32, cand uint32) bool
+// the sorted vertex set, cand the candidate edge id. worker identifies the
+// calling goroutine for per-worker filter scratch.
+type EdgeFilter func(worker int, emb []uint32, verts []uint32, cand uint32) bool
 
 // Config configures an Explorer.
 type Config struct {
@@ -101,6 +120,12 @@ type Explorer struct {
 	// memBuilder is the reusable in-memory level builder (exploration ops
 	// run one at a time, so a single instance suffices).
 	memBuilder *cse.MemLevelBuilder
+	// hybridBuilder is the pooled budget-governed builder, re-armed per
+	// build so its part-writer slice (and, via the storage part pool, the
+	// part buffers) survive across Expand iterations.
+	hybridBuilder *storage.HybridLevelBuilder
+	// store is the pooled StoreSink behind Expand.
+	store StoreSink
 
 	// lastFanout/prevFanout are the measured children-per-embedding of the
 	// two most recent expansions — the pre-sizing fallback when no §4.2
@@ -344,54 +369,16 @@ func (e *Explorer) Close() error {
 // Expand runs one exploration iteration, deriving level k+1 from level k
 // under the default canonical filter plus the optional user filter (vf for
 // vertex-induced mode, ef for edge-induced mode; pass the one matching the
-// explorer's mode, nil for none).
+// explorer's mode, nil for none). It is ExpandTo with the pooled StoreSink;
+// see ExpandCount and ExpandVisit for the terminal sinks that skip the
+// materialization.
 //
-// Exploration operations (Expand, ForEach, ForEachExpansion, FilterTop)
-// share the explorer's pooled per-worker scratch: they parallelize
-// internally, but at most one of them may run on an Explorer at a time.
+// Exploration operations (Expand and its sink variants, ForEach,
+// ForEachExpansion, FilterTop) share the explorer's pooled per-worker
+// scratch: they parallelize internally, but at most one of them may run on
+// an Explorer at a time.
 func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
-	if e.c == nil {
-		return fmt.Errorf("explore: not initialized")
-	}
-	top := e.c.Top()
-	n := top.Len()
-	k := e.c.Depth()
-
-	bounds := e.partition(top, e.buildChunks(n, e.c.Bytes()))
-	builder, err := e.levelBuilderFor(top, bounds, e.c.Bytes())
-	if err != nil {
-		return err
-	}
-
-	err = e.runParallel(len(bounds)-1, func(worker, chunk int) error {
-		lo, hi := bounds[chunk], bounds[chunk+1]
-		pw := builder.Part(chunk)
-		if err := e.expandRange(k, lo, hi, worker, pw, vf, ef); err != nil {
-			return err
-		}
-		return pw.Flush()
-	})
-	if err != nil {
-		builder.Abort()
-		return err
-	}
-	lvl, err := builder.Finish()
-	if err != nil {
-		return err
-	}
-	if err := e.c.Push(lvl); err != nil {
-		lvl.Close()
-		return err
-	}
-	if _, dp, _ := levelPlacement(lvl); dp > 0 {
-		e.spilled++
-		e.spilledParts += dp
-	}
-	e.charge(lvl.Bytes())
-	if n > 0 {
-		e.prevFanout, e.lastFanout = e.lastFanout, float64(lvl.Len())/float64(n)
-	}
-	return nil
+	return e.ExpandTo(&e.store, vf, ef)
 }
 
 // partReserver is the pre-sizing hook shared by the memory and hybrid level
@@ -421,9 +408,12 @@ func (e *Explorer) levelBuilderFor(top cse.LevelData, bounds []int, baseBytes in
 	return hb, nil
 }
 
-// hybridBuilderFor creates a budget-governed hybrid builder of nparts parts,
-// where baseBytes of the budget are already held by levels that will remain
-// resident alongside the new one.
+// hybridBuilderFor re-arms the pooled budget-governed hybrid builder for
+// nparts parts, where baseBytes of the budget are already held by levels
+// that will remain resident alongside the new one. The builder (and, via
+// the storage part-buffer pool, the buffers of parts whose levels have been
+// popped or filtered) is reused across Expand iterations instead of being
+// allocated per level.
 func (e *Explorer) hybridBuilderFor(nparts int, baseBytes int64) (*storage.HybridLevelBuilder, error) {
 	if e.queue == nil {
 		e.queue = storage.NewWriteQueue(e.cfg.BufSize, e.cfg.Tracker)
@@ -431,14 +421,20 @@ func (e *Explorer) hybridBuilderFor(nparts int, baseBytes int64) (*storage.Hybri
 	// Refresh external pressure: tracked memory may already exceed the
 	// budget before this build starts (pattern maps, earlier levels).
 	e.pressure.Store(e.cfg.Tracker != nil && e.cfg.Tracker.Live() >= e.cfg.MemoryBudget)
-	hb, err := storage.NewHybridLevelBuilder(
-		e.cfg.SpillDir, e.levelSeq, nparts, e.queue, e.cfg.BlockSize, e.cfg.Tracker,
-		e.buildBudget(baseBytes), &e.pressure, e.cfg.MemoryBudget)
-	if err != nil {
-		return nil, err
+	budget := e.buildBudget(baseBytes)
+	if e.hybridBuilder == nil {
+		hb, err := storage.NewHybridLevelBuilder(
+			e.cfg.SpillDir, e.levelSeq, nparts, e.queue, e.cfg.BlockSize, e.cfg.Tracker,
+			budget, &e.pressure, e.cfg.MemoryBudget)
+		if err != nil {
+			return nil, err
+		}
+		e.hybridBuilder = hb
+	} else {
+		e.hybridBuilder.Reset(e.levelSeq, nparts, budget)
 	}
 	e.levelSeq++
-	return hb, nil
+	return e.hybridBuilder, nil
 }
 
 // buildBudget returns the governor watermark for a new level build: the
@@ -534,9 +530,9 @@ func segWorkPerRange(segs []cse.PredSeg, bounds []int) []int {
 	return out
 }
 
-// expandRange expands top-level embeddings [lo, hi) into pw, using worker's
-// pooled scratch.
-func (e *Explorer) expandRange(k, lo, hi, worker int, pw cse.PartWriter, vf VertexFilter, ef EdgeFilter) error {
+// expandRange expands top-level embeddings [lo, hi) into sink chunk, using
+// worker's pooled scratch.
+func (e *Explorer) expandRange(k, lo, hi, worker, chunk int, sink ExpandSink, predicting bool, vf VertexFilter, ef EdgeFilter) error {
 	w, err := e.walkerFor(worker, lo, hi)
 	if err != nil {
 		return err
@@ -551,12 +547,12 @@ func (e *Explorer) expandRange(k, lo, hi, worker int, pw cse.PartWriter, vf Vert
 	// Both modes run the fused fast path: per run, refresh the shared prefix
 	// once; per leaf, consume cands[k-2] ∪ N(leaf) as it is merged — the
 	// leaf-level candidate set is never materialized. When the §4.2
-	// prediction is on, only every stride-th group pays the exact per-child
+	// prediction is on (storing sinks only; a consumed expansion has no next
+	// level to balance), only every stride-th group pays the exact per-child
 	// candidate-union count (which needs the materialized level-k candidate
 	// set, refreshLevel); the groups in between reuse the latest sampled
 	// per-child mean, bounding prediction cost to PredictSample groups per
 	// chunk instead of every embedding.
-	predicting := e.cfg.Predict
 	ps := predSampler{
 		stride: e.predictStride(hi - lo),
 		mean:   uint32(e.cfg.Graph.AvgDegree()) + 1,
@@ -574,13 +570,13 @@ func (e *Explorer) expandRange(k, lo, hi, worker int, pw cse.PartWriter, vf Vert
 			}
 			for _, u := range leaves {
 				emb[k-1] = u
-				children = st.appendCanonical(k, u, emb, vf, children[:0])
+				children = st.appendCanonical(k, u, emb, worker, vf, children[:0])
 				var pr []uint32
 				if predicting {
 					preds = ps.groupPreds(st, k, emb, children, preds)
 					pr = preds
 				}
-				if err := pw.AppendGroup(children, pr); err != nil {
+				if err := sink.emit(worker, chunk, emb, children, pr); err != nil {
 					return err
 				}
 			}
@@ -598,13 +594,13 @@ func (e *Explorer) expandRange(k, lo, hi, worker int, pw cse.PartWriter, vf Vert
 		}
 		for _, f := range leaves {
 			emb[k-1] = f
-			children = st.appendCanonical(k, f, emb, ef, children[:0])
+			children = st.appendCanonical(k, f, emb, worker, ef, children[:0])
 			var pr []uint32
 			if predicting {
 				preds = ps.groupPreds(st, k, emb, children, preds)
 				pr = preds
 			}
-			if err := pw.AppendGroup(children, pr); err != nil {
+			if err := sink.emit(worker, chunk, emb, children, pr); err != nil {
 				return err
 			}
 		}
@@ -710,161 +706,15 @@ func (e *Explorer) ForEach(visit func(worker int, emb []uint32) error) error {
 
 // ForEachExpansion enumerates, for every top-level embedding, its canonical
 // filtered candidate extensions without materializing a new level — the
-// exploration step motif counting's Mapper performs (§5.1). Vertex-induced
-// mode only. Uses the pooled per-worker scratch — do not run it
+// exploration step motif counting's Mapper performs (§5.1). It is a
+// vertex-induced wrapper over ExpandVisit, the sink primitive that serves
+// both modes. Uses the pooled per-worker scratch — do not run it
 // concurrently with another operation on the same Explorer.
 func (e *Explorer) ForEachExpansion(vf VertexFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
 	if e.cfg.Mode != VertexInduced {
 		return fmt.Errorf("explore: ForEachExpansion requires vertex-induced mode")
 	}
-	k := e.c.Depth()
-	top := e.c.Top()
-	bounds := e.partition(top, e.chunks(top.Len()))
-	return e.runParallel(len(bounds)-1, func(worker, chunk int) error {
-		w, err := e.walkerFor(worker, bounds[chunk], bounds[chunk+1])
-		if err != nil {
-			return err
-		}
-		defer w.Close()
-		st := e.vertexStateFor(worker, k)
-		sc := &e.scratch[worker]
-		for {
-			emb, from, leaves, ok := w.NextRun()
-			if !ok {
-				break
-			}
-			if from < k {
-				st.updatePrefix(emb, from, k)
-			}
-			for _, u := range leaves {
-				emb[k-1] = u
-				sc.children = st.appendCanonical(k, u, emb, vf, sc.children[:0])
-				for _, cu := range sc.children {
-					if err := visit(worker, emb, cu); err != nil {
-						return err
-					}
-				}
-			}
-		}
-		return w.Err()
-	})
-}
-
-// FilterTop rewrites the top level keeping only embeddings approved by keep
-// — the Reducer-driven pruning of FSM (§5.1). Group structure under the
-// previous level is preserved (parents may end up with empty groups). Uses
-// the pooled per-worker scratch — do not run it concurrently with another
-// operation on the same Explorer.
-func (e *Explorer) FilterTop(keep func(worker int, emb []uint32) bool) error {
-	k := e.c.Depth()
-	if k < 2 {
-		return fmt.Errorf("explore: FilterTop requires depth ≥ 2")
-	}
-	top := e.c.Top()
-	parents := e.c.Level(k - 1).Len()
-
-	nchunks := e.buildChunks(parents, e.c.Bytes()-top.Bytes())
-	bounds := partitionEven(parents, nchunks)
-
-	// The rewritten level replaces the old top, so the budget share it may
-	// occupy excludes the level being replaced.
-	var builder cse.LevelBuilder
-	if e.cfg.MemoryBudget > 0 && e.cfg.SpillDir != "" {
-		hb, err := e.hybridBuilderFor(nchunks, e.c.Bytes()-top.Bytes())
-		if err != nil {
-			return err
-		}
-		builder = hb
-	} else {
-		builder = e.memBuilderFor(nchunks)
-	}
-
-	err := e.runParallel(nchunks, func(worker, chunk int) error {
-		plo, phi := bounds[chunk], bounds[chunk+1]
-		pw := builder.Part(chunk)
-		if err := e.filterRange(top, k, plo, phi, worker, pw, keep); err != nil {
-			return err
-		}
-		return pw.Flush()
-	})
-	if err != nil {
-		builder.Abort()
-		return err
-	}
-	lvl, err := builder.Finish()
-	if err != nil {
-		return err
-	}
-	e.uncharge()
-	if err := e.c.ReplaceTop(lvl); err != nil {
-		lvl.Close()
-		return err
-	}
-	e.charge(lvl.Bytes())
-	return nil
-}
-
-// filterRange rewrites the groups of parents [plo, phi).
-func (e *Explorer) filterRange(top cse.LevelData, k, plo, phi, worker int, pw cse.PartWriter, keep func(int, []uint32) bool) error {
-	lo64, err := top.GroupStart(plo)
-	if err != nil {
-		return err
-	}
-	hi64, err := top.GroupStart(phi)
-	if err != nil {
-		return err
-	}
-	lo, hi := int(lo64), int(hi64)
-	w, err := e.walkerFor(worker, lo, hi)
-	if err != nil {
-		return err
-	}
-	defer w.Close()
-	bc := cse.BoundCursorOverBlocks(top.BoundBlocks(plo))
-	defer bc.Close()
-
-	end, ok := bc.Next()
-	if !ok && phi > plo {
-		return fmt.Errorf("explore: missing group boundary at parent %d: %w", plo, bc.Err())
-	}
-	sc := &e.scratch[worker]
-	children := sc.children[:0]
-	defer func() { sc.children = children }()
-	emitted := 0
-	for i := lo; i < hi; {
-		emb, _, leaves, wok := w.NextRun()
-		if !wok {
-			return fmt.Errorf("explore: walker ended early at %d: %w", i, w.Err())
-		}
-		for _, u := range leaves {
-			for uint64(i) >= end {
-				if err := pw.AppendGroup(children, nil); err != nil {
-					return err
-				}
-				emitted++
-				children = children[:0]
-				var bok bool
-				end, bok = bc.Next()
-				if !bok {
-					return fmt.Errorf("explore: boundary stream ended at parent %d: %w", plo+emitted, bc.Err())
-				}
-			}
-			emb[k-1] = u
-			if keep(worker, emb) {
-				children = append(children, u)
-			}
-			i++
-		}
-	}
-	// Flush the open group and any trailing empty parents.
-	for emitted < phi-plo {
-		if err := pw.AppendGroup(children, nil); err != nil {
-			return err
-		}
-		children = children[:0]
-		emitted++
-	}
-	return nil
+	return e.ExpandVisit(vf, nil, visit)
 }
 
 // buildChunks picks the chunk (= builder part) count of a level build.

@@ -1,0 +1,252 @@
+package explore
+
+// The sink pipeline: Expand produces a stream of (parent embedding,
+// canonical children) pairs and emits it into a pluggable ExpandSink instead
+// of being hardwired to a level builder. Storing the stream as the next CSE
+// level (StoreSink) is just one consumer; terminal operations — the last
+// expansion of a counting or aggregating workload — plug in a sink that
+// consumes the stream where it is produced, so the largest level of the run
+// is never materialized (§6.5: k-motif stores only k−1 levels because the
+// final expansion happens inside the Mapper; the sinks generalize that trick
+// to every application).
+//
+//	StoreSink — today's Expand: build level k+1 (memory, hybrid, or disk
+//	            placement decided by the budget governor) and push it.
+//	CountSink — per-worker counters; nothing is written. CliqueCount's
+//	            final expansion.
+//	VisitSink — per-worker (emb, cand) callback; the engine primitive under
+//	            ForEachExpansion and the Mapper of motif counting and FSM's
+//	            final aggregation.
+//	KeepSink  — the FilterTop analogue (keep.go): rewrite the top level in
+//	            place under a keep predicate instead of copying it through a
+//	            fresh builder.
+
+import (
+	"fmt"
+
+	"kaleido/internal/cse"
+)
+
+// ExpandSink consumes the output stream of one exploration iteration. The
+// method set is unexported: sinks are provided by the engine (StoreSink,
+// CountSink, VisitSink) and selected per call via ExpandTo or the
+// Expand/ExpandCount/ExpandVisit wrappers.
+type ExpandSink interface {
+	// begin prepares the sink for a walk cut at bounds (len(bounds)-1
+	// chunks) over the current top level.
+	begin(e *Explorer, top cse.LevelData, bounds []int) error
+	// emit consumes the canonical children of one parent embedding. It is
+	// called from worker goroutines; chunks are processed one at a time per
+	// worker, in parent order within a chunk. emb (leaf filled), children
+	// and preds are reused buffers, valid only during the call.
+	emit(worker, chunk int, emb, children, preds []uint32) error
+	// endChunk completes one chunk after its last emit.
+	endChunk(worker, chunk int) error
+	// finish completes the sink after every chunk succeeded.
+	finish(e *Explorer) error
+	// abort discards partial output after a failed walk.
+	abort()
+	// storing reports whether finish pushes a new CSE level — it gates the
+	// §4.2 prediction (pointless when nothing is stored) and the chunk
+	// granularity (builder parts vs plain work stealing).
+	storing() bool
+}
+
+// StoreSink materializes the expansion stream as the next CSE level — the
+// classic Expand. The level builder is chosen per build: the pooled
+// in-memory builder without a budget, the governor-backed hybrid builder
+// with one.
+type StoreSink struct {
+	builder cse.LevelBuilder
+	pws     []cse.PartWriter
+	parents int
+}
+
+func (s *StoreSink) storing() bool { return true }
+
+func (s *StoreSink) begin(e *Explorer, top cse.LevelData, bounds []int) error {
+	b, err := e.levelBuilderFor(top, bounds, e.c.Bytes())
+	if err != nil {
+		return err
+	}
+	s.builder = b
+	s.parents = top.Len()
+	s.pws = s.pws[:0]
+	for i := 0; i+1 < len(bounds); i++ {
+		s.pws = append(s.pws, b.Part(i))
+	}
+	return nil
+}
+
+func (s *StoreSink) emit(worker, chunk int, emb, children, preds []uint32) error {
+	return s.pws[chunk].AppendGroup(children, preds)
+}
+
+func (s *StoreSink) endChunk(worker, chunk int) error {
+	return s.pws[chunk].Flush()
+}
+
+func (s *StoreSink) finish(e *Explorer) error {
+	lvl, err := s.builder.Finish()
+	if err != nil {
+		return err
+	}
+	if err := e.c.Push(lvl); err != nil {
+		lvl.Close()
+		return err
+	}
+	if _, dp, _ := levelPlacement(lvl); dp > 0 {
+		e.spilled++
+		e.spilledParts += dp
+	}
+	e.charge(lvl.Bytes())
+	if s.parents > 0 {
+		e.prevFanout, e.lastFanout = e.lastFanout, float64(lvl.Len())/float64(s.parents)
+	}
+	return nil
+}
+
+func (s *StoreSink) abort() {
+	if s.builder != nil {
+		s.builder.Abort()
+	}
+}
+
+// CountSink tallies the expansion stream into per-worker counters — the
+// terminal sink of counting workloads. The final expansion of CliqueCount
+// runs through it: every child is a k-clique, so the count is the answer and
+// the largest level of the run — the one that dominates bytes written — is
+// never materialized.
+type CountSink struct {
+	counts []paddedCount
+	total  uint64
+}
+
+// paddedCount keeps each worker's counter on its own cache line.
+type paddedCount struct {
+	n uint64
+	_ [56]byte
+}
+
+func (s *CountSink) storing() bool { return false }
+
+func (s *CountSink) begin(e *Explorer, top cse.LevelData, bounds []int) error {
+	if cap(s.counts) < e.cfg.Threads {
+		s.counts = make([]paddedCount, e.cfg.Threads)
+	}
+	s.counts = s.counts[:e.cfg.Threads]
+	for i := range s.counts {
+		s.counts[i].n = 0
+	}
+	s.total = 0
+	return nil
+}
+
+func (s *CountSink) emit(worker, chunk int, emb, children, preds []uint32) error {
+	s.counts[worker].n += uint64(len(children))
+	return nil
+}
+
+func (s *CountSink) endChunk(worker, chunk int) error { return nil }
+
+func (s *CountSink) finish(e *Explorer) error {
+	for i := range s.counts {
+		s.total += s.counts[i].n
+	}
+	return nil
+}
+
+func (s *CountSink) abort() {}
+
+// Total returns the number of children the expansion produced.
+func (s *CountSink) Total() uint64 { return s.total }
+
+// VisitSink hands every (embedding, extension) pair of the expansion stream
+// to a per-worker callback — the Mapper-side consumption of §5.1 (motif
+// counting, FSM's final aggregation). Nothing is materialized.
+type VisitSink struct {
+	visit func(worker int, emb []uint32, cand uint32) error
+}
+
+func (s *VisitSink) storing() bool { return false }
+
+func (s *VisitSink) begin(e *Explorer, top cse.LevelData, bounds []int) error {
+	if s.visit == nil {
+		return fmt.Errorf("explore: VisitSink without a visit callback")
+	}
+	return nil
+}
+
+func (s *VisitSink) emit(worker, chunk int, emb, children, preds []uint32) error {
+	for _, c := range children {
+		if err := s.visit(worker, emb, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *VisitSink) endChunk(worker, chunk int) error { return nil }
+func (s *VisitSink) finish(e *Explorer) error         { return nil }
+func (s *VisitSink) abort()                           {}
+
+// ExpandTo runs one exploration iteration under the default canonical filter
+// plus the optional user filter, emitting the output stream into sink. It is
+// the engine primitive behind Expand (StoreSink), ExpandCount (CountSink)
+// and ExpandVisit (VisitSink). Like every exploration operation it uses the
+// pooled per-worker scratch: at most one operation may run on an Explorer at
+// a time.
+func (e *Explorer) ExpandTo(sink ExpandSink, vf VertexFilter, ef EdgeFilter) error {
+	if e.c == nil {
+		return fmt.Errorf("explore: not initialized")
+	}
+	top := e.c.Top()
+	n := top.Len()
+	k := e.c.Depth()
+
+	var bounds []int
+	if sink.storing() {
+		bounds = e.partition(top, e.buildChunks(n, e.c.Bytes()))
+	} else {
+		bounds = e.partition(top, e.chunks(n))
+	}
+	if err := sink.begin(e, top, bounds); err != nil {
+		return err
+	}
+	predicting := e.cfg.Predict && sink.storing()
+	err := e.runParallel(len(bounds)-1, func(worker, chunk int) error {
+		lo, hi := bounds[chunk], bounds[chunk+1]
+		if err := e.expandRange(k, lo, hi, worker, chunk, sink, predicting, vf, ef); err != nil {
+			return err
+		}
+		return sink.endChunk(worker, chunk)
+	})
+	if err != nil {
+		sink.abort()
+		return err
+	}
+	return sink.finish(e)
+}
+
+// ExpandCount runs one exploration iteration and returns how many embeddings
+// it would produce, without materializing them (CountSink). The CSE is
+// unchanged: depth stays at Depth() and no bytes are written for the counted
+// level — the §6.5 terminal-consumption trick as an engine operation.
+func (e *Explorer) ExpandCount(vf VertexFilter, ef EdgeFilter) (uint64, error) {
+	var s CountSink
+	if err := e.ExpandTo(&s, vf, ef); err != nil {
+		return 0, err
+	}
+	return s.Total(), nil
+}
+
+// ExpandVisit runs one exploration iteration and hands every canonical
+// extension to visit instead of materializing the new level (VisitSink).
+// worker indexes per-worker aggregation state (0..Threads-1); emb is a
+// reused buffer holding the parent embedding (leaf included) that must not
+// be retained; cand is the extension unit (a vertex id in vertex-induced
+// mode, an edge id in edge-induced mode). The CSE is unchanged.
+func (e *Explorer) ExpandVisit(vf VertexFilter, ef EdgeFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
+	s := VisitSink{visit: visit}
+	return e.ExpandTo(&s, vf, ef)
+}

@@ -125,7 +125,7 @@ func (s *vertexState) updatePrefix(emb []uint32, from, k int) {
 // This is the incremental CanonicalVertex semantics at O(1) per candidate
 // instead of O(k·log d̄); the differential tests verify the equivalence
 // embedding-for-embedding.
-func (s *vertexState) appendCanonical(k int, u uint32, emb []uint32, vf VertexFilter, children []uint32) []uint32 {
+func (s *vertexState) appendCanonical(k int, u uint32, emb []uint32, worker int, vf VertexFilter, children []uint32) []uint32 {
 	emb0 := emb[0]
 	if emb0 == ^uint32(0) {
 		return children // nothing can exceed emb[0]; emb0+1 would wrap below
@@ -134,7 +134,7 @@ func (s *vertexState) appendCanonical(k int, u uint32, emb []uint32, vf VertexFi
 	if k == 1 {
 		// Sole property: cand > emb[0] (= u).
 		for j := gallopGE(nb, 0, emb0+1); j < len(nb); j++ {
-			if vf == nil || vf(emb, nb[j]) {
+			if vf == nil || vf(worker, emb, nb[j]) {
 				children = append(children, nb[j])
 			}
 		}
@@ -159,19 +159,19 @@ func (s *vertexState) appendCanonical(k int, u uint32, emb []uint32, vf VertexFi
 			if x == y {
 				j++
 			}
-			if x > suf[int(afa[i])+1] && (vf == nil || vf(emb, x)) {
+			if x > suf[int(afa[i])+1] && (vf == nil || vf(worker, emb, x)) {
 				children = append(children, x)
 			}
 			i++
 		} else {
-			if vf == nil || vf(emb, y) {
+			if vf == nil || vf(worker, emb, y) {
 				children = append(children, y)
 			}
 			j++
 		}
 	}
 	for ; i < len(aids); i++ {
-		if x := aids[i]; x > suf[int(afa[i])+1] && (vf == nil || vf(emb, x)) {
+		if x := aids[i]; x > suf[int(afa[i])+1] && (vf == nil || vf(worker, emb, x)) {
 			children = append(children, x)
 		}
 	}
@@ -179,7 +179,7 @@ func (s *vertexState) appendCanonical(k int, u uint32, emb []uint32, vf VertexFi
 		children = append(children, nb[j:]...)
 	} else {
 		for ; j < len(nb); j++ {
-			if vf(emb, nb[j]) {
+			if vf(worker, emb, nb[j]) {
 				children = append(children, nb[j])
 			}
 		}
@@ -303,7 +303,7 @@ func (s *edgeState) updatePrefix(emb []uint32, from, k int) {
 // cands[k-2] ∪ incident(new endpoints of f) as the union is merged, applying
 // the Definition-2 filter inline (see vertexState.appendCanonical). The
 // extended vertex set verts[k-1] is materialized only when ef needs it.
-func (s *edgeState) appendCanonical(k int, f uint32, emb []uint32, ef EdgeFilter, children []uint32) []uint32 {
+func (s *edgeState) appendCanonical(k int, f uint32, emb []uint32, worker int, ef EdgeFilter, children []uint32) []uint32 {
 	emb0 := emb[0]
 	if emb0 == ^uint32(0) {
 		return children // nothing can exceed emb[0]; emb0+1 would wrap below
@@ -315,7 +315,7 @@ func (s *edgeState) appendCanonical(k int, f uint32, emb []uint32, ef EdgeFilter
 			s.verts[0] = append(s.verts[0][:0], e.U, e.V)
 		}
 		for j := gallopGE(s.tmp, 0, emb0+1); j < len(s.tmp); j++ {
-			if ef == nil || ef(emb, s.verts[0], s.tmp[j]) {
+			if ef == nil || ef(worker, emb, s.verts[0], s.tmp[j]) {
 				children = append(children, s.tmp[j])
 			}
 		}
@@ -360,19 +360,19 @@ func (s *edgeState) appendCanonical(k int, f uint32, emb []uint32, ef EdgeFilter
 			if x == y {
 				j++
 			}
-			if x > suf[int(afa[i])+1] && (ef == nil || ef(emb, vl, x)) {
+			if x > suf[int(afa[i])+1] && (ef == nil || ef(worker, emb, vl, x)) {
 				children = append(children, x)
 			}
 			i++
 		} else {
-			if ef == nil || ef(emb, vl, y) {
+			if ef == nil || ef(worker, emb, vl, y) {
 				children = append(children, y)
 			}
 			j++
 		}
 	}
 	for ; i < len(aids); i++ {
-		if x := aids[i]; x > suf[int(afa[i])+1] && (ef == nil || ef(emb, vl, x)) {
+		if x := aids[i]; x > suf[int(afa[i])+1] && (ef == nil || ef(worker, emb, vl, x)) {
 			children = append(children, x)
 		}
 	}
@@ -380,7 +380,7 @@ func (s *edgeState) appendCanonical(k int, f uint32, emb []uint32, ef EdgeFilter
 		children = append(children, b[j:]...)
 	} else {
 		for ; j < len(b); j++ {
-			if ef(emb, vl, b[j]) {
+			if ef(worker, emb, vl, b[j]) {
 				children = append(children, b[j])
 			}
 		}

@@ -116,7 +116,8 @@ func (h *HybridLevel) DiskParts() int {
 }
 
 // Close removes the backing files of the disk-resident parts; memory parts
-// are simply dropped.
+// return their buffers to the part pool, so the next level build reuses
+// them instead of growing fresh arrays.
 func (h *HybridLevel) Close() error {
 	if h.closed {
 		return nil
@@ -126,6 +127,9 @@ func (h *HybridLevel) Close() error {
 	for i := range h.parts {
 		p := &h.parts[i]
 		if !p.onDisk() {
+			poolPutU32(p.verts)
+			poolPutU64(p.bounds)
+			p.verts, p.bounds = nil, nil
 			continue
 		}
 		for _, f := range []*os.File{p.vf, p.cf} {
@@ -139,6 +143,17 @@ func (h *HybridLevel) Close() error {
 		}
 	}
 	return first
+}
+
+// NumParts returns the part count of the level, including empty parts.
+func (h *HybridLevel) NumParts() int { return len(h.parts) }
+
+// PartGroups returns the global group range [lo, hi) of part i. Part
+// boundaries are group-aligned, which is what lets an in-place filter pass
+// treat every part as an independent chunk.
+func (h *HybridLevel) PartGroups(i int) (lo, hi int) {
+	p := &h.parts[i]
+	return p.groupBase, p.groupBase + p.numGroups
 }
 
 // partIndexForVert returns the index of the part containing global vert i.
@@ -416,6 +431,194 @@ func (c *hybridBoundBlocks) Close() error {
 	return nil
 }
 
+// PartRewriter rewrites one part of a hybrid level during an in-place
+// filter pass (explore.FilterTop's keep sink). Group structure is preserved
+// — the rewritten part keeps its group count, only the kept units are
+// written back. A memory-resident part is compacted in place: writer and
+// the pass's sequential reader share the part's arrays on one goroutine,
+// with writes strictly trailing reads, and each bounds slot the reader has
+// passed temporarily holds that group's kept count until FinishRewrite
+// turns the counts back into global boundaries. A disk-resident part is
+// restreamed through the write queue into fresh files that replace the old
+// ones at FinishRewrite — no resident copy of the part is ever made.
+type PartRewriter struct {
+	p *hybridPart
+
+	// Memory compaction.
+	w   int // write index into p.verts
+	g   int // local group index
+	cnt uint32
+
+	// Disk restream.
+	dw  *diskPartWriter
+	buf []uint32 // current group's kept units
+}
+
+// openFilePair creates (truncating) a part's vert/cnt file pair, removing
+// the vert file again if the cnt open fails.
+func openFilePair(vname, cname string) (vf, cf *os.File, err error) {
+	vf, err = os.OpenFile(vname, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	cf, err = os.OpenFile(cname, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		vf.Close()
+		os.Remove(vf.Name())
+		return nil, nil, err
+	}
+	return vf, cf, nil
+}
+
+// verifyPartFiles checks that a part's vert/cnt files hold exactly the
+// written entry counts — the corruption check both level assembly and the
+// in-place rewrite run before installing files.
+func verifyPartFiles(vf, cf *os.File, numVerts, numGroups int) error {
+	for _, chk := range []struct {
+		f    *os.File
+		want int64
+	}{{vf, int64(4 * numVerts)}, {cf, int64(4 * numGroups)}} {
+		st, err := chk.f.Stat()
+		if err != nil {
+			return err
+		}
+		if st.Size() != chk.want {
+			return fmt.Errorf("storage: %s has %d bytes, want %d", chk.f.Name(), st.Size(), chk.want)
+		}
+	}
+	return nil
+}
+
+// RewritePart starts a rewrite of part i. q is used only when the part is
+// disk-resident.
+func (h *HybridLevel) RewritePart(i int, q *WriteQueue) (*PartRewriter, error) {
+	p := &h.parts[i]
+	r := &PartRewriter{p: p}
+	if !p.onDisk() {
+		return r, nil
+	}
+	vf, cf, err := openFilePair(p.vf.Name()+".r", p.cf.Name()+".r")
+	if err != nil {
+		return nil, err
+	}
+	r.dw = &diskPartWriter{q: q, vf: vf, cf: cf, vbuf: q.GetBuf(), cbuf: q.GetBuf()}
+	r.buf = poolGetU32()
+	return r, nil
+}
+
+// Keep records u as kept in the current group.
+func (r *PartRewriter) Keep(u uint32) {
+	if r.dw != nil {
+		r.buf = append(r.buf, u)
+		return
+	}
+	r.p.verts[r.w] = u
+	r.w++
+	r.cnt++
+}
+
+// GroupDone closes the current group.
+func (r *PartRewriter) GroupDone() error {
+	if r.dw != nil {
+		err := r.dw.AppendGroup(r.buf, nil)
+		r.buf = r.buf[:0]
+		return err
+	}
+	r.p.bounds[r.g] = uint64(r.cnt) // local count; FinishRewrite rebases
+	r.g++
+	r.cnt = 0
+	return nil
+}
+
+// Flush completes the part's rewrite stream.
+func (r *PartRewriter) Flush() error {
+	if r.dw != nil {
+		return r.dw.Flush()
+	}
+	return nil
+}
+
+// FinishRewrite completes an in-place filter pass: it drains the write
+// queue for restreamed disk parts, verifies and swaps their fresh files in
+// (removing the old ones), turns the memory parts' recorded per-group kept
+// counts back into global boundaries, and rebases every part. Group counts
+// are unchanged; the level shrinks to the kept units and drops its
+// prediction segments. On error the level is left in an unspecified state
+// and must be Closed.
+func (h *HybridLevel) FinishRewrite(rws []*PartRewriter, q *WriteQueue) error {
+	anyDisk := false
+	for _, r := range rws {
+		if r.dw != nil {
+			anyDisk = true
+		}
+	}
+	if anyDisk {
+		if err := q.Barrier(); err != nil {
+			h.AbortRewrite(rws)
+			return err
+		}
+	}
+	total := 0
+	for i := range h.parts {
+		p := &h.parts[i]
+		r := rws[i]
+		p.vertBase = total
+		if r.dw != nil {
+			if err := verifyPartFiles(r.dw.vf, r.dw.cf, r.dw.numVerts, r.dw.numGroups); err != nil {
+				h.AbortRewrite(rws[i:])
+				return err
+			}
+			if r.dw.numGroups != p.numGroups {
+				h.AbortRewrite(rws[i:])
+				return fmt.Errorf("storage: rewrite of %s closed %d groups, want %d", r.dw.vf.Name(), r.dw.numGroups, p.numGroups)
+			}
+			for _, f := range []*os.File{p.vf, p.cf} {
+				name := f.Name()
+				f.Close()
+				os.Remove(name)
+			}
+			p.vf, p.cf, p.chunkCum = r.dw.vf, r.dw.cf, r.dw.chunkCum
+			p.numVerts = r.dw.numVerts
+			poolPutU32(r.buf)
+			r.buf, r.dw = nil, nil
+		} else {
+			p.verts = p.verts[:r.w]
+			p.numVerts = r.w
+			cum := uint64(total)
+			for g := 0; g < p.numGroups; g++ {
+				cum += p.bounds[g]
+				p.bounds[g] = cum
+			}
+		}
+		total += p.numVerts
+	}
+	h.totalVerts = total
+	h.pred = nil
+	return nil
+}
+
+// AbortRewrite discards the fresh files of an unfinished rewrite. The level
+// itself may already be partially compacted (memory parts rewrite in
+// place), so a failed pass is fatal for the level — AbortRewrite only
+// guarantees no stray files remain; Close the level afterwards.
+func (h *HybridLevel) AbortRewrite(rws []*PartRewriter) {
+	for _, r := range rws {
+		if r == nil || r.dw == nil {
+			continue
+		}
+		for _, f := range []*os.File{r.dw.vf, r.dw.cf} {
+			if f == nil {
+				continue
+			}
+			name := f.Name()
+			f.Close()
+			os.Remove(name)
+		}
+		poolPutU32(r.buf)
+		r.buf, r.dw = nil, nil
+	}
+}
+
 // HybridLevelBuilder builds a HybridLevel from t concurrently written parts.
 // Every part starts in memory; the budget governor watches the total
 // resident bytes of the in-flight parts and, when they cross the watermark,
@@ -670,14 +873,10 @@ func (p *hybridPartWriter) migrate() error {
 		return nil
 	}
 	b := p.b
-	vf, err := os.OpenFile(filepath.Join(b.dir, fmt.Sprintf("L%d.p%d.vert", b.level, p.idx)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	vf, cf, err := openFilePair(
+		filepath.Join(b.dir, fmt.Sprintf("L%d.p%d.vert", b.level, p.idx)),
+		filepath.Join(b.dir, fmt.Sprintf("L%d.p%d.cnt", b.level, p.idx)))
 	if err != nil {
-		return err
-	}
-	cf, err := os.OpenFile(filepath.Join(b.dir, fmt.Sprintf("L%d.p%d.cnt", b.level, p.idx)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		vf.Close()
-		os.Remove(vf.Name())
 		return err
 	}
 	p.dw = diskPartWriter{q: b.queue, vf: vf, cf: cf, vbuf: b.queue.GetBuf(), cbuf: b.queue.GetBuf()}
@@ -727,6 +926,24 @@ func poolGetU32() []uint32 {
 func poolPutU32(s []uint32) {
 	if cap(s) > 0 {
 		partBufPool.Put(s[:0])
+	}
+}
+
+// partBufPool64 recycles the bounds arrays of resident parts, returned by
+// HybridLevel.Close like the uint32 buffers above.
+var partBufPool64 = sync.Pool{New: func() any { return []uint64(nil) }}
+
+func poolGetU64(n int) []uint64 {
+	s := partBufPool64.Get().([]uint64)
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func poolPutU64(s []uint64) {
+	if cap(s) > 0 {
+		partBufPool64.Put(s[:0])
 	}
 }
 
@@ -801,26 +1018,17 @@ func (b *HybridLevelBuilder) Finish() (cse.LevelData, error) {
 		p := &b.parts[i]
 		hp := hybridPart{vertBase: h.totalVerts, groupBase: h.totalGroups}
 		if p.migrated {
-			for _, chk := range []struct {
-				f    *os.File
-				want int64
-			}{{p.dw.vf, int64(4 * p.dw.numVerts)}, {p.dw.cf, int64(4 * p.dw.numGroups)}} {
-				st, err := chk.f.Stat()
-				if err != nil {
-					b.Abort()
-					return nil, err
-				}
-				if st.Size() != chk.want {
-					b.Abort()
-					return nil, fmt.Errorf("storage: %s has %d bytes, want %d", chk.f.Name(), st.Size(), chk.want)
-				}
+			if err := verifyPartFiles(p.dw.vf, p.dw.cf, p.dw.numVerts, p.dw.numGroups); err != nil {
+				b.Abort()
+				return nil, err
 			}
 			hp.vf, hp.cf, hp.chunkCum = p.dw.vf, p.dw.cf, p.dw.chunkCum
 			hp.numVerts, hp.numGroups = p.dw.numVerts, p.dw.numGroups
 		} else {
 			hp.verts = p.verts
-			hp.numVerts, hp.numGroups = len(p.verts), len(p.counts)
-			hp.bounds = make([]uint64, len(p.counts))
+			p.verts = nil // owned by the level now; recycled at its Close
+			hp.numVerts, hp.numGroups = len(hp.verts), len(p.counts)
+			hp.bounds = poolGetU64(len(p.counts))
 			off := uint64(h.totalVerts)
 			for j, c := range p.counts {
 				off += uint64(c)
@@ -843,8 +1051,48 @@ func (b *HybridLevelBuilder) Finish() (cse.LevelData, error) {
 		b.Abort()
 		return nil, fmt.Errorf("storage: mixed prediction state across parts")
 	}
-	b.parts = nil
+	// Keep the part-writer slice for Reset: the builder is pooled across
+	// level builds (handed-over buffers were nil'ed above; Reset clears the
+	// remaining per-part state).
+	b.parts = b.parts[:0]
 	return h, nil
+}
+
+// Reset re-arms a finished builder for a new level build, reusing its
+// part-writer slice (and, through the part pool, the buffers of levels that
+// have since been closed). The directory, write queue, block size, tracker
+// and pressure flag stay as constructed; level names the new level's spill
+// files and memBudget is the new build's governor watermark.
+func (b *HybridLevelBuilder) Reset(level, nparts int, memBudget int64) {
+	b.level = level
+	if cap(b.parts) < nparts {
+		b.parts = make([]hybridPartWriter, nparts)
+	} else {
+		b.parts = b.parts[:nparts]
+	}
+	b.reserved = 0
+	b.gov.budget = memBudget
+	b.gov.inflight.Store(0)
+	b.gov.pending.Store(0)
+	b.gov.mu.Lock()
+	b.gov.err = nil
+	b.gov.mu.Unlock()
+	for i := range b.parts {
+		p := &b.parts[i]
+		p.b, p.idx = b, i
+		p.verts, p.counts = nil, nil
+		p.bytes.Store(0)
+		// All-disk regime: skip the pointless memory stay, the first append
+		// migrates with an empty replay (as in NewHybridLevelBuilder).
+		p.spillReq.Store(memBudget <= 0)
+		p.flushed.Store(false)
+		p.claimed = 0
+		p.migrated = false
+		p.dwSealed = false
+		p.dw = diskPartWriter{}
+		p.acc.Reset()
+		p.pred = false
+	}
 }
 
 // Abort implements cse.LevelBuilder: close and remove any migrated parts'

@@ -2,6 +2,7 @@ package kaleido
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -225,6 +226,61 @@ func TestMinerCustomApp(t *testing.T) {
 	}
 	if len(counts) != 2 || counts[0].Count != 5 || counts[1].Count != 3 {
 		t.Fatalf("patterns = %+v", counts)
+	}
+}
+
+func TestMinerExpandCountAndVisit(t *testing.T) {
+	// The terminal sinks through the public API: counting wedges (paths of
+	// length 2) without materializing the 3-level, then visiting them.
+	g := paperGraph(t)
+	m, err := g.NewMiner(VertexInduced, Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Expand(nil); err != nil {
+		t.Fatal(err)
+	}
+	bytes := m.Bytes()
+	n, err := m.ExpandCount(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("ExpandCount = %d, want 8 (paper s13..s20)", n)
+	}
+	if m.Depth() != 2 || m.Bytes() != bytes {
+		t.Fatalf("counted expansion changed the CSE: depth=%d bytes=%d->%d", m.Depth(), bytes, m.Bytes())
+	}
+	var visited atomic.Int64
+	err = m.ExpandVisit(nil, func(_ int, emb []uint32, cand uint32) error {
+		if len(emb) != 2 {
+			t.Errorf("visit emb len %d", len(emb))
+		}
+		visited.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited.Load() != 8 {
+		t.Fatalf("ExpandVisit saw %d extensions, want 8", visited.Load())
+	}
+	// A worker-aware filter composes with the terminal sinks: only
+	// extensions adjacent to every embedding vertex (triangles).
+	tri, err := m.ExpandCount(func(_ int, emb []uint32, cand uint32) bool {
+		for _, v := range emb {
+			if !g.HasEdge(v, cand) {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri != 3 {
+		t.Fatalf("filtered ExpandCount = %d, want 3 triangles", tri)
 	}
 }
 

@@ -19,8 +19,12 @@ const (
 // EmbeddingFilter is the user-defined filter of the Kaleido API (Listing 1):
 // may cand (a vertex id in vertex-induced mode, an edge id in edge-induced
 // mode) extend the embedding emb? The default canonical filter has already
-// been applied.
-type EmbeddingFilter func(emb []uint32, cand uint32) bool
+// been applied. worker identifies the calling goroutine (0..Threads-1) so a
+// filter can keep per-worker scratch — e.g. a NeighborMarker-style structure
+// that marks the embedding's neighborhoods once per shared prefix and then
+// answers every candidate probe in O(1); the built-in clique filter works
+// this way.
+type EmbeddingFilter func(worker int, emb []uint32, cand uint32) bool
 
 // Miner exposes the paper's exploration API (Listing 1: Init,
 // EmbeddingsExplorer, ResultAggregator) for custom mining applications.
@@ -63,15 +67,43 @@ func (g *Graph) NewMiner(mode Mode, cfg Config) (*Miner, error) {
 }
 
 // Expand runs one exploration iteration under the canonical filter plus the
-// optional user filter.
+// optional user filter, materializing the new level in the CSE (the
+// StoreSink of the expansion pipeline).
 func (m *Miner) Expand(filter EmbeddingFilter) error {
+	vf, ef := m.filters(filter)
+	return m.e.Expand(vf, ef)
+}
+
+// ExpandCount runs one exploration iteration and returns how many
+// embeddings it would produce without materializing them (CountSink): depth
+// and intermediate data are unchanged, and zero bytes are written for the
+// counted level. Use it for the final iteration of a counting workload —
+// the last level dominates the bytes a run writes, and a count is all such
+// workloads need (CliqueCount works this way; see §6.5 of the paper for the
+// k−1-levels trick this generalizes).
+func (m *Miner) ExpandCount(filter EmbeddingFilter) (uint64, error) {
+	vf, ef := m.filters(filter)
+	return m.e.ExpandCount(vf, ef)
+}
+
+// ExpandVisit runs one exploration iteration and hands every canonical
+// extension (emb, cand) to visit instead of materializing the new level
+// (VisitSink) — the Mapper-side consumption of a terminal expansion (motif
+// counting, FSM's final aggregation). worker identifies the calling
+// goroutine for per-worker aggregation state; emb is a reused buffer that
+// must not be retained.
+func (m *Miner) ExpandVisit(filter EmbeddingFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
+	vf, ef := m.filters(filter)
+	return m.e.ExpandVisit(vf, ef, visit)
+}
+
+// filters adapts the public filter to both engine modes.
+func (m *Miner) filters(filter EmbeddingFilter) (explore.VertexFilter, explore.EdgeFilter) {
 	if filter == nil {
-		return m.e.Expand(nil, nil)
+		return nil, nil
 	}
-	return m.e.Expand(
-		func(emb []uint32, cand uint32) bool { return filter(emb, cand) },
-		func(emb []uint32, _ []uint32, cand uint32) bool { return filter(emb, cand) },
-	)
+	return func(w int, emb []uint32, cand uint32) bool { return filter(w, emb, cand) },
+		func(w int, emb []uint32, _ []uint32, cand uint32) bool { return filter(w, emb, cand) }
 }
 
 // Depth returns the current embedding size.
