@@ -1,6 +1,8 @@
 package kaleido
 
 import (
+	"context"
+
 	"kaleido/internal/apps"
 	"kaleido/internal/pattern"
 )
@@ -65,34 +67,37 @@ func publicCounts(in []apps.PatternCount) []PatternCount {
 }
 
 // Triangles counts the triangles of the graph (§5.1 Triangle Counting).
-func (g *Graph) Triangles(cfg Config) (uint64, error) {
+// Cancelling ctx aborts the run promptly with ctx.Err().
+func (g *Graph) Triangles(ctx context.Context, cfg Config) (uint64, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
 	opt, tracker := cfg.appOptions()
 	defer cfg.finish(tracker, opt.Spill)
-	return apps.TriangleCount(g.g, opt)
+	return apps.TriangleCount(ctxOrBackground(ctx), g.g, opt)
 }
 
 // Cliques counts the k-cliques of the graph (§5.1 Clique Discovery).
-func (g *Graph) Cliques(k int, cfg Config) (uint64, error) {
+// Cancelling ctx aborts the run promptly with ctx.Err().
+func (g *Graph) Cliques(ctx context.Context, k int, cfg Config) (uint64, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
 	opt, tracker := cfg.appOptions()
 	defer cfg.finish(tracker, opt.Spill)
-	return apps.CliqueCount(g.g, k, opt)
+	return apps.CliqueCount(ctxOrBackground(ctx), g.g, k, opt)
 }
 
 // Motifs counts the frequency of every k-vertex motif, treating the graph as
-// unlabeled (§5.1 Motif Counting). k must be at most 8.
-func (g *Graph) Motifs(k int, cfg Config) ([]PatternCount, error) {
+// unlabeled (§5.1 Motif Counting). k must be at most 8. Cancelling ctx
+// aborts the run promptly with ctx.Err().
+func (g *Graph) Motifs(ctx context.Context, k int, cfg Config) ([]PatternCount, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	opt, tracker := cfg.appOptions()
 	defer cfg.finish(tracker, opt.Spill)
-	res, err := apps.MotifCount(g.g, k, opt)
+	res, err := apps.MotifCount(ctxOrBackground(ctx), g.g, k, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -103,13 +108,14 @@ func (g *Graph) Motifs(k int, cfg Config) ([]PatternCount, error) {
 // under the minimum image-based support metric (§5.1). Patterns whose
 // support reaches the threshold are reported; following the paper (§6.2) the
 // reported Support is the threshold-crossing value, not the exact MNI.
-func (g *Graph) FSM(k int, support uint64, cfg Config) ([]PatternCount, error) {
+// Cancelling ctx aborts the run promptly with ctx.Err().
+func (g *Graph) FSM(ctx context.Context, k int, support uint64, cfg Config) ([]PatternCount, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	opt, tracker := cfg.appOptions()
 	defer cfg.finish(tracker, opt.Spill)
-	res, err := apps.FSM(g.g, k, support, opt)
+	res, err := apps.FSM(ctxOrBackground(ctx), g.g, k, support, opt)
 	if err != nil {
 		return nil, err
 	}

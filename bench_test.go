@@ -9,6 +9,7 @@
 package kaleido
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -20,6 +21,8 @@ import (
 	"kaleido/internal/memtrack"
 	"kaleido/internal/rstream"
 )
+
+var bgCtx = context.Background()
 
 var benchGraphs = map[string]*graph.Graph{}
 
@@ -49,16 +52,16 @@ func BenchmarkTable2(b *testing.B) {
 		run  func() error
 	}
 	cells := []cell{
-		{"3FSM300/Kaleido", func() error { _, err := apps.FSM(g, 3, 300, apps.Options{}); return err }},
+		{"3FSM300/Kaleido", func() error { _, err := apps.FSM(bgCtx, g, 3, 300, apps.Options{}); return err }},
 		{"3FSM300/Arabesque", func() error { _, err := arabesque.FSM(g, 3, 300, arabesque.Options{Threads: 4}); return err }},
 		{"3FSM300/RStream", func() error { _, _, err := rstream.FSM(g, 3, 300, rstream.Options{Threads: 4}); return err }},
-		{"Motif3/Kaleido", func() error { _, err := apps.MotifCount(g, 3, apps.Options{}); return err }},
+		{"Motif3/Kaleido", func() error { _, err := apps.MotifCount(bgCtx, g, 3, apps.Options{}); return err }},
 		{"Motif3/Arabesque", func() error { _, err := arabesque.MotifCount(g, 3, arabesque.Options{Threads: 4}); return err }},
 		{"Motif3/RStream", func() error { _, _, err := rstream.MotifCount(g, 3, rstream.Options{Threads: 4}); return err }},
-		{"Clique4/Kaleido", func() error { _, err := apps.CliqueCount(g, 4, apps.Options{}); return err }},
+		{"Clique4/Kaleido", func() error { _, err := apps.CliqueCount(bgCtx, g, 4, apps.Options{}); return err }},
 		{"Clique4/Arabesque", func() error { _, err := arabesque.CliqueCount(g, 4, arabesque.Options{Threads: 4}); return err }},
 		{"Clique4/RStream", func() error { _, _, err := rstream.CliqueCount(g, 4, rstream.Options{Threads: 4}); return err }},
-		{"TC/Kaleido", func() error { _, err := apps.TriangleCount(g, apps.Options{}); return err }},
+		{"TC/Kaleido", func() error { _, err := apps.TriangleCount(bgCtx, g, apps.Options{}); return err }},
 		{"TC/Arabesque", func() error { _, err := arabesque.TriangleCount(g, arabesque.Options{Threads: 4}); return err }},
 		{"TC/RStream", func() error { _, _, err := rstream.TriangleCount(g, rstream.Options{Threads: 4}); return err }},
 	}
@@ -90,7 +93,7 @@ func BenchmarkTable3(b *testing.B) {
 	}
 	b.Run("Motif3/Kaleido", func(b *testing.B) {
 		run(b, func(tr *memtrack.Tracker) error {
-			_, err := apps.MotifCount(g, 3, apps.Options{Tracker: tr})
+			_, err := apps.MotifCount(bgCtx, g, 3, apps.Options{Tracker: tr})
 			return err
 		})
 	})
@@ -115,7 +118,7 @@ func BenchmarkFig11FSMSupportSweep(b *testing.B) {
 	for _, support := range []uint64{10, 100, 1000, 10000} {
 		b.Run(fmt.Sprintf("support=%d", support), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := apps.FSM(g, 3, support, apps.Options{}); err != nil {
+				if _, err := apps.FSM(bgCtx, g, 3, support, apps.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -133,14 +136,14 @@ func BenchmarkFig12Iso(b *testing.B) {
 	}{{"Eigen", apps.IsoEigen}, {"Bliss", apps.IsoBliss}, {"EigenExact", apps.IsoEigenExact}} {
 		b.Run("4-Motif/"+algo.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := apps.MotifCount(g, 4, apps.Options{Iso: algo.iso}); err != nil {
+				if _, err := apps.MotifCount(bgCtx, g, 4, apps.Options{Iso: algo.iso}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run("4-FSM/"+algo.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := apps.FSM(g, 4, 10, apps.Options{Iso: algo.iso}); err != nil {
+				if _, err := apps.FSM(bgCtx, g, 4, 10, apps.Options{Iso: algo.iso}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -166,7 +169,7 @@ func BenchmarkFig13Labels(b *testing.B) {
 		}{{"Eigen", apps.IsoEigen}, {"Bliss", apps.IsoBliss}} {
 			b.Run(v.name+"/"+algo.name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := apps.FSM(v.g, 3, 300, apps.Options{Iso: algo.iso}); err != nil {
+					if _, err := apps.FSM(bgCtx, v.g, 3, 300, apps.Options{Iso: algo.iso}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -182,21 +185,21 @@ func BenchmarkFig14Scalability(b *testing.B) {
 	for _, threads := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("3-Motif/threads=%d", threads), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := apps.MotifCount(g, 3, apps.Options{Threads: threads}); err != nil {
+				if _, err := apps.MotifCount(bgCtx, g, 3, apps.Options{Threads: threads}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("3-FSM-5000/threads=%d", threads), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := apps.FSM(g, 3, 5000, apps.Options{Threads: threads}); err != nil {
+				if _, err := apps.FSM(bgCtx, g, 3, 5000, apps.Options{Threads: threads}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("5-Clique/threads=%d", threads), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := apps.CliqueCount(g, 5, apps.Options{Threads: threads}); err != nil {
+				if _, err := apps.CliqueCount(bgCtx, g, 5, apps.Options{Threads: threads}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -210,7 +213,7 @@ func BenchmarkTable4Hybrid(b *testing.B) {
 	g := benchGraph(b, "mico")
 	b.Run("4-Motif/InMemory", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := apps.MotifCount(g, 4, apps.Options{}); err != nil {
+			if _, err := apps.MotifCount(bgCtx, g, 4, apps.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -218,7 +221,7 @@ func BenchmarkTable4Hybrid(b *testing.B) {
 	b.Run("4-Motif/Hybrid", func(b *testing.B) {
 		dir := b.TempDir()
 		for i := 0; i < b.N; i++ {
-			if _, err := apps.MotifCount(g, 4, apps.Options{
+			if _, err := apps.MotifCount(bgCtx, g, 4, apps.Options{
 				MemoryBudget: 1, SpillDir: dir, Predict: true,
 			}); err != nil {
 				b.Fatal(err)
@@ -237,7 +240,7 @@ func BenchmarkFig16MemoryBudget(b *testing.B) {
 			var read, written int64
 			for i := 0; i < b.N; i++ {
 				tr := memtrack.New()
-				if _, err := apps.MotifCount(g, 4, apps.Options{
+				if _, err := apps.MotifCount(bgCtx, g, 4, apps.Options{
 					MemoryBudget: budgetMB << 20, SpillDir: dir, Predict: true, Tracker: tr,
 				}); err != nil {
 					b.Fatal(err)
@@ -262,7 +265,7 @@ func BenchmarkFig17Prediction(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			dir := b.TempDir()
 			for i := 0; i < b.N; i++ {
-				if _, err := apps.MotifCount(g, 4, apps.Options{
+				if _, err := apps.MotifCount(bgCtx, g, 4, apps.Options{
 					MemoryBudget: 1, SpillDir: dir, Predict: predict,
 				}); err != nil {
 					b.Fatal(err)

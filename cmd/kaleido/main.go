@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -67,22 +70,28 @@ func main() {
 		cfg.SpillDir = *spill
 	}
 
+	// Ctrl-C cancels the run: workers notice within one block of work, the
+	// partial level and its spill files are discarded, and the process exits
+	// cleanly instead of leaving scratch data behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
 	switch *app {
 	case "tc":
-		n, err := g.Triangles(cfg)
+		n, err := g.Triangles(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("triangles: %d\n", n)
 	case "clique":
-		n, err := g.Cliques(*k, cfg)
+		n, err := g.Cliques(ctx, *k, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%d-cliques: %d\n", *k, n)
 	case "motif":
-		res, err := g.Motifs(*k, cfg)
+		res, err := g.Motifs(ctx, *k, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -91,7 +100,7 @@ func main() {
 			fmt.Printf("  %-40s %12d\n", pc.Pattern, pc.Count)
 		}
 	case "fsm":
-		res, err := g.FSM(*k, *support, cfg)
+		res, err := g.FSM(ctx, *k, *support, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -144,6 +153,10 @@ func parseBytes(s string) (int64, error) {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "kaleido: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "kaleido:", err)
 	os.Exit(1)
 }

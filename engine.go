@@ -1,0 +1,133 @@
+package kaleido
+
+import (
+	"context"
+	"sync"
+
+	"kaleido/internal/apps"
+	"kaleido/internal/memtrack"
+)
+
+// Engine multiplexes concurrent mining runs over one machine's resources.
+// Every run it vends — application runs (Triangles, Cliques, Motifs, FSM)
+// and custom Miners alike — charges the same resident-bytes pool, so N
+// co-located runs together respect one MemoryBudget: the §4.1 spill
+// watermark fires on their combined total, not on each run's private share.
+// Without an Engine, two concurrent runs each believe they own the whole
+// budget and can together blow it; with one, the runs arbitrate — a run that
+// starts while its siblings hold most of the pool builds its levels mostly
+// on disk, and wins the memory back (part promotion, level pops) as the
+// siblings release theirs.
+//
+// The zero value is usable: populate the fields and share the Engine by
+// pointer. All methods are safe for concurrent use; runs may share a
+// SpillDir (each run spills into a private subdirectory).
+type Engine struct {
+	// MemoryBudget caps the combined resident bytes of the intermediate
+	// data of every run vended by this engine. 0 keeps everything in
+	// memory.
+	MemoryBudget int64
+	// SpillDir receives spilled CSE level parts. Required when
+	// MemoryBudget > 0.
+	SpillDir string
+	// Threads is the default per-run worker count (0 = GOMAXPROCS); a
+	// run's Config.Threads overrides it.
+	Threads int
+	// SpillWatermark is the fraction of MemoryBudget at which mid-build
+	// spilling starts (0 = the default 0.9), applied to the combined
+	// resident bytes of all runs.
+	SpillWatermark float64
+
+	once sync.Once
+	arb  *memtrack.Arbiter
+}
+
+// arbiter lazily creates the shared budget arbiter, so a literal
+// Engine{...} works without a constructor.
+func (en *Engine) arbiter() *memtrack.Arbiter {
+	en.once.Do(func() { en.arb = memtrack.NewArbiter(en.MemoryBudget) })
+	return en.arb
+}
+
+// config merges the engine's shared knobs into a per-run Config: budget,
+// spill placement and watermark always come from the engine (they are
+// engine-wide properties), threads only when the run doesn't choose its own.
+func (en *Engine) config(cfg Config) Config {
+	cfg.MemoryBudget = en.MemoryBudget
+	cfg.SpillDir = en.SpillDir
+	cfg.SpillWatermark = en.SpillWatermark
+	if cfg.Threads == 0 {
+		cfg.Threads = en.Threads
+	}
+	return cfg
+}
+
+// ResidentBytes reports the combined live tracked bytes of every run the
+// engine has vended — the quantity the shared budget caps.
+func (en *Engine) ResidentBytes() int64 { return en.arbiter().Live() }
+
+// PeakBytes reports the high watermark of the combined resident bytes.
+func (en *Engine) PeakBytes() int64 { return en.arbiter().Peak() }
+
+// NewMiner creates a Miner whose intermediate data charges the engine's
+// shared budget pool. Close the Miner to release its share (and any spilled
+// files).
+func (en *Engine) NewMiner(ctx context.Context, g *Graph, mode Mode, cfg Config) (*Miner, error) {
+	cfg = en.config(cfg)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return newMiner(ctx, g, mode, cfg, en.arbiter().NewTracker())
+}
+
+// Triangles is Graph.Triangles charged against the engine's shared budget.
+func (en *Engine) Triangles(ctx context.Context, g *Graph, cfg Config) (uint64, error) {
+	cfg = en.config(cfg)
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
+	defer cfg.finish(tracker, opt.Spill)
+	return apps.TriangleCount(ctxOrBackground(ctx), g.g, opt)
+}
+
+// Cliques is Graph.Cliques charged against the engine's shared budget.
+func (en *Engine) Cliques(ctx context.Context, g *Graph, k int, cfg Config) (uint64, error) {
+	cfg = en.config(cfg)
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
+	defer cfg.finish(tracker, opt.Spill)
+	return apps.CliqueCount(ctxOrBackground(ctx), g.g, k, opt)
+}
+
+// Motifs is Graph.Motifs charged against the engine's shared budget.
+func (en *Engine) Motifs(ctx context.Context, g *Graph, k int, cfg Config) ([]PatternCount, error) {
+	cfg = en.config(cfg)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
+	defer cfg.finish(tracker, opt.Spill)
+	res, err := apps.MotifCount(ctxOrBackground(ctx), g.g, k, opt)
+	if err != nil {
+		return nil, err
+	}
+	return publicCounts(res), nil
+}
+
+// FSM is Graph.FSM charged against the engine's shared budget.
+func (en *Engine) FSM(ctx context.Context, g *Graph, k int, support uint64, cfg Config) ([]PatternCount, error) {
+	cfg = en.config(cfg)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
+	defer cfg.finish(tracker, opt.Spill)
+	res, err := apps.FSM(ctxOrBackground(ctx), g.g, k, support, opt)
+	if err != nil {
+		return nil, err
+	}
+	return publicCounts(res), nil
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -58,9 +59,10 @@ func main() {
 	fmt.Printf("transaction graph: %d accounts, %d relationships\n", g.N(), g.M())
 	fmt.Printf("planted %d rings of %d mutually transacting accounts\n", rings, ringSize)
 
+	ctx := context.Background()
 	cfg := kaleido.Config{}
 	for k := 3; k <= 5; k++ {
-		n, err := g.Cliques(k, cfg)
+		n, err := g.Cliques(ctx, k, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,12 +32,13 @@ func main() {
 	}
 	uniform := buildUniform(n, m)
 
+	ctx := context.Background()
 	cfg := kaleido.Config{}
 	for _, net := range []struct {
 		name string
 		g    *kaleido.Graph
 	}{{"power-law (PPI-like)", powerlaw}, {"uniform (rewired null model)", uniform}} {
-		motifs, err := net.g.Motifs(4, cfg)
+		motifs, err := net.g.Motifs(ctx, 4, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,10 @@ import (
 )
 
 func main() {
+	// Every blocking call takes a context: cancel it to abort a run promptly
+	// (workers poll between blocks of work and return ctx.Err()).
+	ctx := context.Background()
+
 	b := kaleido.NewGraphBuilder(5)
 	for _, e := range [][2]uint32{{0, 1}, {0, 4}, {1, 4}, {1, 2}, {2, 3}, {2, 4}, {3, 4}} {
 		b.AddEdge(e[0], e[1])
@@ -28,19 +33,19 @@ func main() {
 
 	cfg := kaleido.Config{}
 
-	triangles, err := g.Triangles(cfg)
+	triangles, err := g.Triangles(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("triangles:", triangles) // 3
 
-	cliques, err := g.Cliques(3, cfg)
+	cliques, err := g.Cliques(ctx, 3, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("3-cliques:", cliques) // 3
 
-	motifs, err := g.Motifs(3, cfg)
+	motifs, err := g.Motifs(ctx, 3, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +54,7 @@ func main() {
 		fmt.Printf("  %v ×%d\n", m.Pattern, m.Count) // chain ×5, triangle ×3
 	}
 
-	frequent, err := g.FSM(3, 2, cfg)
+	frequent, err := g.FSM(ctx, 3, 2, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +69,7 @@ func main() {
 	// When the run only needs a number, finish with ExpandCount instead of
 	// a final Expand: the last level — the largest one — is counted at the
 	// expansion frontier and never materialized, so it writes zero bytes.
-	m, err := g.NewMiner(kaleido.VertexInduced, cfg)
+	m, err := g.NewMiner(ctx, kaleido.VertexInduced, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,10 +82,10 @@ func main() {
 		}
 		return true
 	}
-	if err := m.Expand(adjacentToAll); err != nil { // 2-cliques: the edges
+	if err := m.Expand(ctx, adjacentToAll); err != nil { // 2-cliques: the edges
 		log.Fatal(err)
 	}
-	nclq, err := m.ExpandCount(adjacentToAll) // 3-cliques, not stored
+	nclq, err := m.ExpandCount(ctx, adjacentToAll) // 3-cliques, not stored
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -61,6 +62,9 @@ type SpillInfo struct {
 	SpilledLevels int
 	// SpilledParts counts the level parts migrated to disk.
 	SpilledParts int
+	// PromotedParts counts disk parts promoted back to memory after an
+	// in-place filter left the (shared) budget with headroom.
+	PromotedParts int
 }
 
 func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config {
@@ -78,7 +82,11 @@ func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config
 // it as a deferred call so the final expansion is included.
 func captureSpill(opt Options, e *explore.Explorer) {
 	if opt.Spill != nil {
-		*opt.Spill = SpillInfo{SpilledLevels: e.SpilledLevels(), SpilledParts: e.SpilledParts()}
+		*opt.Spill = SpillInfo{
+			SpilledLevels: e.SpilledLevels(),
+			SpilledParts:  e.SpilledParts(),
+			PromotedParts: e.PromotedParts(),
+		}
 	}
 }
 
@@ -132,7 +140,8 @@ func sortCounts(out []PatternCount) {
 // per run with its NeighborMarker and then answers every probe in O(1) —
 // one gallop to the first neighbor past v plus one probe per remaining
 // neighbor, instead of a fresh linear merge of both lists per embedding.
-func TriangleCount(g *graph.Graph, opt Options) (uint64, error) {
+// ctx cancels the run between blocks of work.
+func TriangleCount(ctx context.Context, g *graph.Graph, opt Options) (uint64, error) {
 	e, err := explore.New(opt.exploreConfig(g, explore.VertexInduced))
 	if err != nil {
 		return 0, err
@@ -142,7 +151,7 @@ func TriangleCount(g *graph.Graph, opt Options) (uint64, error) {
 	if err := e.InitVertices(nil); err != nil {
 		return 0, err
 	}
-	if err := e.Expand(nil, nil); err != nil {
+	if err := e.Expand(ctx, nil, nil); err != nil {
 		return 0, err
 	}
 	nw := threadsOf(opt)
@@ -153,7 +162,7 @@ func TriangleCount(g *graph.Graph, opt Options) (uint64, error) {
 		marked bool
 	}
 	states := make([]*markState, nw)
-	err = e.ForEach(func(w int, emb []uint32) error {
+	err = e.ForEach(ctx, func(w int, emb []uint32) error {
 		u, v := emb[0], emb[1]
 		st := states[w]
 		if st == nil {
@@ -223,8 +232,8 @@ func cliqueFilter(g *graph.Graph, nw int) explore.VertexFilter {
 // extension is a k-clique and no pattern computation is needed. Only k−2
 // levels are materialized: the final expansion — the largest level of the
 // run — is consumed by a CountSink at the frontier (§6.5 generalized), so
-// zero bytes are written for it.
-func CliqueCount(g *graph.Graph, k int, opt Options) (uint64, error) {
+// zero bytes are written for it. ctx cancels the run between blocks of work.
+func CliqueCount(ctx context.Context, g *graph.Graph, k int, opt Options) (uint64, error) {
 	if k < 2 {
 		return 0, fmt.Errorf("apps: clique size %d < 2", k)
 	}
@@ -239,18 +248,21 @@ func CliqueCount(g *graph.Graph, k int, opt Options) (uint64, error) {
 	}
 	filter := cliqueFilter(g, threadsOf(opt))
 	for i := 1; i < k-1; i++ {
-		if err := e.Expand(filter, nil); err != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if err := e.Expand(ctx, filter, nil); err != nil {
 			return 0, err
 		}
 	}
-	return e.ExpandCount(filter, nil)
+	return e.ExpandCount(ctx, filter, nil)
 }
 
 // MotifCount counts the frequency of every k-motif (§5.1): exploration stops
 // at (k−1)-embeddings; the Mapper explores each one's canonical extensions
 // on the fly and aggregates pattern hashes. Labels are ignored: motifs are
-// structural.
-func MotifCount(g *graph.Graph, k int, opt Options) ([]PatternCount, error) {
+// structural. ctx cancels the run between blocks of work.
+func MotifCount(ctx context.Context, g *graph.Graph, k int, opt Options) ([]PatternCount, error) {
 	if k < 2 || k > pattern.MaxK {
 		return nil, fmt.Errorf("apps: motif size %d out of [2,%d]", k, pattern.MaxK)
 	}
@@ -266,7 +278,10 @@ func MotifCount(g *graph.Graph, k int, opt Options) ([]PatternCount, error) {
 	// k-Motif stores only k−1 levels (§6.5): the last expansion is consumed
 	// by the Mapper at the frontier through a VisitSink.
 	for i := 1; i < k-1; i++ {
-		if err := e.Expand(nil, nil); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := e.Expand(ctx, nil, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -282,7 +297,7 @@ func MotifCount(g *graph.Graph, k int, opt Options) ([]PatternCount, error) {
 	for i := range verts {
 		verts[i] = make([]uint32, k)
 	}
-	err = e.ExpandVisit(nil, nil, func(w int, emb []uint32, cand uint32) error {
+	err = e.ExpandVisit(ctx, nil, nil, func(w int, emb []uint32, cand uint32) error {
 		vs := verts[w]
 		copy(vs, emb)
 		vs[k-1] = cand

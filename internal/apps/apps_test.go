@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,8 @@ import (
 	"kaleido/internal/iso"
 	"kaleido/internal/pattern"
 )
+
+var bgCtx = context.Background()
 
 // paperGraph is the Fig. 3 running example (0-based ids).
 func paperGraph(t testing.TB) *graph.Graph {
@@ -40,7 +43,7 @@ func randomGraph(rng *rand.Rand, n, m, labels int) *graph.Graph {
 
 func TestTriangleCountPaperExample(t *testing.T) {
 	g := paperGraph(t)
-	got, err := TriangleCount(g, Options{Threads: 2})
+	got, err := TriangleCount(bgCtx, g, Options{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +74,7 @@ func TestTriangleCountRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 15; trial++ {
 		g := randomGraph(rng, 10+rng.Intn(30), rng.Intn(120), 3)
-		got, err := TriangleCount(g, Options{Threads: 1 + rng.Intn(4)})
+		got, err := TriangleCount(bgCtx, g, Options{Threads: 1 + rng.Intn(4)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,14 +86,14 @@ func TestTriangleCountRandom(t *testing.T) {
 
 func TestCliqueCountPaperExample(t *testing.T) {
 	g := paperGraph(t)
-	got, err := CliqueCount(g, 3, Options{Threads: 2})
+	got, err := CliqueCount(bgCtx, g, 3, Options{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != 3 {
 		t.Fatalf("3-cliques = %d, want 3 (paper Fig. 9)", got)
 	}
-	got4, err := CliqueCount(g, 4, Options{Threads: 2})
+	got4, err := CliqueCount(bgCtx, g, 4, Options{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +116,7 @@ func TestCliqueCountCompleteGraph(t *testing.T) {
 	}
 	want := map[int]uint64{2: 15, 3: 20, 4: 15, 5: 6}
 	for k, w := range want {
-		got, err := CliqueCount(g, k, Options{Threads: 3})
+		got, err := CliqueCount(bgCtx, g, k, Options{Threads: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +124,7 @@ func TestCliqueCountCompleteGraph(t *testing.T) {
 			t.Fatalf("%d-cliques of K6 = %d, want %d", k, got, w)
 		}
 	}
-	if _, err := CliqueCount(g, 1, Options{}); err == nil {
+	if _, err := CliqueCount(bgCtx, g, 1, Options{}); err == nil {
 		t.Fatal("k=1 accepted")
 	}
 }
@@ -129,7 +132,7 @@ func TestCliqueCountCompleteGraph(t *testing.T) {
 func TestMotifCountPaperExample(t *testing.T) {
 	// Paper §5.1: the Fig. 3 graph has 5 3-chains and 3 triangles.
 	g := paperGraph(t)
-	got, err := MotifCount(g, 3, Options{Threads: 2})
+	got, err := MotifCount(bgCtx, g, 3, Options{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +180,7 @@ func TestMotifCountMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		g := randomGraph(rng, 8+rng.Intn(8), rng.Intn(40), 1)
 		for k := 3; k <= 4; k++ {
-			got, err := MotifCount(g, k, Options{Threads: 1 + rng.Intn(4)})
+			got, err := MotifCount(bgCtx, g, k, Options{Threads: 1 + rng.Intn(4)})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -200,7 +203,7 @@ func TestMotifCountIsoBackendsAgree(t *testing.T) {
 	g := randomGraph(rng, 20, 60, 1)
 	var ref []PatternCount
 	for _, algo := range []IsoAlgo{IsoEigen, IsoBliss, IsoEigenExact} {
-		got, err := MotifCount(g, 4, Options{Threads: 2, Iso: algo})
+		got, err := MotifCount(bgCtx, g, 4, Options{Threads: 2, Iso: algo})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,7 +246,7 @@ func TestFSMTwoStars(t *testing.T) {
 	g := twoStarGraph(t)
 	// 3-FSM (2 edges, ≤3 vertices), support 2: the only 2-edge pattern is
 	// the path 1-0-1, MNI = min(|{0,1}|, |{2,3,4,5}|) = 2 → frequent.
-	got, err := FSM(g, 3, 2, Options{Threads: 2})
+	got, err := FSM(bgCtx, g, 3, 2, Options{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +260,7 @@ func TestFSMTwoStars(t *testing.T) {
 		t.Fatalf("pattern = %v", got[0].Pattern)
 	}
 	// Support 3: even single edges are infrequent (MNI 2).
-	none, err := FSM(g, 3, 3, Options{Threads: 2})
+	none, err := FSM(bgCtx, g, 3, 3, Options{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +272,7 @@ func TestFSMTwoStars(t *testing.T) {
 func TestFSMSingleEdgeLevel(t *testing.T) {
 	g := twoStarGraph(t)
 	// 2-FSM = frequent single-edge patterns.
-	got, err := FSM(g, 2, 2, Options{})
+	got, err := FSM(bgCtx, g, 2, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +289,7 @@ func TestFSMSupportOneMatchesEnumeration(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		g := randomGraph(rng, 7+rng.Intn(5), rng.Intn(20), 2)
 		k := 3 + rng.Intn(2)
-		got, err := FSM(g, k, 1, Options{Threads: 1 + rng.Intn(3)})
+		got, err := FSM(bgCtx, g, k, 1, Options{Threads: 1 + rng.Intn(3)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -365,11 +368,11 @@ func edgeSetConnected(g *graph.Graph, set []uint32) bool {
 func TestFSMHybridMatchesMemory(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	g := randomGraph(rng, 30, 90, 3)
-	mem, err := FSM(g, 4, 2, Options{Threads: 2})
+	mem, err := FSM(bgCtx, g, 4, 2, Options{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hyb, err := FSM(g, 4, 2, Options{
+	hyb, err := FSM(bgCtx, g, 4, 2, Options{
 		Threads: 2, MemoryBudget: 1, SpillDir: t.TempDir(), Predict: true,
 	})
 	if err != nil {
@@ -387,16 +390,16 @@ func TestFSMHybridMatchesMemory(t *testing.T) {
 
 func TestFSMValidation(t *testing.T) {
 	g := paperGraph(t)
-	if _, err := FSM(g, 1, 1, Options{}); err == nil {
+	if _, err := FSM(bgCtx, g, 1, 1, Options{}); err == nil {
 		t.Fatal("k=1 accepted")
 	}
-	if _, err := FSM(g, 3, 0, Options{}); err == nil {
+	if _, err := FSM(bgCtx, g, 3, 0, Options{}); err == nil {
 		t.Fatal("support 0 accepted")
 	}
-	if _, err := FSM(g, pattern.MaxK+1, 1, Options{}); err == nil {
+	if _, err := FSM(bgCtx, g, pattern.MaxK+1, 1, Options{}); err == nil {
 		t.Fatal("oversized k accepted")
 	}
-	if _, err := MotifCount(g, 1, Options{}); err == nil {
+	if _, err := MotifCount(bgCtx, g, 1, Options{}); err == nil {
 		t.Fatal("motif k=1 accepted")
 	}
 }
@@ -406,7 +409,7 @@ func TestFSMThreadInvariance(t *testing.T) {
 	g := randomGraph(rng, 25, 70, 3)
 	var ref []PatternCount
 	for _, threads := range []int{1, 2, 4} {
-		got, err := FSM(g, 4, 3, Options{Threads: threads})
+		got, err := FSM(bgCtx, g, 4, 3, Options{Threads: threads})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -19,8 +20,8 @@ func defaultThreads() int { return runtime.GOMAXPROCS(0) }
 // the exact MNI support is not computed: as soon as a pattern's support
 // reaches the threshold it is marked frequent and its domain tracking is
 // dropped, which is why FSM run time is non-monotonic in the support
-// (Fig. 11).
-func FSM(g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, error) {
+// (Fig. 11). ctx cancels the run between blocks of work.
+func FSM(ctx context.Context, g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, error) {
 	if k < 2 || k > pattern.MaxK {
 		return nil, fmt.Errorf("apps: FSM size %d out of [2,%d]", k, pattern.MaxK)
 	}
@@ -70,11 +71,14 @@ func FSM(g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, er
 
 	var result []PatternCount
 	for level := 2; level <= k-1; level++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if level < k-1 {
-			if err := e.Expand(nil, filter); err != nil {
+			if err := e.Expand(ctx, nil, filter); err != nil {
 				return nil, err
 			}
-			merged, err := aggregateFSM(g, e, support, opt)
+			merged, err := aggregateFSM(ctx, g, e, support, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -89,7 +93,7 @@ func FSM(g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, er
 				hashers[i] = newHasher(opt.Iso)
 				bufs[i] = make([]uint32, 0, 2*k)
 			}
-			err = e.FilterTop(func(w int, emb []uint32) bool {
+			err = e.FilterTop(ctx, func(w int, emb []uint32) bool {
 				p, verts, err := patternOfEdges(g, emb, bufs[w])
 				bufs[w] = verts[:0]
 				if err != nil {
@@ -107,7 +111,7 @@ func FSM(g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, er
 		// Final level: the largest level of the run is aggregated at the
 		// expansion frontier (VisitSink) and never materialized — the §6.5
 		// terminal-consumption trick applied to FSM.
-		merged, err := aggregateFSMFused(g, e, filter, support, opt)
+		merged, err := aggregateFSMFused(ctx, g, e, filter, support, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -239,9 +243,9 @@ func (a *fsmAggregator) merge() map[uint64]*mni.Agg {
 
 // aggregateFSM runs the Mapper over all top-level embeddings with per-worker
 // PatternMaps, then Reduces them into one map keyed by isomorphism hash.
-func aggregateFSM(g *graph.Graph, e *explore.Explorer, support uint64, opt Options) (map[uint64]*mni.Agg, error) {
+func aggregateFSM(ctx context.Context, g *graph.Graph, e *explore.Explorer, support uint64, opt Options) (map[uint64]*mni.Agg, error) {
 	a := newFSMAggregator(g, support, opt)
-	if err := e.ForEach(a.add); err != nil {
+	if err := e.ForEach(ctx, a.add); err != nil {
 		return nil, err
 	}
 	return a.merge(), nil
@@ -250,10 +254,10 @@ func aggregateFSM(g *graph.Graph, e *explore.Explorer, support uint64, opt Optio
 // aggregateFSMFused is aggregateFSM fused into the expansion itself: the
 // final level's embeddings are handed to the Mapper as they are produced
 // (VisitSink) and never stored, so FSM's largest level writes zero bytes.
-func aggregateFSMFused(g *graph.Graph, e *explore.Explorer, filter explore.EdgeFilter, support uint64, opt Options) (map[uint64]*mni.Agg, error) {
+func aggregateFSMFused(ctx context.Context, g *graph.Graph, e *explore.Explorer, filter explore.EdgeFilter, support uint64, opt Options) (map[uint64]*mni.Agg, error) {
 	a := newFSMAggregator(g, support, opt)
 	embBufs := make([][]uint32, threadsOf(opt))
-	err := e.ExpandVisit(nil, filter, func(w int, emb []uint32, cand uint32) error {
+	err := e.ExpandVisit(ctx, nil, filter, func(w int, emb []uint32, cand uint32) error {
 		buf := append(embBufs[w][:0], emb...)
 		buf = append(buf, cand)
 		embBufs[w] = buf

@@ -55,7 +55,7 @@ func materializedCliqueCount(t *testing.T, g *graph.Graph, k int) uint64 {
 		t.Fatal(err)
 	}
 	for i := 1; i < k; i++ {
-		if err := e.Expand(naiveCliqueFilter(g), nil); err != nil {
+		if err := e.Expand(bgCtx, naiveCliqueFilter(g), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -69,7 +69,7 @@ func TestCliqueFusedMatchesMaterialized(t *testing.T) {
 		for k := 3; k <= 5; k++ {
 			want := materializedCliqueCount(t, g, k)
 			for i, opt := range appConfigs(t) {
-				got, err := CliqueCount(g, k, opt)
+				got, err := CliqueCount(bgCtx, g, k, opt)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -94,13 +94,13 @@ func materializedMotifCount(t *testing.T, g *graph.Graph, k int) map[string]uint
 		t.Fatal(err)
 	}
 	for i := 1; i < k; i++ {
-		if err := e.Expand(nil, nil); err != nil {
+		if err := e.Expand(bgCtx, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	out := map[string]uint64{}
 	var mu sync.Mutex
-	err = e.ForEach(func(_ int, emb []uint32) error {
+	err = e.ForEach(bgCtx, func(_ int, emb []uint32) error {
 		p, err := patternOfVertices(g, emb, true)
 		if err != nil {
 			return err
@@ -124,7 +124,7 @@ func TestMotifFusedMatchesMaterialized(t *testing.T) {
 		for k := 3; k <= 4; k++ {
 			want := materializedMotifCount(t, g, k)
 			for i, opt := range appConfigs(t) {
-				got, err := MotifCount(g, k, opt)
+				got, err := MotifCount(bgCtx, g, k, opt)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -180,11 +180,11 @@ func materializedFSMFinal(t *testing.T, g *graph.Graph, k int, support uint64, o
 	}
 	var result []PatternCount
 	for level := 2; level <= k-1; level++ {
-		if err := e.Expand(nil, filter); err != nil {
+		if err := e.Expand(bgCtx, nil, filter); err != nil {
 			t.Fatal(err)
 		}
 		var merged map[uint64]*mni.Agg
-		if merged, err = aggregateFSM(g, e, support, opt); err != nil {
+		if merged, err = aggregateFSM(bgCtx, g, e, support, opt); err != nil {
 			t.Fatal(err)
 		}
 		if level < k-1 {
@@ -195,7 +195,7 @@ func materializedFSMFinal(t *testing.T, g *graph.Graph, k int, support uint64, o
 				hashers[i] = newHasher(opt.Iso)
 				bufs[i] = make([]uint32, 0, 2*k)
 			}
-			err = e.FilterTop(func(w int, emb []uint32) bool {
+			err = e.FilterTop(bgCtx, func(w int, emb []uint32) bool {
 				p, verts, err := patternOfEdges(g, emb, bufs[w])
 				bufs[w] = verts[:0]
 				if err != nil {
@@ -231,7 +231,7 @@ func TestFSMFusedMatchesMaterialized(t *testing.T) {
 				// supports must be byte-identical between the fused and the
 				// materialized final level.
 				exact := materializedFSMFinal(t, g, k, support, Options{Threads: 1})
-				got1, err := FSM(g, k, support, Options{Threads: 1})
+				got1, err := FSM(bgCtx, g, k, support, Options{Threads: 1})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -254,7 +254,7 @@ func TestFSMFusedMatchesMaterialized(t *testing.T) {
 					wantByClass[iso.CanonicalBrute(pc.Pattern)] = pc.Count
 				}
 				for i, opt := range appConfigs(t) {
-					got, err := FSM(g, k, support, opt)
+					got, err := FSM(bgCtx, g, k, support, opt)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -280,7 +280,7 @@ func TestTriangleCountAcrossConfigs(t *testing.T) {
 	g := randomGraph(rng, 40, 200, 1)
 	want := bruteTriangles(g)
 	for i, opt := range appConfigs(t) {
-		got, err := TriangleCount(g, opt)
+		got, err := TriangleCount(bgCtx, g, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -309,7 +309,7 @@ func TestFusedTerminalWritesZeroBytes(t *testing.T) {
 	if err := e.InitVertices(nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Expand(naiveCliqueFilter(g), nil); err != nil {
+	if err := e.Expand(bgCtx, naiveCliqueFilter(g), nil); err != nil {
 		t.Fatal(err)
 	}
 	_, wantCliqueWrites := tr.IOTotals()
@@ -319,7 +319,7 @@ func TestFusedTerminalWritesZeroBytes(t *testing.T) {
 	}
 
 	trClique := memtrack.New()
-	if _, err := CliqueCount(g, 3, Options{
+	if _, err := CliqueCount(bgCtx, g, 3, Options{
 		Threads: 3, MemoryBudget: 1, SpillDir: t.TempDir(), Tracker: trClique,
 	}); err != nil {
 		t.Fatal(err)
@@ -340,14 +340,14 @@ func TestFusedTerminalWritesZeroBytes(t *testing.T) {
 	if err := e2.InitVertices(nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := e2.Expand(nil, nil); err != nil {
+	if err := e2.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	_, wantMotifWrites := tr2.IOTotals()
 	e2.Close()
 
 	trMotif := memtrack.New()
-	if _, err := MotifCount(g, 3, Options{
+	if _, err := MotifCount(bgCtx, g, 3, Options{
 		Threads: 3, MemoryBudget: 1, SpillDir: t.TempDir(), Tracker: trMotif,
 	}); err != nil {
 		t.Fatal(err)

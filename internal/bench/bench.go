@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -17,6 +18,10 @@ import (
 	"kaleido/internal/memtrack"
 	"kaleido/internal/rstream"
 )
+
+// bgCtx is the uncancellable context of the harness's own runs: experiments
+// are driven to completion, not cancelled.
+var bgCtx = context.Background()
 
 // RunConfig configures an experiment run.
 type RunConfig struct {
@@ -72,9 +77,10 @@ func (r Result) Render() string {
 	return sb.String()
 }
 
-// Experiments lists the available experiment ids in paper order.
+// Experiments lists the available experiment ids in paper order, followed by
+// the engine experiments that go beyond the paper's evaluation.
 func Experiments() []string {
-	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks"}
+	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks", "concurrent"}
 }
 
 // Run executes one experiment by id.
@@ -100,6 +106,8 @@ func Run(id string, cfg RunConfig) ([]Result, error) {
 		return fig17(cfg)
 	case "sinks":
 		return sinks(cfg)
+	case "concurrent":
+		return concurrent(cfg)
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
 	}
@@ -168,16 +176,16 @@ func runCell(g *graph.Graph, sys system, w workload, cfg RunConfig) measured {
 			opt := apps.Options{Threads: threads, Tracker: tr}
 			switch w.app {
 			case "3-FSM":
-				_, err := apps.FSM(g, 3, w.option, opt)
+				_, err := apps.FSM(bgCtx, g, 3, w.option, opt)
 				return err
 			case "Motif":
-				_, err := apps.MotifCount(g, int(w.option), opt)
+				_, err := apps.MotifCount(bgCtx, g, int(w.option), opt)
 				return err
 			case "Clique":
-				_, err := apps.CliqueCount(g, int(w.option), opt)
+				_, err := apps.CliqueCount(bgCtx, g, int(w.option), opt)
 				return err
 			default:
-				_, err := apps.TriangleCount(g, opt)
+				_, err := apps.TriangleCount(bgCtx, g, opt)
 				return err
 			}
 		case sysArabesque:

@@ -59,7 +59,7 @@ func engineExplorer(tb testing.TB, g *graph.Graph, c expandCase) *explore.Explor
 		tb.Fatal(err)
 	}
 	for ex.Depth() < c.depth {
-		if err := ex.Expand(nil, nil); err != nil {
+		if err := ex.Expand(bgCtx, nil, nil); err != nil {
 			tb.Fatal(err)
 		}
 	}
@@ -107,10 +107,10 @@ type appCase struct {
 func appCases() []appCase {
 	return []appCase{
 		{name: "clique-d4", threads: 4, run: func(g *graph.Graph, opt apps.Options) (uint64, error) {
-			return apps.CliqueCount(g, 4, opt)
+			return apps.CliqueCount(bgCtx, g, 4, opt)
 		}},
 		{name: "motif-d3", threads: 4, run: func(g *graph.Graph, opt apps.Options) (uint64, error) {
-			res, err := apps.MotifCount(g, 3, opt)
+			res, err := apps.MotifCount(bgCtx, g, 3, opt)
 			if err != nil {
 				return 0, err
 			}
@@ -179,7 +179,7 @@ func measureExpandCase(c expandCase) (testing.BenchmarkResult, int) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := ex.Expand(nil, nil); err != nil {
+			if err := ex.Expand(bgCtx, nil, nil); err != nil {
 				b.Fatal(err)
 			}
 			produced = ex.Count()
@@ -201,7 +201,7 @@ func runExpandCase(b *testing.B, c expandCase) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := ex.Expand(nil, nil); err != nil {
+		if err := ex.Expand(bgCtx, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 		produced = ex.Count()
@@ -234,7 +234,7 @@ func BenchmarkForEachExpansion(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		err := ex.ForEachExpansion(nil, func(worker int, emb []uint32, cand uint32) error {
+		err := ex.ForEachExpansion(bgCtx, nil, func(worker int, emb []uint32, cand uint32) error {
 			counts[worker]++
 			return nil
 		})
@@ -261,7 +261,7 @@ func TestHybridBenchCasePlacement(t *testing.T) {
 	g := engineGraph(t, c.n, c.m, c.seed)
 	ex := engineExplorer(t, g, c)
 	defer ex.Close()
-	if err := ex.Expand(nil, nil); err != nil {
+	if err := ex.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	stats := ex.LevelStats()

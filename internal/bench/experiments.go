@@ -42,7 +42,7 @@ func fig11(cfg RunConfig) ([]Result, error) {
 		row := []string{ds}
 		for _, s := range supports {
 			m := timed(func(tr *memtrack.Tracker) error {
-				_, err := apps.FSM(g, 3, s, apps.Options{Threads: cfg.Threads, Tracker: tr})
+				_, err := apps.FSM(bgCtx, g, 3, s, apps.Options{Threads: cfg.Threads, Tracker: tr})
 				return err
 			})
 			row = append(row, m.timeCell(), m.memCell())
@@ -95,10 +95,10 @@ func fig12(cfg RunConfig) ([]Result, error) {
 			return timed(func(tr *memtrack.Tracker) error {
 				opt := apps.Options{Threads: cfg.Threads, Tracker: tr, Iso: iso}
 				if w.app == "motif" {
-					_, err := apps.MotifCount(g, w.k, opt)
+					_, err := apps.MotifCount(bgCtx, g, w.k, opt)
 					return err
 				}
-				_, err := apps.FSM(g, w.k, w.support, opt)
+				_, err := apps.FSM(bgCtx, g, w.k, w.support, opt)
 				return err
 			})
 		}
@@ -142,7 +142,7 @@ func fig13(cfg RunConfig) ([]Result, error) {
 	add := func(name string, g *graph.Graph, k int, s uint64) {
 		run := func(iso apps.IsoAlgo) measured {
 			return timed(func(tr *memtrack.Tracker) error {
-				_, err := apps.FSM(g, k, s, apps.Options{Threads: cfg.Threads, Tracker: tr, Iso: iso})
+				_, err := apps.FSM(bgCtx, g, k, s, apps.Options{Threads: cfg.Threads, Tracker: tr, Iso: iso})
 				return err
 			})
 		}
@@ -181,15 +181,15 @@ func fig14(cfg RunConfig) ([]Result, error) {
 	for _, t := range threads {
 		row := []string{fmt.Sprint(t)}
 		fsm := timed(func(tr *memtrack.Tracker) error {
-			_, err := apps.FSM(g, 3, 5000, apps.Options{Threads: t, Tracker: tr})
+			_, err := apps.FSM(bgCtx, g, 3, 5000, apps.Options{Threads: t, Tracker: tr})
 			return err
 		})
 		motif := timed(func(tr *memtrack.Tracker) error {
-			_, err := apps.MotifCount(g, 3, apps.Options{Threads: t, Tracker: tr})
+			_, err := apps.MotifCount(bgCtx, g, 3, apps.Options{Threads: t, Tracker: tr})
 			return err
 		})
 		clique := timed(func(tr *memtrack.Tracker) error {
-			_, err := apps.CliqueCount(g, 5, apps.Options{Threads: t, Tracker: tr})
+			_, err := apps.CliqueCount(bgCtx, g, 5, apps.Options{Threads: t, Tracker: tr})
 			return err
 		})
 		row = append(row, fsm.timeCell(), fsm.memCell(), motif.timeCell(), motif.memCell(),
@@ -237,10 +237,10 @@ func table4(cfg RunConfig) ([]Result, error) {
 					SpillWatermark: cfg.SpillWatermark, PredictSample: cfg.PredictSample,
 				}
 				if w.app == "motif" {
-					_, err := apps.MotifCount(g, 4, opt)
+					_, err := apps.MotifCount(bgCtx, g, 4, opt)
 					return err
 				}
-				_, err := apps.FSM(g, 4, w.support, opt)
+				_, err := apps.FSM(bgCtx, g, 4, w.support, opt)
 				return err
 			})
 		}
@@ -273,7 +273,7 @@ func fig16(cfg RunConfig) ([]Result, error) {
 	// Baseline in-memory run to size the budgets.
 	const f16support = 150
 	base := timed(func(tr *memtrack.Tracker) error {
-		_, err := apps.FSM(g, 4, f16support, apps.Options{Threads: cfg.Threads, Tracker: tr})
+		_, err := apps.FSM(bgCtx, g, 4, f16support, apps.Options{Threads: cfg.Threads, Tracker: tr})
 		return err
 	})
 	if base.skipped != "" {
@@ -300,7 +300,7 @@ func fig16(cfg RunConfig) ([]Result, error) {
 		}
 		tr := memtrack.New()
 		start := time.Now()
-		_, err = apps.FSM(g, 4, f16support, apps.Options{
+		_, err = apps.FSM(bgCtx, g, 4, f16support, apps.Options{
 			Threads: cfg.Threads, Tracker: tr,
 			MemoryBudget: budget, SpillDir: dir, Predict: true,
 			SpillWatermark: cfg.SpillWatermark, PredictSample: cfg.PredictSample,
@@ -367,10 +367,10 @@ func fig17(cfg RunConfig) ([]Result, error) {
 					SpillWatermark: cfg.SpillWatermark, PredictSample: cfg.PredictSample,
 				}
 				if w.app == "motif" {
-					_, err := apps.MotifCount(g, 4, opt)
+					_, err := apps.MotifCount(bgCtx, g, 4, opt)
 					return err
 				}
-				_, err := apps.FSM(g, 4, w.support, opt)
+				_, err := apps.FSM(bgCtx, g, 4, w.support, opt)
 				return err
 			})
 		}
@@ -407,9 +407,9 @@ func sinks(cfg RunConfig) ([]Result, error) {
 		run  func(opt apps.Options) error
 	}
 	wls := []wl{
-		{"4-Clique (CountSink)", func(opt apps.Options) error { _, err := apps.CliqueCount(g, 4, opt); return err }},
-		{"3-Motif (VisitSink)", func(opt apps.Options) error { _, err := apps.MotifCount(g, 3, opt); return err }},
-		{"3-FSM s=100 (VisitSink+KeepSink)", func(opt apps.Options) error { _, err := apps.FSM(g, 3, 100, opt); return err }},
+		{"4-Clique (CountSink)", func(opt apps.Options) error { _, err := apps.CliqueCount(bgCtx, g, 4, opt); return err }},
+		{"3-Motif (VisitSink)", func(opt apps.Options) error { _, err := apps.MotifCount(bgCtx, g, 3, opt); return err }},
+		{"3-FSM s=100 (VisitSink+KeepSink)", func(opt apps.Options) error { _, err := apps.FSM(bgCtx, g, 3, 100, opt); return err }},
 	}
 	if cfg.Quick {
 		wls = wls[:2]

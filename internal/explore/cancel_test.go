@@ -1,0 +1,287 @@
+package explore
+
+// Cancellation tests: a cancelled operation must return ctx.Err() promptly,
+// leave the explorer's previous levels usable, and leak neither spill files
+// nor goroutines — Close reclaims everything.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kaleido/internal/memtrack"
+)
+
+// dirEntries returns every file under dir (recursively).
+func dirEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most base
+// (with slack for runtime housekeeping) or the deadline passes.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not drain: %d (baseline %d)", runtime.NumGoroutine(), base)
+}
+
+// cancelDuringExpand runs one budgeted expansion whose filter cancels the
+// context after trips calls, then verifies the cancellation contract.
+func cancelDuringExpand(t *testing.T, budget int64, trips int64) {
+	baseGoroutines := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(101))
+	g := randomGraph(rng, 200, 1200)
+	spill := t.TempDir()
+	e, err := New(Config{
+		Graph: g, Mode: VertexInduced, Threads: 4,
+		MemoryBudget: budget, SpillDir: spill,
+		BufSize: 256, // tiny write buffers: the queue stays busy mid-cancel
+		Tracker: memtrack.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InitVertices(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := collect(t, e)
+	depth, bytes := e.Depth(), e.Bytes()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	filter := func(_ int, _ []uint32, _ uint32) bool {
+		if calls.Add(1) == trips {
+			cancel()
+		}
+		return true
+	}
+	err = e.Expand(ctx, filter, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Expand returned %v, want context.Canceled", err)
+	}
+	// The partial level is discarded: depth and data are the pre-cancel ones.
+	if e.Depth() != depth || e.Bytes() != bytes {
+		t.Fatalf("cancel changed the CSE: depth %d->%d bytes %d->%d", depth, e.Depth(), bytes, e.Bytes())
+	}
+	if got := collect(t, e); !reflect.DeepEqual(got, want) {
+		t.Fatal("pre-cancel top level changed")
+	}
+	// The explorer still works: the same expansion completes uncancelled.
+	if err := e.Expand(bgCtx, filter, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if files := dirEntries(t, spill); len(files) != 0 {
+		t.Fatalf("spill files leaked after Close: %v", files)
+	}
+	waitGoroutines(t, baseGoroutines)
+}
+
+func TestExpandCancelHybrid(t *testing.T) {
+	// Budget sized so expansions spill some parts mid-build: the cancel
+	// lands while the write queue holds pending migrations.
+	cancelDuringExpand(t, 64<<10, 500)
+}
+
+func TestExpandCancelAllDisk(t *testing.T) {
+	cancelDuringExpand(t, 1, 500)
+}
+
+func TestExpandCancelInMemory(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(103))
+	g := randomGraph(rng, 200, 1200)
+	e := newVertexExplorer(t, g, 4)
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the expansion must not start
+	if err := e.Expand(ctx, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Expand on cancelled ctx returned %v", err)
+	}
+	if _, err := e.ExpandCount(ctx, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExpandCount on cancelled ctx returned %v", err)
+	}
+	if err := e.ForEach(ctx, func(int, []uint32) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEach on cancelled ctx returned %v", err)
+	}
+	if err := e.FilterTop(ctx, func(int, []uint32) bool { return true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FilterTop on cancelled ctx returned %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, baseGoroutines)
+}
+
+// TestExpandVisitCancel cancels a terminal (non-storing) expansion from
+// inside the visit callback.
+func TestExpandVisitCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	g := randomGraph(rng, 150, 900)
+	e := newVertexExplorer(t, g, 4)
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var visits atomic.Int64
+	err := e.ExpandVisit(ctx, nil, nil, func(int, []uint32, uint32) error {
+		if visits.Add(1) == 300 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ExpandVisit returned %v", err)
+	}
+}
+
+// TestFilterTopPromotesParts drives the post-filter promotion end to end: an
+// expansion under a tight budget spills parts, a filter shrinks the level,
+// and the freed headroom pulls disk parts back into memory.
+func TestFilterTopPromotesParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	g := randomGraph(rng, 60, 240)
+
+	ref := newVertexExplorer(t, g, 4)
+	if err := ref.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	after2 := ref.Bytes()
+	if err := ref.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	after3 := ref.Bytes()
+	// Keep a thin slice of the level so the post-filter footprint fits the
+	// watermark with room to spare.
+	keep := func(_ int, emb []uint32) bool { return emb[len(emb)-1]%4 == 0 }
+	if err := ref.FilterTop(bgCtx, keep); err != nil {
+		t.Fatal(err)
+	}
+	want := collect(t, ref)
+
+	e, err := New(Config{
+		Graph: g, Mode: VertexInduced, Threads: 4,
+		MemoryBudget: after2 + (after3-after2)/2, SpillDir: t.TempDir(),
+		Tracker: memtrack.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.InitVertices(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := e.Expand(bgCtx, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.LevelStats()[e.Depth()-1]
+	if before.DiskParts == 0 {
+		t.Fatalf("top level did not spill: %+v", before)
+	}
+	if err := e.FilterTop(bgCtx, keep); err != nil {
+		t.Fatal(err)
+	}
+	if e.PromotedParts() == 0 {
+		t.Fatalf("no parts promoted despite headroom (before: %+v, after: %+v, resident %d of %d)",
+			before, e.LevelStats()[e.Depth()-1], e.Bytes(), after2+(after3-after2)/2)
+	}
+	if e.Bytes() > after2+(after3-after2)/2 {
+		t.Fatalf("promotion overshot the budget: %d resident", e.Bytes())
+	}
+	if got := collect(t, e); !reflect.DeepEqual(got, want) {
+		t.Fatalf("promoted level differs: %d vs %d embeddings", len(got), len(want))
+	}
+	// The promoted structure must survive further exploration.
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, e); !reflect.DeepEqual(got, collect(t, ref)) {
+		t.Fatal("expansion after promotion differs")
+	}
+}
+
+// TestMemKeepParallelStitch pins the segmented parallel stitch against the
+// straightforward expectation at keep rates that shape the segments
+// differently: keep-all (every boundary a cut — fully parallel), sparse keeps
+// (few cuts — mostly sequential), and empty.
+func TestMemKeepParallelStitch(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	g := randomGraph(rng, 120, 700)
+	for _, tc := range []struct {
+		name string
+		keep func(emb []uint32) bool
+	}{
+		{"all", func([]uint32) bool { return true }},
+		{"sparse", func(emb []uint32) bool { return emb[len(emb)-1]%13 == 0 }},
+		{"half", func(emb []uint32) bool { return emb[len(emb)-1]%2 == 0 }},
+		{"none", func([]uint32) bool { return false }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newVertexExplorer(t, g, 4)
+			for i := 0; i < 2; i++ {
+				if err := e.Expand(bgCtx, nil, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := map[string]bool{}
+			for _, emb := range collect(t, e) {
+				if tc.keep(emb) {
+					want[setKey(emb)] = true
+				}
+			}
+			if err := e.FilterTop(bgCtx, func(_ int, emb []uint32) bool { return tc.keep(emb) }); err != nil {
+				t.Fatal(err)
+			}
+			got := collect(t, e)
+			if len(got) != len(want) {
+				t.Fatalf("kept %d embeddings, want %d", len(got), len(want))
+			}
+			for _, emb := range got {
+				if !want[setKey(emb)] {
+					t.Fatalf("spurious embedding %v", emb)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+package explore
+
+import "context"
+
+// bgCtx is the uncancellable context used by tests that don't exercise
+// cancellation.
+var bgCtx = context.Background()

@@ -149,7 +149,7 @@ func TestDifferentialFusedCanonicalVertex(t *testing.T) {
 			ref = append(ref, []uint32{v})
 		}
 		for depth := 2; depth <= maxDepth; depth++ {
-			if err := e.Expand(nil, nil); err != nil {
+			if err := e.Expand(bgCtx, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 			ref = refExpandVertex(g, ref, nil)
@@ -191,7 +191,7 @@ func TestDifferentialFusedCanonicalVertexWithFilter(t *testing.T) {
 			ref = append(ref, []uint32{v})
 		}
 		for depth := 2; depth <= 4; depth++ {
-			if err := e.Expand(clique, nil); err != nil {
+			if err := e.Expand(bgCtx, clique, nil); err != nil {
 				t.Fatal(err)
 			}
 			ref = refExpandVertex(g, ref, clique)
@@ -226,7 +226,7 @@ func TestDifferentialFusedCanonicalEdge(t *testing.T) {
 			ref = append(ref, []uint32{f})
 		}
 		for depth := 2; depth <= 3; depth++ {
-			if err := e.Expand(nil, nil); err != nil {
+			if err := e.Expand(bgCtx, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 			ref = refExpandEdge(g, ref)
@@ -261,7 +261,7 @@ func TestDifferentialForEachExpansion(t *testing.T) {
 			ref = append(ref, []uint32{v})
 		}
 		for depth := 2; depth <= 2; depth++ {
-			if err := e.Expand(nil, nil); err != nil {
+			if err := e.Expand(bgCtx, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 			ref = refExpandVertex(g, ref, nil)
@@ -277,7 +277,7 @@ func TestDifferentialForEachExpansion(t *testing.T) {
 			}
 			close(done)
 		}()
-		err = e.ForEachExpansion(nil, func(_ int, emb []uint32, cand uint32) error {
+		err = e.ForEachExpansion(bgCtx, nil, func(_ int, emb []uint32, cand uint32) error {
 			gotCh <- append(append([]uint32(nil), emb...), cand)
 			return nil
 		})

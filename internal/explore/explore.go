@@ -15,7 +15,9 @@
 package explore
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -99,13 +101,16 @@ const DefaultPredictSample = 128
 // Explorer drives iterative embedding exploration over one input graph,
 // owning the CSE and its spilled levels.
 type Explorer struct {
-	cfg          Config
-	c            *cse.CSE
-	queue        *storage.WriteQueue
-	levelSeq     int
-	spilled      int     // cumulative expansions that migrated ≥ 1 part to disk
-	spilledParts int     // cumulative parts migrated to disk by expansions
-	ledger       []int64 // tracker bytes charged per level
+	cfg           Config
+	c             *cse.CSE
+	queue         *storage.WriteQueue
+	runDir        string // per-run spill subdirectory (concurrent runs may share SpillDir)
+	levelSeq      int
+	spilled       int     // cumulative expansions that migrated ≥ 1 part to disk
+	spilledParts  int     // cumulative parts migrated to disk by expansions
+	promotedParts int     // cumulative disk parts promoted back to memory
+	ledger        []int64 // tracker bytes charged per level
+	closed        bool
 
 	// pressure is the external back-pressure flag the budget governor
 	// consults: set by the tracker's high-water callback when total tracked
@@ -207,12 +212,38 @@ func New(cfg Config) (*Explorer, error) {
 		return nil, fmt.Errorf("explore: spill watermark %v outside [0, 1]", cfg.SpillWatermark)
 	}
 	e := &Explorer{cfg: cfg, scratch: make([]workerScratch, cfg.Threads)}
+	if cfg.MemoryBudget > 0 {
+		// Spill into a private subdirectory: concurrent runs (e.g. vended by
+		// one budget-sharing engine) may point at the same SpillDir, and the
+		// level files are named only by sequence within a run.
+		dir, err := os.MkdirTemp(cfg.SpillDir, "run-")
+		if err != nil {
+			return nil, fmt.Errorf("explore: spill dir: %w", err)
+		}
+		e.runDir = dir
+	}
 	if cfg.Tracker != nil && cfg.MemoryBudget > 0 {
-		e.cancelHighWater = cfg.Tracker.OnHighWater(cfg.MemoryBudget, func(int64) {
+		// Register at the budget scope: with an arbiter-backed tracker the
+		// high-water mark is the combined live bytes of every sibling run —
+		// including their in-flight builds, which the hybrid builders charge
+		// to the tracker as they grow. Firing at the watermark (not the full
+		// budget) keeps the headroom above it as slack, so the combined
+		// resident bytes stay under the budget itself.
+		e.cancelHighWater = cfg.Tracker.OnSharedHighWater(e.watermarkBytes(), func(int64) {
 			e.pressure.Store(true)
 		})
 	}
 	return e, nil
+}
+
+// watermarkBytes is the absolute spill watermark: the configured fraction of
+// the memory budget.
+func (e *Explorer) watermarkBytes() int64 {
+	w := e.cfg.SpillWatermark
+	if w == 0 {
+		w = DefaultSpillWatermark
+	}
+	return int64(w * float64(e.cfg.MemoryBudget))
 }
 
 // InitVertices sets level 1 to the graph's vertices (optionally filtered) —
@@ -301,6 +332,11 @@ func (e *Explorer) SpilledLevels() int { return e.spilled }
 // its parts, so this exceeds SpilledLevels by the per-level spill fan-out.
 func (e *Explorer) SpilledParts() int { return e.spilledParts }
 
+// PromotedParts reports how many disk-resident parts were promoted back to
+// memory after an in-place FilterTop shrank their level under the (shared)
+// budget watermark (cumulative).
+func (e *Explorer) PromotedParts() int { return e.promotedParts }
+
 // LevelStat describes the storage placement of one live CSE level.
 type LevelStat struct {
 	Len, Groups   int
@@ -344,7 +380,12 @@ func levelPlacement(l cse.LevelData) (memParts, diskParts int, diskBytes int64) 
 func (e *Explorer) CSE() *cse.CSE { return e.c }
 
 // Close releases the CSE (removing spilled files) and stops the write queue.
+// Close is idempotent.
 func (e *Explorer) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
 	var first error
 	if e.cancelHighWater != nil {
 		e.cancelHighWater()
@@ -363,6 +404,14 @@ func (e *Explorer) Close() error {
 			first = err
 		}
 	}
+	if e.runDir != "" {
+		// Belt and braces: the levels and builders remove their own files;
+		// the run directory itself (and anything a crashed rewrite left
+		// behind) goes with it.
+		if err := os.RemoveAll(e.runDir); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
 }
 
@@ -373,12 +422,18 @@ func (e *Explorer) Close() error {
 // see ExpandCount and ExpandVisit for the terminal sinks that skip the
 // materialization.
 //
+// ctx cancels the iteration: workers poll it between chunks and every few
+// walker runs, pending spill writes are discarded (the one in flight
+// drains), the partial level is removed, and ctx.Err() is returned. A
+// cancelled explorer keeps its pre-expansion levels and may still be Closed
+// (reclaiming every spilled file) or driven further.
+//
 // Exploration operations (Expand and its sink variants, ForEach,
 // ForEachExpansion, FilterTop) share the explorer's pooled per-worker
 // scratch: they parallelize internally, but at most one of them may run on
 // an Explorer at a time.
-func (e *Explorer) Expand(vf VertexFilter, ef EdgeFilter) error {
-	return e.ExpandTo(&e.store, vf, ef)
+func (e *Explorer) Expand(ctx context.Context, vf VertexFilter, ef EdgeFilter) error {
+	return e.ExpandTo(ctx, &e.store, vf, ef)
 }
 
 // partReserver is the pre-sizing hook shared by the memory and hybrid level
@@ -419,13 +474,14 @@ func (e *Explorer) hybridBuilderFor(nparts int, baseBytes int64) (*storage.Hybri
 		e.queue = storage.NewWriteQueue(e.cfg.BufSize, e.cfg.Tracker)
 	}
 	// Refresh external pressure: tracked memory may already exceed the
-	// budget before this build starts (pattern maps, earlier levels).
-	e.pressure.Store(e.cfg.Tracker != nil && e.cfg.Tracker.Live() >= e.cfg.MemoryBudget)
+	// watermark before this build starts (pattern maps, earlier levels —
+	// and, under a shared arbiter, the sibling runs' data).
+	e.pressure.Store(e.cfg.Tracker != nil && e.cfg.Tracker.SharedLive() >= e.watermarkBytes())
 	budget := e.buildBudget(baseBytes)
 	if e.hybridBuilder == nil {
 		hb, err := storage.NewHybridLevelBuilder(
-			e.cfg.SpillDir, e.levelSeq, nparts, e.queue, e.cfg.BlockSize, e.cfg.Tracker,
-			budget, &e.pressure, e.cfg.MemoryBudget)
+			e.runDir, e.levelSeq, nparts, e.queue, e.cfg.BlockSize, e.cfg.Tracker,
+			budget, &e.pressure, e.watermarkBytes())
 		if err != nil {
 			return nil, err
 		}
@@ -439,14 +495,29 @@ func (e *Explorer) hybridBuilderFor(nparts int, baseBytes int64) (*storage.Hybri
 
 // buildBudget returns the governor watermark for a new level build: the
 // watermark fraction of the memory budget, minus the bytes the resident
-// levels already hold. Negative means nothing fits — every part goes
-// straight to disk.
+// levels already hold and minus the bytes the sibling runs of a shared
+// arbiter hold (the watermark is a cross-run property: N runs charging one
+// pool must together stay under one budget). Negative means nothing fits —
+// every part goes straight to disk.
 func (e *Explorer) buildBudget(baseBytes int64) int64 {
 	w := e.cfg.SpillWatermark
 	if w == 0 {
 		w = DefaultSpillWatermark
 	}
-	return int64(w*float64(e.cfg.MemoryBudget)) - baseBytes
+	return int64(w*float64(e.cfg.MemoryBudget)) - baseBytes - e.foreignLive()
+}
+
+// foreignLive returns the tracked live bytes held by the sibling runs of a
+// shared budget arbiter (zero for a standalone tracker or none at all).
+func (e *Explorer) foreignLive() int64 {
+	t := e.cfg.Tracker
+	if t == nil {
+		return 0
+	}
+	if f := t.SharedLive() - t.Live(); f > 0 {
+		return f
+	}
+	return 0
 }
 
 // presizeParts reserves the builder's per-part buffers before expansion
@@ -530,9 +601,23 @@ func segWorkPerRange(segs []cse.PredSeg, bounds []int) []int {
 	return out
 }
 
+// pollEvery is how many walker runs an exploration loop processes between
+// context polls: coarse enough that the ctx check never shows up in the hot
+// path, fine enough that a cancelled run stops well within one chunk.
+const pollEvery = 256
+
+// ctxErr polls a context that may be nil (internal callers without
+// cancellation).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // expandRange expands top-level embeddings [lo, hi) into sink chunk, using
 // worker's pooled scratch.
-func (e *Explorer) expandRange(k, lo, hi, worker, chunk int, sink ExpandSink, predicting bool, vf VertexFilter, ef EdgeFilter) error {
+func (e *Explorer) expandRange(ctx context.Context, k, lo, hi, worker, chunk int, sink ExpandSink, predicting bool, vf VertexFilter, ef EdgeFilter) error {
 	w, err := e.walkerFor(worker, lo, hi)
 	if err != nil {
 		return err
@@ -558,12 +643,18 @@ func (e *Explorer) expandRange(k, lo, hi, worker, chunk int, sink ExpandSink, pr
 		mean:   uint32(e.cfg.Graph.AvgDegree()) + 1,
 	}
 
+	runs := 0
 	if e.cfg.Mode == VertexInduced {
 		st := e.vertexStateFor(worker, k)
 		for {
 			emb, from, leaves, ok := w.NextRun()
 			if !ok {
 				break
+			}
+			if runs++; runs%pollEvery == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
 			}
 			if from < k {
 				st.updatePrefix(emb, from, k)
@@ -588,6 +679,11 @@ func (e *Explorer) expandRange(k, lo, hi, worker, chunk int, sink ExpandSink, pr
 		emb, from, leaves, ok := w.NextRun()
 		if !ok {
 			break
+		}
+		if runs++; runs%pollEvery == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 		}
 		if from < k {
 			st.updatePrefix(emb, from, k)
@@ -675,23 +771,30 @@ func clamp32(v int) uint32 {
 
 // ForEach walks all top-level embeddings in parallel. visit receives the
 // worker index (0..Threads-1) for worker-local aggregation state and a
-// reused embedding buffer it must not retain. Like all exploration
-// operations it uses the pooled per-worker scratch — do not run it
-// concurrently with another operation on the same Explorer.
-func (e *Explorer) ForEach(visit func(worker int, emb []uint32) error) error {
+// reused embedding buffer it must not retain. ctx cancels the walk between
+// chunks and every few runs. Like all exploration operations it uses the
+// pooled per-worker scratch — do not run it concurrently with another
+// operation on the same Explorer.
+func (e *Explorer) ForEach(ctx context.Context, visit func(worker int, emb []uint32) error) error {
 	k := e.c.Depth()
 	top := e.c.Top()
 	bounds := e.partition(top, e.chunks(top.Len()))
-	return e.runParallel(len(bounds)-1, func(worker, chunk int) error {
+	return e.runParallel(ctx, len(bounds)-1, func(worker, chunk int) error {
 		w, err := e.walkerFor(worker, bounds[chunk], bounds[chunk+1])
 		if err != nil {
 			return err
 		}
 		defer w.Close()
+		runs := 0
 		for {
 			emb, _, leaves, ok := w.NextRun()
 			if !ok {
 				break
+			}
+			if runs++; runs%pollEvery == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
 			}
 			for _, u := range leaves {
 				emb[k-1] = u
@@ -710,11 +813,11 @@ func (e *Explorer) ForEach(visit func(worker int, emb []uint32) error) error {
 // vertex-induced wrapper over ExpandVisit, the sink primitive that serves
 // both modes. Uses the pooled per-worker scratch — do not run it
 // concurrently with another operation on the same Explorer.
-func (e *Explorer) ForEachExpansion(vf VertexFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
+func (e *Explorer) ForEachExpansion(ctx context.Context, vf VertexFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
 	if e.cfg.Mode != VertexInduced {
 		return fmt.Errorf("explore: ForEachExpansion requires vertex-induced mode")
 	}
-	return e.ExpandVisit(vf, nil, visit)
+	return e.ExpandVisit(ctx, vf, nil, visit)
 }
 
 // buildChunks picks the chunk (= builder part) count of a level build.
@@ -823,8 +926,11 @@ func partitionSegs(segs []cse.PredSeg, n, p int) []int {
 // runParallel executes fn for every chunk index, with Threads goroutines
 // pulling chunks from a shared counter (the work-steal strategy of §4.2).
 // The first error flips an atomic cancel flag so the remaining workers stop
-// pulling chunks instead of running the rest of the workload.
-func (e *Explorer) runParallel(nchunks int, fn func(worker, chunk int) error) error {
+// pulling chunks instead of running the rest of the workload. Workers poll
+// ctx before every chunk pull and abort with ctx.Err() once it is done, so a
+// cancelled operation stops within one chunk's work (plus the finer-grained
+// polls the chunk bodies run themselves).
+func (e *Explorer) runParallel(ctx context.Context, nchunks int, fn func(worker, chunk int) error) error {
 	threads := e.cfg.Threads
 	if threads > nchunks {
 		threads = nchunks
@@ -841,6 +947,11 @@ func (e *Explorer) runParallel(nchunks int, fn func(worker, chunk int) error) er
 		go func(w int) {
 			defer wg.Done()
 			for !cancel.Load() {
+				if err := ctxErr(ctx); err != nil {
+					errs[w] = err
+					cancel.Store(true)
+					return
+				}
 				c := int(next.Add(1)) - 1
 				if c >= nchunks {
 					return
@@ -860,4 +971,22 @@ func (e *Explorer) runParallel(nchunks int, fn func(worker, chunk int) error) er
 		}
 	}
 	return nil
+}
+
+// abortOp tears down a failed or cancelled exploration operation in the
+// order cancellation demands: pending write-queue buffers are discarded
+// first (the write in flight drains), then abort closes and removes the
+// partial output's files — so no late write lands on a closed file — and the
+// queue is re-armed for the next operation.
+func (e *Explorer) abortOp(abort func()) {
+	if e.queue != nil {
+		e.queue.Abort()
+		// Drain: discarded jobs only recycle their buffers. The error state
+		// is irrelevant here — the operation already failed.
+		_ = e.queue.Barrier()
+	}
+	abort()
+	if e.queue != nil {
+		_ = e.queue.Reset()
+	}
 }

@@ -44,7 +44,7 @@ func collect(t *testing.T, e *Explorer) [][]uint32 {
 	t.Helper()
 	var mu sync.Mutex
 	var out [][]uint32
-	if err := e.ForEach(func(_ int, emb []uint32) error {
+	if err := e.ForEach(bgCtx, func(_ int, emb []uint32) error {
 		cp := append([]uint32(nil), emb...)
 		mu.Lock()
 		out = append(out, cp)
@@ -179,13 +179,13 @@ func newVertexExplorer(t *testing.T, g *graph.Graph, threads int) *Explorer {
 func TestPaperFig3Enumeration(t *testing.T) {
 	g := paperGraph(t)
 	e := newVertexExplorer(t, g, 1)
-	if err := e.Expand(nil, nil); err != nil {
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if e.Count() != 7 {
 		t.Fatalf("2-embeddings = %d, want 7 (paper s6..s12)", e.Count())
 	}
-	if err := e.Expand(nil, nil); err != nil {
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if e.Count() != 8 {
@@ -209,7 +209,7 @@ func TestVertexEnumerationMatchesBruteForce(t *testing.T) {
 		for k := 2; k <= 4; k++ {
 			e := newVertexExplorer(t, g, 1+rng.Intn(4))
 			for i := 1; i < k; i++ {
-				if err := e.Expand(nil, nil); err != nil {
+				if err := e.Expand(bgCtx, nil, nil); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -250,7 +250,7 @@ func TestEdgeEnumerationMatchesBruteForce(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := 1; i < k; i++ {
-				if err := e.Expand(nil, nil); err != nil {
+				if err := e.Expand(bgCtx, nil, nil); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -280,7 +280,7 @@ func TestHybridMatchesInMemory(t *testing.T) {
 		g := randomGraph(rng, 20+rng.Intn(20), 60+rng.Intn(60))
 		mem := newVertexExplorer(t, g, 3)
 		for i := 0; i < 2; i++ {
-			if err := mem.Expand(nil, nil); err != nil {
+			if err := mem.Expand(bgCtx, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -301,7 +301,7 @@ func TestHybridMatchesInMemory(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := 0; i < 2; i++ {
-				if err := hy.Expand(nil, nil); err != nil {
+				if err := hy.Expand(bgCtx, nil, nil); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -325,7 +325,7 @@ func TestThreadCountInvariance(t *testing.T) {
 	for _, threads := range []int{1, 2, 4, 8} {
 		e := newVertexExplorer(t, g, threads)
 		for i := 0; i < 2; i++ {
-			if err := e.Expand(nil, nil); err != nil {
+			if err := e.Expand(bgCtx, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -354,7 +354,7 @@ func TestUserFilterClique(t *testing.T) {
 		return true
 	}
 	for i := 0; i < 2; i++ {
-		if err := e.Expand(cliqueFilter, nil); err != nil {
+		if err := e.Expand(bgCtx, cliqueFilter, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -369,21 +369,21 @@ func TestForEachExpansionMatchesExpand(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	g := randomGraph(rng, 25, 80)
 	a := newVertexExplorer(t, g, 3)
-	if err := a.Expand(nil, nil); err != nil {
+	if err := a.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Expand(nil, nil); err != nil {
+	if err := a.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	wantCount := a.Count()
 
 	b := newVertexExplorer(t, g, 3)
-	if err := b.Expand(nil, nil); err != nil {
+	if err := b.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	var n int64
 	var mu sync.Mutex
-	if err := b.ForEachExpansion(nil, func(_ int, _ []uint32, _ uint32) error {
+	if err := b.ForEachExpansion(bgCtx, nil, func(_ int, _ []uint32, _ uint32) error {
 		mu.Lock()
 		n++
 		mu.Unlock()
@@ -399,14 +399,14 @@ func TestForEachExpansionMatchesExpand(t *testing.T) {
 func TestFilterTop(t *testing.T) {
 	g := paperGraph(t)
 	e := newVertexExplorer(t, g, 2)
-	if err := e.Expand(nil, nil); err != nil {
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Expand(nil, nil); err != nil {
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Keep only embeddings containing vertex 4.
-	if err := e.FilterTop(func(_ int, emb []uint32) bool {
+	if err := e.FilterTop(bgCtx, func(_ int, emb []uint32) bool {
 		for _, v := range emb {
 			if v == 4 {
 				return true
@@ -422,7 +422,7 @@ func TestFilterTop(t *testing.T) {
 		t.Fatalf("filtered = %v\nwant %v", got, want)
 	}
 	// The structure must still support further expansion.
-	if err := e.Expand(nil, nil); err != nil {
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, emb := range collect(t, e) {
@@ -456,11 +456,11 @@ func TestFilterTopOnDisk(t *testing.T) {
 	keep := func(_ int, emb []uint32) bool { return emb[len(emb)-1]%2 == 0 }
 	for _, e := range []*Explorer{mem, hyb} {
 		for i := 0; i < 2; i++ {
-			if err := e.Expand(nil, nil); err != nil {
+			if err := e.Expand(bgCtx, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := e.FilterTop(keep); err != nil {
+		if err := e.FilterTop(bgCtx, keep); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -479,7 +479,7 @@ func TestInitEdgesOnVertexModeRejected(t *testing.T) {
 	if err := e.InitEdges(nil); err == nil {
 		t.Fatal("InitEdges accepted on vertex-induced explorer")
 	}
-	if err := e.Expand(nil, nil); err == nil {
+	if err := e.Expand(bgCtx, nil, nil); err == nil {
 		t.Fatal("Expand accepted before Init")
 	}
 }
@@ -525,10 +525,10 @@ func TestPresizedExpandMatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := plain.Expand(nil, nil); err != nil {
+		if err := plain.Expand(bgCtx, nil, nil); err != nil {
 			t.Fatal(err)
 		}
-		if err := pred.Expand(nil, nil); err != nil {
+		if err := pred.Expand(bgCtx, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(collect(t, plain), collect(t, pred)) {

@@ -19,11 +19,11 @@ func TestPartialSpillBetweenLevelSizes(t *testing.T) {
 
 	// Unbudgeted reference: learn the CSE size at each depth.
 	ref := newVertexExplorer(t, g, 4)
-	if err := ref.Expand(nil, nil); err != nil {
+	if err := ref.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	bytesAfter2 := ref.Bytes()
-	if err := ref.Expand(nil, nil); err != nil {
+	if err := ref.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	bytesAfter3 := ref.Bytes()
@@ -47,7 +47,7 @@ func TestPartialSpillBetweenLevelSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		if err := hy.Expand(nil, nil); err != nil {
+		if err := hy.Expand(bgCtx, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -89,7 +89,7 @@ func TestPredictSamplingMatchesExact(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 3; i++ {
-			if err := e.Expand(nil, nil); err != nil {
+			if err := e.Expand(bgCtx, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -127,7 +127,7 @@ func TestPredictSamplingEdgeMode(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 2; i++ {
-			if err := e.Expand(nil, nil); err != nil {
+			if err := e.Expand(bgCtx, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -160,7 +160,7 @@ func TestTrackerPressureForcesSpill(t *testing.T) {
 	// Simulate a huge external structure (e.g. FSM pattern maps).
 	tr.Alloc(2 << 30)
 	defer tr.Free(2 << 30)
-	if err := e.Expand(nil, nil); err != nil {
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if e.SpilledParts() == 0 {

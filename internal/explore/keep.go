@@ -10,6 +10,7 @@ package explore
 // files. No second copy of the surviving data is ever allocated.
 
 import (
+	"context"
 	"fmt"
 
 	"kaleido/internal/cse"
@@ -33,7 +34,7 @@ type keepWriter interface {
 type KeepSink struct {
 	bounds   []int
 	writers  []keepWriter
-	finishFn func() error
+	finishFn func(ctx context.Context) error
 	abortFn  func()
 }
 
@@ -43,34 +44,40 @@ type KeepSink struct {
 // Resident data is rewritten in place through a KeepSink: a MemLevel top
 // compacts its arrays, a HybridLevel top compacts memory parts in place and
 // restreams only disk parts; other level types fall back to the copying
-// builder pass. Uses the pooled per-worker scratch — do not run it
-// concurrently with another operation on the same Explorer. If an in-place
-// pass fails (a stream error mid-rewrite), the top level is left in an
-// unspecified state: treat the error as fatal for the run and Close the
-// explorer.
-func (e *Explorer) FilterTop(keep func(worker int, emb []uint32) bool) error {
+// builder pass. After an in-place hybrid rewrite, disk parts whose shrunken
+// data now fits the (shared) budget watermark are promoted back to memory.
+// ctx cancels the pass (workers poll between chunks and every few runs);
+// note that an in-place rewrite may already have compacted resident data, so
+// treat a cancelled or failed FilterTop as fatal for the top level and Close
+// the explorer — spilled files are still reclaimed. Uses the pooled
+// per-worker scratch — do not run it concurrently with another operation on
+// the same Explorer.
+func (e *Explorer) FilterTop(ctx context.Context, keep func(worker int, emb []uint32) bool) error {
 	k := e.c.Depth()
 	if k < 2 {
 		return fmt.Errorf("explore: FilterTop requires depth ≥ 2")
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
 	}
 	top := e.c.Top()
 	s, err := e.keepSinkFor(top)
 	if err != nil {
 		return err
 	}
-	err = e.runParallel(len(s.bounds)-1, func(worker, chunk int) error {
+	err = e.runParallel(ctx, len(s.bounds)-1, func(worker, chunk int) error {
 		plo, phi := s.bounds[chunk], s.bounds[chunk+1]
 		kw := s.writers[chunk]
-		if err := e.filterRange(top, k, plo, phi, worker, kw, keep); err != nil {
+		if err := e.filterRange(ctx, top, k, plo, phi, worker, kw, keep); err != nil {
 			return err
 		}
 		return kw.Flush()
 	})
 	if err != nil {
-		s.abortFn()
+		e.abortOp(s.abortFn)
 		return err
 	}
-	return s.finishFn()
+	return s.finishFn(ctx)
 }
 
 // keepSinkFor picks the rewrite strategy for the top level.
@@ -127,16 +134,43 @@ func (e *Explorer) memKeepSink(top *cse.MemLevel) (*KeepSink, error) {
 		writers[c] = mws[c]
 	}
 	s := &KeepSink{bounds: bounds, writers: writers, abortFn: func() {}}
-	s.finishFn = func() error {
+	s.finishFn = func(context.Context) error {
 		// Stitch: each chunk's kept prefix sits at the front of its original
-		// range; move them together (chunk c's destination never overlaps a
-		// later chunk's kept data, so a single left-to-right pass suffices),
-		// then rebuild the offsets from the per-group counts.
-		dst := 0
-		for _, mw := range mws {
-			n := mw.w - mw.start
-			copy(top.Verts[dst:dst+n], top.Verts[mw.start:mw.w])
-			dst += n
+		// range; move them together, then rebuild the offsets from the
+		// per-group counts. The moves are parallelized by cutting the chunk
+		// sequence into independent segments: at a boundary where chunk c's
+		// destination has reached past chunk c-1's kept data (dsts[c] ≥
+		// mws[c-1].w), every later read and write stays at or right of that
+		// point and every earlier one stays left of it, so the segments can
+		// stitch concurrently — each one left-to-right as before (a chunk's
+		// destination never overlaps a later chunk's kept data). With nothing
+		// filtered every boundary is a cut (fully parallel); heavy filtering
+		// degrades toward the old single pass.
+		dsts := make([]int, len(mws)+1)
+		for c, mw := range mws {
+			dsts[c+1] = dsts[c] + (mw.w - mw.start)
+		}
+		segs := []int{0}
+		for c := 1; c < len(mws); c++ {
+			if dsts[c] >= mws[c-1].w {
+				segs = append(segs, c)
+			}
+		}
+		segs = append(segs, len(mws))
+		// The stitch runs uncancellable (nil ctx): every filter chunk has
+		// already succeeded, the remaining work is microseconds of memmove,
+		// and aborting it midway would corrupt the level a completed pass
+		// was entitled to keep.
+		err := e.runParallel(nil, len(segs)-1, func(_, si int) error {
+			for c := segs[si]; c < segs[si+1]; c++ {
+				mw := mws[c]
+				n := mw.w - mw.start
+				copy(top.Verts[dsts[c]:dsts[c]+n], top.Verts[mw.start:mw.w])
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		var off uint64
 		for g, c := range counts {
@@ -144,7 +178,7 @@ func (e *Explorer) memKeepSink(top *cse.MemLevel) (*KeepSink, error) {
 			top.Offs[g+1] = off
 		}
 		e.uncharge()
-		top.Verts = top.Verts[:dst]
+		top.Verts = top.Verts[:dsts[len(mws)]]
 		top.Pred = nil
 		e.charge(top.Bytes())
 		return nil
@@ -179,12 +213,41 @@ func (e *Explorer) hybridKeepSink(top *storage.HybridLevel) (*KeepSink, error) {
 		writers[i] = r
 	}
 	s := &KeepSink{bounds: bounds, writers: writers}
-	s.finishFn = func() error {
+	s.finishFn = func(context.Context) error {
 		if err := top.FinishRewrite(rws, e.queue); err != nil {
 			return err
 		}
 		e.uncharge()
 		e.charge(top.Bytes())
+		// The filter just shrank the level: disk parts that were migrated
+		// under build-time pressure may fit the budget again. Promote them
+		// while the (cross-run, via the shared arbiter) watermark has
+		// headroom — the level's resident bytes are already charged, so the
+		// headroom is the watermark minus everything tracked: the live-byte
+		// cap covers external charges (pattern maps) that buildBudget's
+		// CSE-only base misses, and active pressure vetoes promotion
+		// outright (the governor is force-spilling; reloading parts would
+		// fight it).
+		headroom := e.buildBudget(e.c.Bytes())
+		if t := e.cfg.Tracker; t != nil {
+			if g := e.watermarkBytes() - t.SharedLive(); g < headroom {
+				headroom = g
+			}
+		}
+		if e.pressure.Load() {
+			headroom = 0
+		}
+		if headroom > 0 {
+			n, err := top.Promote(headroom)
+			if n > 0 {
+				e.promotedParts += n
+				e.uncharge()
+				e.charge(top.Bytes())
+			}
+			if err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	s.abortFn = func() { top.AbortRewrite(rws) }
@@ -229,7 +292,7 @@ func (e *Explorer) rebuildKeepSink(top cse.LevelData) (*KeepSink, error) {
 		writers[c] = &builderKeep{pw: builder.Part(c)}
 	}
 	s := &KeepSink{bounds: bounds, writers: writers}
-	s.finishFn = func() error {
+	s.finishFn = func(context.Context) error {
 		lvl, err := builder.Finish()
 		if err != nil {
 			return err
@@ -248,7 +311,7 @@ func (e *Explorer) rebuildKeepSink(top cse.LevelData) (*KeepSink, error) {
 
 // filterRange streams the groups of parents [plo, phi) through kw, asking
 // keep about every leaf.
-func (e *Explorer) filterRange(top cse.LevelData, k, plo, phi, worker int, kw keepWriter, keep func(int, []uint32) bool) error {
+func (e *Explorer) filterRange(ctx context.Context, top cse.LevelData, k, plo, phi, worker int, kw keepWriter, keep func(int, []uint32) bool) error {
 	lo64, err := top.GroupStart(plo)
 	if err != nil {
 		return err
@@ -271,10 +334,16 @@ func (e *Explorer) filterRange(top cse.LevelData, k, plo, phi, worker int, kw ke
 		return fmt.Errorf("explore: missing group boundary at parent %d: %w", plo, bc.Err())
 	}
 	emitted := 0
+	runs := 0
 	for i := lo; i < hi; {
 		emb, _, leaves, wok := w.NextRun()
 		if !wok {
 			return fmt.Errorf("explore: walker ended early at %d: %w", i, w.Err())
+		}
+		if runs++; runs%pollEvery == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 		}
 		for _, u := range leaves {
 			for uint64(i) >= end {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -14,7 +15,7 @@ func TestRunParallelCancelsOnError(t *testing.T) {
 	e := &Explorer{cfg: Config{Threads: 2}}
 	var executed atomic.Int64
 	boom := errors.New("boom")
-	err := e.runParallel(100, func(worker, chunk int) error {
+	err := e.runParallel(bgCtx, 100, func(worker, chunk int) error {
 		executed.Add(1)
 		if chunk == 0 {
 			time.Sleep(5 * time.Millisecond) // let the peer start churning
@@ -35,7 +36,7 @@ func TestRunParallelCancelsOnError(t *testing.T) {
 func TestRunParallelCompletesWithoutError(t *testing.T) {
 	e := &Explorer{cfg: Config{Threads: 4}}
 	seen := make([]atomic.Int32, 64)
-	if err := e.runParallel(64, func(worker, chunk int) error {
+	if err := e.runParallel(bgCtx, 64, func(worker, chunk int) error {
 		seen[chunk].Add(1)
 		return nil
 	}); err != nil {
@@ -45,5 +46,27 @@ func TestRunParallelCompletesWithoutError(t *testing.T) {
 		if got := seen[c].Load(); got != 1 {
 			t.Fatalf("chunk %d executed %d times", c, got)
 		}
+	}
+}
+
+// TestRunParallelCtxCancel verifies workers stop pulling chunks once the
+// context is cancelled and surface ctx.Err().
+func TestRunParallelCtxCancel(t *testing.T) {
+	e := &Explorer{cfg: Config{Threads: 2}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int64
+	err := e.runParallel(ctx, 100, func(worker, chunk int) error {
+		if executed.Add(1) == 3 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n > 50 {
+		t.Fatalf("executed %d of 100 chunks after cancellation", n)
 	}
 }

@@ -22,6 +22,7 @@ package explore
 //	            fresh builder.
 
 import (
+	"context"
 	"fmt"
 
 	"kaleido/internal/cse"
@@ -193,12 +194,15 @@ func (s *VisitSink) abort()                           {}
 // ExpandTo runs one exploration iteration under the default canonical filter
 // plus the optional user filter, emitting the output stream into sink. It is
 // the engine primitive behind Expand (StoreSink), ExpandCount (CountSink)
-// and ExpandVisit (VisitSink). Like every exploration operation it uses the
-// pooled per-worker scratch: at most one operation may run on an Explorer at
-// a time.
-func (e *Explorer) ExpandTo(sink ExpandSink, vf VertexFilter, ef EdgeFilter) error {
+// and ExpandVisit (VisitSink). ctx cancels the iteration (see Expand). Like
+// every exploration operation it uses the pooled per-worker scratch: at most
+// one operation may run on an Explorer at a time.
+func (e *Explorer) ExpandTo(ctx context.Context, sink ExpandSink, vf VertexFilter, ef EdgeFilter) error {
 	if e.c == nil {
 		return fmt.Errorf("explore: not initialized")
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
 	}
 	top := e.c.Top()
 	n := top.Len()
@@ -214,15 +218,15 @@ func (e *Explorer) ExpandTo(sink ExpandSink, vf VertexFilter, ef EdgeFilter) err
 		return err
 	}
 	predicting := e.cfg.Predict && sink.storing()
-	err := e.runParallel(len(bounds)-1, func(worker, chunk int) error {
+	err := e.runParallel(ctx, len(bounds)-1, func(worker, chunk int) error {
 		lo, hi := bounds[chunk], bounds[chunk+1]
-		if err := e.expandRange(k, lo, hi, worker, chunk, sink, predicting, vf, ef); err != nil {
+		if err := e.expandRange(ctx, k, lo, hi, worker, chunk, sink, predicting, vf, ef); err != nil {
 			return err
 		}
 		return sink.endChunk(worker, chunk)
 	})
 	if err != nil {
-		sink.abort()
+		e.abortOp(sink.abort)
 		return err
 	}
 	return sink.finish(e)
@@ -231,10 +235,11 @@ func (e *Explorer) ExpandTo(sink ExpandSink, vf VertexFilter, ef EdgeFilter) err
 // ExpandCount runs one exploration iteration and returns how many embeddings
 // it would produce, without materializing them (CountSink). The CSE is
 // unchanged: depth stays at Depth() and no bytes are written for the counted
-// level — the §6.5 terminal-consumption trick as an engine operation.
-func (e *Explorer) ExpandCount(vf VertexFilter, ef EdgeFilter) (uint64, error) {
+// level — the §6.5 terminal-consumption trick as an engine operation. ctx
+// cancels the count (see Expand).
+func (e *Explorer) ExpandCount(ctx context.Context, vf VertexFilter, ef EdgeFilter) (uint64, error) {
 	var s CountSink
-	if err := e.ExpandTo(&s, vf, ef); err != nil {
+	if err := e.ExpandTo(ctx, &s, vf, ef); err != nil {
 		return 0, err
 	}
 	return s.Total(), nil
@@ -245,8 +250,9 @@ func (e *Explorer) ExpandCount(vf VertexFilter, ef EdgeFilter) (uint64, error) {
 // worker indexes per-worker aggregation state (0..Threads-1); emb is a
 // reused buffer holding the parent embedding (leaf included) that must not
 // be retained; cand is the extension unit (a vertex id in vertex-induced
-// mode, an edge id in edge-induced mode). The CSE is unchanged.
-func (e *Explorer) ExpandVisit(vf VertexFilter, ef EdgeFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
+// mode, an edge id in edge-induced mode). The CSE is unchanged. ctx cancels
+// the walk (see Expand).
+func (e *Explorer) ExpandVisit(ctx context.Context, vf VertexFilter, ef EdgeFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
 	s := VisitSink{visit: visit}
-	return e.ExpandTo(&s, vf, ef)
+	return e.ExpandTo(ctx, &s, vf, ef)
 }

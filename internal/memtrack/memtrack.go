@@ -5,6 +5,10 @@
 // Explicit accounting is used instead of runtime.MemStats because the
 // paper's memory-consumption tables compare data-structure footprints, which
 // GC-managed heap sizes would blur.
+//
+// An Arbiter extends the accounting across concurrent runs: child trackers
+// forward every charge to a combined pool, so one memory budget can be
+// shared by N co-located runs (the engine's multi-run surface).
 package memtrack
 
 import (
@@ -18,6 +22,12 @@ import (
 type Tracker struct {
 	live dialAtomic
 	peak atomic.Int64
+
+	// parent, when non-nil, is the Arbiter whose combined pool this
+	// tracker's allocations also charge: every Alloc/Free (and I/O count)
+	// is forwarded, so budget decisions can be made against the total of
+	// all sibling runs instead of this run alone.
+	parent *Arbiter
 
 	readBytes  atomic.Int64
 	writeBytes atomic.Int64
@@ -57,8 +67,66 @@ func New() *Tracker {
 	return t
 }
 
+// Arbiter shares one memory budget across the trackers of concurrent runs.
+// Each run keeps its own child Tracker (per-run Stats stay per-run), but
+// every allocation is also charged to the arbiter's combined pool, so the
+// §4.1 spill governor can fire on the total resident bytes of all co-located
+// runs — N runs together respect one budget instead of each believing it
+// owns the whole machine. The Arbiter embeds a Tracker holding the combined
+// accounting.
+type Arbiter struct {
+	Tracker
+	budget int64
+}
+
+// NewArbiter creates an arbiter for one shared budget (0 = unbudgeted, the
+// combined accounting is still kept).
+func NewArbiter(budget int64) *Arbiter {
+	a := &Arbiter{budget: budget}
+	a.sampleMu = make(chan struct{}, 1)
+	a.sampleMu <- struct{}{}
+	return a
+}
+
+// Budget returns the shared budget the arbiter was created with.
+func (a *Arbiter) Budget() int64 { return a.budget }
+
+// NewTracker vends a child tracker whose allocations charge both itself and
+// the arbiter's combined pool.
+func (a *Arbiter) NewTracker() *Tracker {
+	t := New()
+	t.parent = a
+	return t
+}
+
+// SharedLive returns the live bytes of the whole budget scope: the combined
+// total of all sibling trackers when this tracker is the child of an
+// Arbiter, the tracker's own live bytes otherwise. Budget and watermark
+// decisions must use this, not Live — under an arbiter the watermark is a
+// cross-run property.
+func (t *Tracker) SharedLive() int64 {
+	if t.parent != nil {
+		return t.parent.Live()
+	}
+	return t.Live()
+}
+
+// OnSharedHighWater is OnHighWater registered at the budget scope: on the
+// arbiter's combined live bytes when this tracker has one, on the tracker
+// itself otherwise. Callbacks may fire on any sibling run's allocating
+// goroutine.
+func (t *Tracker) OnSharedHighWater(limit int64, fn func(live int64)) (cancel func()) {
+	if t.parent != nil {
+		return t.parent.OnHighWater(limit, fn)
+	}
+	return t.OnHighWater(limit, fn)
+}
+
 // Alloc records n live bytes and updates the peak watermark.
 func (t *Tracker) Alloc(n int64) {
+	if t.parent != nil {
+		t.parent.Tracker.Alloc(n)
+	}
 	live := t.live.v.Add(n)
 	if ms := t.marks.Load(); ms != nil {
 		for _, m := range *ms {
@@ -77,6 +145,9 @@ func (t *Tracker) Alloc(n int64) {
 
 // Free releases n live bytes.
 func (t *Tracker) Free(n int64) {
+	if t.parent != nil {
+		t.parent.Tracker.Free(n)
+	}
 	live := t.live.v.Add(-n)
 	if ms := t.marks.Load(); ms != nil {
 		for _, m := range *ms {
@@ -128,10 +199,20 @@ func (t *Tracker) Live() int64 { return t.live.v.Load() }
 func (t *Tracker) Peak() int64 { return t.peak.Load() }
 
 // ReadIO records n bytes read from disk.
-func (t *Tracker) ReadIO(n int64) { t.readBytes.Add(n) }
+func (t *Tracker) ReadIO(n int64) {
+	if t.parent != nil {
+		t.parent.readBytes.Add(n)
+	}
+	t.readBytes.Add(n)
+}
 
 // WriteIO records n bytes written to disk.
-func (t *Tracker) WriteIO(n int64) { t.writeBytes.Add(n) }
+func (t *Tracker) WriteIO(n int64) {
+	if t.parent != nil {
+		t.parent.writeBytes.Add(n)
+	}
+	t.writeBytes.Add(n)
+}
 
 // IOTotals returns cumulative (read, write) bytes.
 func (t *Tracker) IOTotals() (read, write int64) {

@@ -128,3 +128,84 @@ func TestOnHighWaterConcurrent(t *testing.T) {
 		t.Fatalf("high-water fired %d times for one crossing", got)
 	}
 }
+
+func TestArbiterCombinedAccounting(t *testing.T) {
+	a := NewArbiter(1000)
+	if a.Budget() != 1000 {
+		t.Fatalf("Budget = %d", a.Budget())
+	}
+	t1, t2 := a.NewTracker(), a.NewTracker()
+	t1.Alloc(300)
+	t2.Alloc(400)
+	if t1.Live() != 300 || t2.Live() != 400 {
+		t.Fatalf("child live = %d/%d", t1.Live(), t2.Live())
+	}
+	if a.Live() != 700 {
+		t.Fatalf("combined live = %d, want 700", a.Live())
+	}
+	if t1.SharedLive() != 700 || t2.SharedLive() != 700 {
+		t.Fatalf("SharedLive = %d/%d, want 700", t1.SharedLive(), t2.SharedLive())
+	}
+	t1.Free(300)
+	if a.Live() != 400 || a.Peak() != 700 {
+		t.Fatalf("after free: live=%d peak=%d", a.Live(), a.Peak())
+	}
+	// A parentless tracker's shared scope is itself.
+	solo := New()
+	solo.Alloc(10)
+	if solo.SharedLive() != 10 {
+		t.Fatalf("solo SharedLive = %d", solo.SharedLive())
+	}
+}
+
+func TestArbiterSharedHighWater(t *testing.T) {
+	a := NewArbiter(100)
+	t1, t2 := a.NewTracker(), a.NewTracker()
+	var fired atomic.Int64
+	cancel := t1.OnSharedHighWater(100, func(int64) { fired.Add(1) })
+	defer cancel()
+	t1.Alloc(60)
+	if fired.Load() != 0 {
+		t.Fatal("fired below the shared limit")
+	}
+	// The sibling's allocation crosses the combined limit — the callback
+	// must fire even though neither tracker crossed it alone.
+	t2.Alloc(60)
+	if fired.Load() != 1 {
+		t.Fatalf("fired=%d after a cross-run crossing", fired.Load())
+	}
+}
+
+func TestArbiterIOForwarding(t *testing.T) {
+	a := NewArbiter(0)
+	t1, t2 := a.NewTracker(), a.NewTracker()
+	t1.ReadIO(5)
+	t2.WriteIO(7)
+	r, w := a.IOTotals()
+	if r != 5 || w != 7 {
+		t.Fatalf("combined IO = %d/%d", r, w)
+	}
+	if r, _ := t1.IOTotals(); r != 5 {
+		t.Fatalf("child IO = %d", r)
+	}
+}
+
+func TestArbiterConcurrent(t *testing.T) {
+	a := NewArbiter(1 << 30)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := a.NewTracker()
+			for j := 0; j < 1000; j++ {
+				tr.Alloc(3)
+				tr.Free(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Live() != 0 {
+		t.Fatalf("combined live = %d, want 0", a.Live())
+	}
+}

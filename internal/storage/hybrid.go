@@ -597,6 +597,94 @@ func (h *HybridLevel) FinishRewrite(rws []*PartRewriter, q *WriteQueue) error {
 	return nil
 }
 
+// promoteCost returns the resident bytes a disk part would occupy back in
+// memory, net of the sparse index it frees: verts as uint32s plus one uint64
+// bound per group.
+func (p *hybridPart) promoteCost() int64 {
+	return int64(p.numVerts)*4 + int64(p.numGroups)*8 - int64(len(p.chunkCum))*8
+}
+
+// PromotePart loads disk part i back into memory: the vert file is read into
+// a pooled array, the cnt file is decoded into global group bounds, and the
+// backing files are removed. Bases must already be final (promotion happens
+// between operations, e.g. after FinishRewrite), since the rebuilt bounds
+// are global. On a read error the part is left on disk, untouched.
+func (h *HybridLevel) PromotePart(i int) error {
+	p := &h.parts[i]
+	if !p.onDisk() {
+		return nil
+	}
+	verts := poolGetU32()
+	if cap(verts) < p.numVerts {
+		verts = make([]uint32, p.numVerts)
+	}
+	verts = verts[:p.numVerts]
+	vbuf := make([]byte, 4*p.numVerts)
+	if _, err := p.vf.ReadAt(vbuf, 0); err != nil && p.numVerts > 0 {
+		poolPutU32(verts)
+		return fmt.Errorf("storage: promote read of %s: %w", p.vf.Name(), err)
+	}
+	for j := range verts {
+		verts[j] = binary.LittleEndian.Uint32(vbuf[4*j:])
+	}
+	cbuf := make([]byte, 4*p.numGroups)
+	if _, err := p.cf.ReadAt(cbuf, 0); err != nil && p.numGroups > 0 {
+		poolPutU32(verts)
+		return fmt.Errorf("storage: promote read of %s: %w", p.cf.Name(), err)
+	}
+	if h.tracker != nil {
+		h.tracker.ReadIO(int64(len(vbuf) + len(cbuf)))
+	}
+	bounds := poolGetU64(p.numGroups)
+	off := uint64(p.vertBase)
+	for j := 0; j < p.numGroups; j++ {
+		off += uint64(binary.LittleEndian.Uint32(cbuf[4*j:]))
+		bounds[j] = off
+	}
+	var first error
+	for _, f := range []*os.File{p.vf, p.cf} {
+		name := f.Name()
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := os.Remove(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.vf, p.cf, p.chunkCum = nil, nil, nil
+	p.verts, p.bounds = verts, bounds
+	return first
+}
+
+// Promote moves disk parts back to memory, smallest first, as long as each
+// part's resident cost fits the remaining headroom — the recovery path after
+// an in-place filter shrank the level: parts migrated under build-time
+// pressure may now fit the (shared) budget again. Returns how many parts
+// were promoted.
+func (h *HybridLevel) Promote(headroom int64) (int, error) {
+	promoted := 0
+	for {
+		best, bestCost := -1, int64(0)
+		for i := range h.parts {
+			p := &h.parts[i]
+			if !p.onDisk() {
+				continue
+			}
+			if c := p.promoteCost(); c <= headroom && (best < 0 || c < bestCost) {
+				best, bestCost = i, c
+			}
+		}
+		if best < 0 {
+			return promoted, nil
+		}
+		if err := h.PromotePart(best); err != nil {
+			return promoted, err
+		}
+		headroom -= bestCost
+		promoted++
+	}
+}
+
 // AbortRewrite discards the fresh files of an unfinished rewrite. The level
 // itself may already be partially compacted (memory parts rewrite in
 // place), so a failed pass is fatal for the level — AbortRewrite only
@@ -693,10 +781,19 @@ type governor struct {
 }
 
 func (g *governor) noteAlloc(delta int64) {
+	// In-flight build bytes are charged to the tracker as they grow, not
+	// just at Finish: under a shared arbiter this is what makes one run's
+	// half-built level visible to its siblings' governors — the cross-run
+	// watermark fires on genuinely resident bytes, not only completed
+	// levels. Finish/Abort release the in-flight charge (the finished level
+	// is then charged by its owner).
+	if g.tracker != nil {
+		g.tracker.Alloc(delta)
+	}
 	in := g.inflight.Add(delta)
 	budget := g.budget
 	if g.pressure != nil && g.pressure.Load() {
-		if g.pressureLimit > 0 && g.tracker != nil && g.tracker.Live() < g.pressureLimit {
+		if g.pressureLimit > 0 && g.tracker != nil && g.tracker.SharedLive() < g.pressureLimit {
 			// The spike has passed: stop force-spilling. The high-water
 			// callback re-arms below the limit, so a second crossing sets
 			// the flag again.
@@ -711,7 +808,21 @@ func (g *governor) noteAlloc(delta int64) {
 	g.spillOver(budget)
 }
 
-func (g *governor) noteFree(n int64) { g.inflight.Add(-n) }
+func (g *governor) noteFree(n int64) {
+	if g.tracker != nil {
+		g.tracker.Free(n)
+	}
+	g.inflight.Add(-n)
+}
+
+// releaseInflight returns the tracker charge of whatever in-flight bytes
+// remain — the end-of-build handoff (Finish: the assembled level is charged
+// by its owner) and the Abort teardown.
+func (g *governor) releaseInflight() {
+	if n := g.inflight.Swap(0); n != 0 && g.tracker != nil {
+		g.tracker.Free(n)
+	}
+}
 
 // spillOver marks the largest unmarked parts until the projected resident
 // bytes fit the budget, migrating already-flushed victims on the calling
@@ -996,6 +1107,7 @@ func (p *hybridPartWriter) Flush() error {
 // HybridLevel — computing the global group end boundaries of the memory
 // parts now that every part's base offsets are known.
 func (b *HybridLevelBuilder) Finish() (cse.LevelData, error) {
+	b.gov.releaseInflight()
 	if err := b.gov.takeErr(); err != nil {
 		b.Abort()
 		return nil, err
@@ -1072,7 +1184,7 @@ func (b *HybridLevelBuilder) Reset(level, nparts int, memBudget int64) {
 	}
 	b.reserved = 0
 	b.gov.budget = memBudget
-	b.gov.inflight.Store(0)
+	b.gov.releaseInflight() // no-op after a completed Finish/Abort
 	b.gov.pending.Store(0)
 	b.gov.mu.Lock()
 	b.gov.err = nil
@@ -1098,6 +1210,7 @@ func (b *HybridLevelBuilder) Reset(level, nparts int, memBudget int64) {
 // Abort implements cse.LevelBuilder: close and remove any migrated parts'
 // files and drop the memory parts.
 func (b *HybridLevelBuilder) Abort() error {
+	b.gov.releaseInflight()
 	var first error
 	for i := range b.parts {
 		p := &b.parts[i]

@@ -519,3 +519,90 @@ func TestHybridAllMemFinish(t *testing.T) {
 		t.Fatalf("all-mem build left files: %v", entries)
 	}
 }
+
+// TestHybridPromote loads disk parts back into memory and checks the level
+// still matches the all-memory reference, the files are gone, and the
+// headroom policy promotes only what fits.
+func TestHybridPromote(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	groups := randGroups(rng, 300)
+	ml, hl := buildHybridMixed(t, groups, 4, map[int]bool{1: true, 3: true}, false)
+
+	// Headroom below the smallest part's cost promotes nothing.
+	if n, err := hl.Promote(1); err != nil || n != 0 {
+		t.Fatalf("Promote(1) = %d, %v", n, err)
+	}
+	if hl.DiskParts() != 2 {
+		t.Fatalf("disk parts = %d after no-op promote", hl.DiskParts())
+	}
+
+	var files []string
+	for i := range hl.parts {
+		if hl.parts[i].onDisk() {
+			files = append(files, hl.parts[i].vf.Name(), hl.parts[i].cf.Name())
+		}
+	}
+	n, err := hl.Promote(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || hl.DiskParts() != 0 {
+		t.Fatalf("promoted %d, %d disk parts remain", n, hl.DiskParts())
+	}
+	for _, f := range files {
+		if _, err := os.Stat(f); !os.IsNotExist(err) {
+			t.Fatalf("promoted part file %s still exists", f)
+		}
+	}
+	// Full conformance after promotion: units, group starts, parents.
+	for i := 0; i < ml.Len(); i++ {
+		mu, _ := ml.UnitAt(i)
+		hu, err := hl.UnitAt(i)
+		if err != nil || mu != hu {
+			t.Fatalf("unit %d: %d vs %d (%v)", i, mu, hu, err)
+		}
+		mp, _ := ml.ParentOf(i)
+		hp, err := hl.ParentOf(i)
+		if err != nil || mp != hp {
+			t.Fatalf("parent %d: %d vs %d (%v)", i, mp, hp, err)
+		}
+	}
+	for g := 0; g <= ml.Groups(); g++ {
+		ms, _ := ml.GroupStart(g)
+		hs, err := hl.GroupStart(g)
+		if err != nil || ms != hs {
+			t.Fatalf("group start %d: %d vs %d (%v)", g, ms, hs, err)
+		}
+	}
+	if hl.DiskBytes() != 0 {
+		t.Fatalf("DiskBytes = %d after full promotion", hl.DiskBytes())
+	}
+}
+
+// TestHybridPromotePartial checks the smallest-first selection: headroom for
+// one part promotes exactly the cheaper one.
+func TestHybridPromotePartial(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	groups := randGroups(rng, 240)
+	_, hl := buildHybridMixed(t, groups, 3, map[int]bool{0: true, 2: true}, false)
+	var costs []int64
+	for i := range hl.parts {
+		if hl.parts[i].onDisk() {
+			costs = append(costs, hl.parts[i].promoteCost())
+		}
+	}
+	if len(costs) != 2 {
+		t.Fatalf("disk parts = %d", len(costs))
+	}
+	smaller := costs[0]
+	if costs[1] < smaller {
+		smaller = costs[1]
+	}
+	n, err := hl.Promote(smaller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || hl.DiskParts() != 1 {
+		t.Fatalf("promoted %d, %d disk parts remain", n, hl.DiskParts())
+	}
+}

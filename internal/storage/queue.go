@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"kaleido/internal/memtrack"
 )
@@ -31,6 +32,10 @@ type WriteQueue struct {
 	wg      sync.WaitGroup
 	pool    sync.Pool
 	tracker *memtrack.Tracker
+
+	// aborted makes the I/O goroutine discard buffers instead of writing
+	// them — the cancellation path of a failed operation (see Abort).
+	aborted atomic.Bool
 
 	mu  sync.Mutex
 	err error
@@ -64,6 +69,10 @@ func (q *WriteQueue) run() {
 			close(j.done)
 			continue
 		}
+		if q.aborted.Load() {
+			q.pool.Put(j.buf[:0])
+			continue
+		}
 		if _, err := j.f.Write(j.buf); err != nil {
 			q.mu.Lock()
 			if q.err == nil {
@@ -88,6 +97,25 @@ func (q *WriteQueue) Submit(f *os.File, buf []byte) {
 		return
 	}
 	q.jobs <- wjob{f: f, buf: buf}
+}
+
+// Abort switches the queue into discard mode: pending and subsequently
+// submitted buffers are recycled unwritten until Reset. The write in flight,
+// if any, completes — cancelling an operation drains in-flight writes and
+// aborts pending ones. Abort the queue before closing or removing the files
+// the pending buffers target, then Barrier to drain and Reset to re-arm.
+func (q *WriteQueue) Abort() { q.aborted.Store(true) }
+
+// Reset re-arms an aborted queue for the next operation, clearing and
+// returning any recorded write error (the failed operation owns it; the next
+// one starts clean).
+func (q *WriteQueue) Reset() error {
+	q.aborted.Store(false)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	err := q.err
+	q.err = nil
+	return err
 }
 
 // Barrier blocks until every previously submitted buffer has been written.

@@ -649,3 +649,69 @@ func TestChunkIndexLargeLevel(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteQueueAbort checks the cancellation contract: after Abort, pending
+// and new submissions are discarded (buffers recycled, nothing written) while
+// barrier jobs still drain; Reset re-arms the queue and clears its error.
+func TestWriteQueueAbort(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "q.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	q := NewWriteQueue(64, nil)
+	defer q.Close()
+
+	buf := append(q.GetBuf(), 1, 2, 3, 4)
+	q.Submit(f, buf)
+	if err := q.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	q.Abort()
+	buf = append(q.GetBuf(), 5, 6, 7, 8)
+	q.Submit(f, buf)
+	if err := q.Barrier(); err != nil { // barrier drains even while aborted
+		t.Fatal(err)
+	}
+	if st, _ := f.Stat(); st.Size() != 4 {
+		t.Fatalf("aborted write landed: %d bytes", st.Size())
+	}
+
+	if err := q.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	buf = append(q.GetBuf(), 9, 10)
+	q.Submit(f, buf)
+	if err := q.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := f.Stat(); st.Size() != 6 {
+		t.Fatalf("post-reset write missing: %d bytes", st.Size())
+	}
+}
+
+// TestWriteQueueResetClearsError checks that a write error recorded before
+// Abort does not leak into the next operation after Reset.
+func TestWriteQueueResetClearsError(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "closed.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close() // closed: the write must fail
+	q := NewWriteQueue(64, nil)
+	defer q.Close()
+	q.Submit(f, append(q.GetBuf(), 1))
+	if err := q.Barrier(); err == nil {
+		t.Fatal("write to closed file succeeded")
+	}
+	q.Abort()
+	if err := q.Reset(); err == nil {
+		t.Fatal("Reset returned no error to clear")
+	}
+	if err := q.Err(); err != nil {
+		t.Fatalf("error survived Reset: %v", err)
+	}
+}

@@ -23,14 +23,29 @@
 // applications ship ready-made on this pipeline — frequent subgraph mining,
 // motif counting, clique discovery and triangle counting — and the Miner
 // type exposes the underlying exploration API (the paper's Listing 1) for
-// custom workloads:
+// custom workloads.
+//
+// Every run is cancellable: all blocking entry points take a
+// context.Context, workers poll it between blocks of work, and a cancelled
+// run returns ctx.Err() promptly — pending spill writes are discarded,
+// in-flight ones drain, and Close reclaims every spilled file:
 //
 //	g, err := kaleido.LoadEdgeListFile("graph.txt")
-//	n, err := g.Triangles(kaleido.Config{})
-//	motifs, err := g.Motifs(4, kaleido.Config{MemoryBudget: 8 << 30, SpillDir: "/tmp/kaleido"})
+//	n, err := g.Triangles(ctx, kaleido.Config{})
+//	motifs, err := g.Motifs(ctx, 4, kaleido.Config{MemoryBudget: 8 << 30, SpillDir: "/tmp/kaleido"})
+//
+// Co-located runs multiplex through an Engine, which arbitrates one memory
+// budget across all the runs it vends — the spill watermark fires on their
+// combined resident bytes, so N concurrent runs together stay under one
+// budget instead of each assuming it owns the machine:
+//
+//	eng := &kaleido.Engine{MemoryBudget: 8 << 30, SpillDir: "/tmp/kaleido"}
+//	go func() { motifs, err = eng.Motifs(ctx, g1, 4, kaleido.Config{}) }()
+//	go func() { cliques, err2 = eng.Cliques(ctx, g2, 5, kaleido.Config{}) }()
 package kaleido
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -100,10 +115,19 @@ type Stats struct {
 	// some of its parts, so SpilledParts/SpilledLevels measures how partial
 	// the spilling was.
 	SpilledLevels, SpilledParts int
+	// PromotedParts counts disk parts loaded back into memory after an
+	// in-place filter shrank their level under the (shared) budget
+	// watermark.
+	PromotedParts int
 }
 
 func (c Config) appOptions() (apps.Options, *memtrack.Tracker) {
-	tracker := memtrack.New()
+	return c.appOptionsWith(memtrack.New())
+}
+
+// appOptionsWith builds the internal options around a caller-supplied
+// tracker — the child of an Engine's budget arbiter for shared runs.
+func (c Config) appOptionsWith(tracker *memtrack.Tracker) (apps.Options, *memtrack.Tracker) {
 	opt := apps.Options{
 		Threads:        c.Threads,
 		MemoryBudget:   c.MemoryBudget,
@@ -128,7 +152,17 @@ func (c Config) finish(tracker *memtrack.Tracker, spill *apps.SpillInfo) {
 	c.Stats.ReadBytes, c.Stats.WriteBytes = tracker.IOTotals()
 	if spill != nil {
 		c.Stats.SpilledLevels, c.Stats.SpilledParts = spill.SpilledLevels, spill.SpilledParts
+		c.Stats.PromotedParts = spill.PromotedParts
 	}
+}
+
+// ctxOrBackground normalizes a nil context so internal layers can poll it
+// unconditionally.
+func ctxOrBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // Graph is an immutable labeled undirected graph.

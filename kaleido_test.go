@@ -22,7 +22,7 @@ func paperGraph(t testing.TB) *Graph {
 
 func TestPublicTriangles(t *testing.T) {
 	g := paperGraph(t)
-	n, err := g.Triangles(Config{Threads: 2})
+	n, err := g.Triangles(bgCtx, Config{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,14 +33,14 @@ func TestPublicTriangles(t *testing.T) {
 
 func TestPublicCliquesAndMotifs(t *testing.T) {
 	g := paperGraph(t)
-	c, err := g.Cliques(3, Config{})
+	c, err := g.Cliques(bgCtx, 3, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c != 3 {
 		t.Fatalf("Cliques(3) = %d, want 3", c)
 	}
-	motifs, err := g.Motifs(3, Config{})
+	motifs, err := g.Motifs(bgCtx, 3, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestPublicFSM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := g.FSM(3, 2, Config{})
+	res, err := g.FSM(bgCtx, 3, 2, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestPublicFSM(t *testing.T) {
 func TestPublicStatsAndHybrid(t *testing.T) {
 	g := paperGraph(t)
 	var stats Stats
-	n, err := g.Triangles(Config{Stats: &stats})
+	n, err := g.Triangles(bgCtx, Config{Stats: &stats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestPublicStatsAndHybrid(t *testing.T) {
 		t.Fatalf("n=%d peak=%d", n, stats.PeakBytes)
 	}
 	var hstats Stats
-	m, err := g.Motifs(4, Config{MemoryBudget: 1, SpillDir: t.TempDir(), Stats: &hstats})
+	m, err := g.Motifs(bgCtx, 4, Config{MemoryBudget: 1, SpillDir: t.TempDir(), Stats: &hstats})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,21 +110,21 @@ func TestMinerLevelStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reference run to size the budget between depth-2 and depth-3 CSEs.
-	ref, err := g.NewMiner(VertexInduced, Config{})
+	ref, err := g.NewMiner(bgCtx, VertexInduced, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ref.Close()
-	if err := ref.Expand(nil); err != nil {
+	if err := ref.Expand(bgCtx, nil); err != nil {
 		t.Fatal(err)
 	}
 	after2 := ref.Bytes()
-	if err := ref.Expand(nil); err != nil {
+	if err := ref.Expand(bgCtx, nil); err != nil {
 		t.Fatal(err)
 	}
 	after3 := ref.Bytes()
 
-	m, err := g.NewMiner(VertexInduced, Config{
+	m, err := g.NewMiner(bgCtx, VertexInduced, Config{
 		MemoryBudget: after2 + (after3-after2)/2,
 		SpillDir:     t.TempDir(),
 	})
@@ -133,7 +133,7 @@ func TestMinerLevelStats(t *testing.T) {
 	}
 	defer m.Close()
 	for i := 0; i < 2; i++ {
-		if err := m.Expand(nil); err != nil {
+		if err := m.Expand(bgCtx, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -155,10 +155,10 @@ func TestMinerLevelStats(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	g := paperGraph(t)
-	if _, err := g.Triangles(Config{MemoryBudget: 10}); err == nil {
+	if _, err := g.Triangles(bgCtx, Config{MemoryBudget: 10}); err == nil {
 		t.Fatal("budget without spill dir accepted")
 	}
-	if _, err := g.Motifs(3, Config{Iso: IsoAlgo(9)}); err == nil {
+	if _, err := g.Motifs(bgCtx, 3, Config{Iso: IsoAlgo(9)}); err == nil {
 		t.Fatal("bad iso backend accepted")
 	}
 }
@@ -171,7 +171,7 @@ func TestLoadEdgeList(t *testing.T) {
 	if g.N() != 3 || g.M() != 3 || g.Label(0) != 1 {
 		t.Fatalf("graph = %d/%d label=%d", g.N(), g.M(), g.Label(0))
 	}
-	n, err := g.Triangles(Config{})
+	n, err := g.Triangles(bgCtx, Config{})
 	if err != nil || n != 1 {
 		t.Fatalf("triangles = %d, %v", n, err)
 	}
@@ -207,20 +207,20 @@ func TestSynthetic(t *testing.T) {
 func TestMinerCustomApp(t *testing.T) {
 	// A custom wedge counter (paths of length 2) through the Miner API.
 	g := paperGraph(t)
-	m, err := g.NewMiner(VertexInduced, Config{Threads: 2})
+	m, err := g.NewMiner(bgCtx, VertexInduced, Config{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
 	for i := 0; i < 2; i++ {
-		if err := m.Expand(nil); err != nil {
+		if err := m.Expand(bgCtx, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if m.Depth() != 3 || m.Count() != 8 {
 		t.Fatalf("depth=%d count=%d, want 3, 8", m.Depth(), m.Count())
 	}
-	counts, err := m.AggregatePatterns()
+	counts, err := m.AggregatePatterns(bgCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,16 +233,16 @@ func TestMinerExpandCountAndVisit(t *testing.T) {
 	// The terminal sinks through the public API: counting wedges (paths of
 	// length 2) without materializing the 3-level, then visiting them.
 	g := paperGraph(t)
-	m, err := g.NewMiner(VertexInduced, Config{Threads: 2})
+	m, err := g.NewMiner(bgCtx, VertexInduced, Config{Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if err := m.Expand(nil); err != nil {
+	if err := m.Expand(bgCtx, nil); err != nil {
 		t.Fatal(err)
 	}
 	bytes := m.Bytes()
-	n, err := m.ExpandCount(nil)
+	n, err := m.ExpandCount(bgCtx, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestMinerExpandCountAndVisit(t *testing.T) {
 		t.Fatalf("counted expansion changed the CSE: depth=%d bytes=%d->%d", m.Depth(), bytes, m.Bytes())
 	}
 	var visited atomic.Int64
-	err = m.ExpandVisit(nil, func(_ int, emb []uint32, cand uint32) error {
+	err = m.ExpandVisit(bgCtx, nil, func(_ int, emb []uint32, cand uint32) error {
 		if len(emb) != 2 {
 			t.Errorf("visit emb len %d", len(emb))
 		}
@@ -268,7 +268,7 @@ func TestMinerExpandCountAndVisit(t *testing.T) {
 	}
 	// A worker-aware filter composes with the terminal sinks: only
 	// extensions adjacent to every embedding vertex (triangles).
-	tri, err := m.ExpandCount(func(_ int, emb []uint32, cand uint32) bool {
+	tri, err := m.ExpandCount(bgCtx, func(_ int, emb []uint32, cand uint32) bool {
 		for _, v := range emb {
 			if !g.HasEdge(v, cand) {
 				return false
@@ -286,7 +286,7 @@ func TestMinerExpandCountAndVisit(t *testing.T) {
 
 func TestMinerEdgeInduced(t *testing.T) {
 	g := paperGraph(t)
-	m, err := g.NewMiner(EdgeInduced, Config{})
+	m, err := g.NewMiner(bgCtx, EdgeInduced, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestMinerEdgeInduced(t *testing.T) {
 	if m.Count() != 7 {
 		t.Fatalf("edge 1-embeddings = %d, want 7", m.Count())
 	}
-	if err := m.Expand(nil); err != nil {
+	if err := m.Expand(bgCtx, nil); err != nil {
 		t.Fatal(err)
 	}
 	if m.Count() == 0 {

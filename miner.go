@@ -1,8 +1,11 @@
 package kaleido
 
 import (
+	"context"
+
 	"kaleido/internal/eigen"
 	"kaleido/internal/explore"
+	"kaleido/internal/memtrack"
 	"kaleido/internal/pattern"
 )
 
@@ -35,9 +38,18 @@ type Miner struct {
 	cfg Config
 }
 
-// NewMiner creates a Miner over g.
-func (g *Graph) NewMiner(mode Mode, cfg Config) (*Miner, error) {
+// NewMiner creates a Miner over g. ctx only gates creation; each exploration
+// call takes its own context. Use Engine.NewMiner to share one memory budget
+// across concurrent miners.
+func (g *Graph) NewMiner(ctx context.Context, mode Mode, cfg Config) (*Miner, error) {
+	return newMiner(ctx, g, mode, cfg, nil)
+}
+
+func newMiner(ctx context.Context, g *Graph, mode Mode, cfg Config, tracker *memtrack.Tracker) (*Miner, error) {
 	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctxOrBackground(ctx).Err(); err != nil {
 		return nil, err
 	}
 	e, err := explore.New(explore.Config{
@@ -49,6 +61,7 @@ func (g *Graph) NewMiner(mode Mode, cfg Config) (*Miner, error) {
 		SpillWatermark: cfg.SpillWatermark,
 		Predict:        cfg.Predict,
 		PredictSample:  cfg.PredictSample,
+		Tracker:        tracker,
 	})
 	if err != nil {
 		return nil, err
@@ -68,10 +81,12 @@ func (g *Graph) NewMiner(mode Mode, cfg Config) (*Miner, error) {
 
 // Expand runs one exploration iteration under the canonical filter plus the
 // optional user filter, materializing the new level in the CSE (the
-// StoreSink of the expansion pipeline).
-func (m *Miner) Expand(filter EmbeddingFilter) error {
+// StoreSink of the expansion pipeline). Cancelling ctx aborts the iteration
+// with ctx.Err(): the partial level is discarded, the previous levels stay
+// usable, and Close still reclaims every spilled file.
+func (m *Miner) Expand(ctx context.Context, filter EmbeddingFilter) error {
 	vf, ef := m.filters(filter)
-	return m.e.Expand(vf, ef)
+	return m.e.Expand(ctxOrBackground(ctx), vf, ef)
 }
 
 // ExpandCount runs one exploration iteration and returns how many
@@ -80,10 +95,11 @@ func (m *Miner) Expand(filter EmbeddingFilter) error {
 // counted level. Use it for the final iteration of a counting workload —
 // the last level dominates the bytes a run writes, and a count is all such
 // workloads need (CliqueCount works this way; see §6.5 of the paper for the
-// k−1-levels trick this generalizes).
-func (m *Miner) ExpandCount(filter EmbeddingFilter) (uint64, error) {
+// k−1-levels trick this generalizes). Cancelling ctx aborts the count with
+// ctx.Err().
+func (m *Miner) ExpandCount(ctx context.Context, filter EmbeddingFilter) (uint64, error) {
 	vf, ef := m.filters(filter)
-	return m.e.ExpandCount(vf, ef)
+	return m.e.ExpandCount(ctxOrBackground(ctx), vf, ef)
 }
 
 // ExpandVisit runs one exploration iteration and hands every canonical
@@ -91,10 +107,10 @@ func (m *Miner) ExpandCount(filter EmbeddingFilter) (uint64, error) {
 // (VisitSink) — the Mapper-side consumption of a terminal expansion (motif
 // counting, FSM's final aggregation). worker identifies the calling
 // goroutine for per-worker aggregation state; emb is a reused buffer that
-// must not be retained.
-func (m *Miner) ExpandVisit(filter EmbeddingFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
+// must not be retained. Cancelling ctx aborts the walk with ctx.Err().
+func (m *Miner) ExpandVisit(ctx context.Context, filter EmbeddingFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
 	vf, ef := m.filters(filter)
-	return m.e.ExpandVisit(vf, ef, visit)
+	return m.e.ExpandVisit(ctxOrBackground(ctx), vf, ef, visit)
 }
 
 // filters adapts the public filter to both engine modes.
@@ -124,6 +140,10 @@ func (m *Miner) SpilledLevels() int { return m.e.SpilledLevels() }
 // keeps most parts resident and spills only the largest few.
 func (m *Miner) SpilledParts() int { return m.e.SpilledParts() }
 
+// PromotedParts reports how many disk-resident parts were promoted back to
+// memory after an in-place FilterTop left the (shared) budget with headroom.
+func (m *Miner) PromotedParts() int { return m.e.PromotedParts() }
+
 // LevelStat describes the storage placement of one live CSE level.
 type LevelStat struct {
 	// Len and Groups are the level's embedding and parent-group counts.
@@ -152,15 +172,17 @@ func (m *Miner) LevelStats() []LevelStat {
 
 // ForEach visits every current embedding in parallel. worker identifies the
 // calling goroutine (0..Threads-1) for worker-local state; emb is a reused
-// buffer the callback must not retain.
-func (m *Miner) ForEach(visit func(worker int, emb []uint32) error) error {
-	return m.e.ForEach(visit)
+// buffer the callback must not retain. Cancelling ctx aborts the walk with
+// ctx.Err().
+func (m *Miner) ForEach(ctx context.Context, visit func(worker int, emb []uint32) error) error {
+	return m.e.ForEach(ctxOrBackground(ctx), visit)
 }
 
 // AggregatePatterns computes the pattern of every current vertex-induced
 // embedding with the configured isomorphism backend and returns the counts —
-// the ResultAggregator of Listing 1 with the default mapper.
-func (m *Miner) AggregatePatterns() ([]PatternCount, error) {
+// the ResultAggregator of Listing 1 with the default mapper. Cancelling ctx
+// aborts the aggregation with ctx.Err().
+func (m *Miner) AggregatePatterns(ctx context.Context) ([]PatternCount, error) {
 	threads := m.cfg.Threads
 	if threads <= 0 {
 		threads = defaultWorkerCount()
@@ -175,7 +197,7 @@ func (m *Miner) AggregatePatterns() ([]PatternCount, error) {
 		maps[i] = map[uint64]*agg{}
 		hashers[i] = eigen.New()
 	}
-	err := m.e.ForEach(func(w int, emb []uint32) error {
+	err := m.e.ForEach(ctxOrBackground(ctx), func(w int, emb []uint32) error {
 		p, err := pattern.FromEmbedding(m.g.g, emb)
 		if err != nil {
 			return err
