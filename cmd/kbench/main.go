@@ -9,10 +9,11 @@
 // Experiments: table2 (+fig10), table3, fig11, fig12, fig13, fig14, table4,
 // fig16 (+fig15), fig17 (+fig18), plus "sinks" — the fused terminal-
 // expansion paths (clique-d4 / motif-d3 of BENCH_expand.json) with their
-// all-disk write-byte accounting — and "concurrent" — N concurrent runs
-// sharing one memory budget through a kaleido.Engine, with the combined
-// resident peak the arbiter recorded. See EXPERIMENTS.md for the paper-vs-
-// measured record.
+// all-disk write-byte accounting — "compress" — the delta+varint spill
+// codec's time and bytes-on-disk against raw spilling — and "concurrent" —
+// N concurrent runs sharing one memory budget through a kaleido.Engine,
+// with the combined resident peak the arbiter recorded. See EXPERIMENTS.md
+// for the paper-vs-measured record.
 package main
 
 import (

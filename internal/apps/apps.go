@@ -24,6 +24,7 @@ import (
 	"kaleido/internal/graph"
 	"kaleido/internal/memtrack"
 	"kaleido/internal/pattern"
+	"kaleido/internal/storage"
 )
 
 // IsoAlgo selects the isomorphism backend of the pattern aggregation phase.
@@ -50,8 +51,11 @@ type Options struct {
 	PredictSample  int // exactly-predicted groups per chunk (0 = default, <0 = all)
 	BufSize        int
 	BlockSize      int
-	Iso            IsoAlgo
-	Tracker        *memtrack.Tracker
+	// Compression selects the on-disk encoding of spilled level parts
+	// (storage.CompressionAuto compresses spill files; memory stays raw).
+	Compression storage.Compression
+	Iso         IsoAlgo
+	Tracker     *memtrack.Tracker
 	// Spill, when non-nil, receives the run's part-level spill accounting.
 	Spill *SpillInfo
 }
@@ -63,8 +67,13 @@ type SpillInfo struct {
 	// SpilledParts counts the level parts migrated to disk.
 	SpilledParts int
 	// PromotedParts counts disk parts promoted back to memory after an
-	// in-place filter left the (shared) budget with headroom.
+	// in-place filter or a pop left the (shared) budget with headroom.
 	PromotedParts int
+	// SpilledBytes is the logical size (raw word bytes) of the spilled
+	// parts; SpilledBytesPhysical is what they occupied on disk — smaller
+	// when spill compression is on.
+	SpilledBytes         int64
+	SpilledBytesPhysical int64
 }
 
 func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config {
@@ -74,7 +83,8 @@ func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config
 		SpillWatermark: o.SpillWatermark,
 		Predict:        o.Predict, PredictSample: o.PredictSample,
 		BufSize: o.BufSize, BlockSize: o.BlockSize,
-		Tracker: o.Tracker,
+		Compression: o.Compression,
+		Tracker:     o.Tracker,
 	}
 }
 
@@ -83,9 +93,11 @@ func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config
 func captureSpill(opt Options, e *explore.Explorer) {
 	if opt.Spill != nil {
 		*opt.Spill = SpillInfo{
-			SpilledLevels: e.SpilledLevels(),
-			SpilledParts:  e.SpilledParts(),
-			PromotedParts: e.PromotedParts(),
+			SpilledLevels:        e.SpilledLevels(),
+			SpilledParts:         e.SpilledParts(),
+			PromotedParts:        e.PromotedParts(),
+			SpilledBytes:         e.SpilledBytes(),
+			SpilledBytesPhysical: e.SpilledBytesPhysical(),
 		}
 	}
 }

@@ -80,7 +80,7 @@ func (r Result) Render() string {
 // Experiments lists the available experiment ids in paper order, followed by
 // the engine experiments that go beyond the paper's evaluation.
 func Experiments() []string {
-	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks", "concurrent"}
+	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks", "compress", "concurrent"}
 }
 
 // Run executes one experiment by id.
@@ -106,6 +106,8 @@ func Run(id string, cfg RunConfig) ([]Result, error) {
 		return fig17(cfg)
 	case "sinks":
 		return sinks(cfg)
+	case "compress":
+		return compress(cfg)
 	case "concurrent":
 		return concurrent(cfg)
 	default:

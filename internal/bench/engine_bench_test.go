@@ -20,6 +20,7 @@ import (
 	"kaleido/internal/explore"
 	"kaleido/internal/gen"
 	"kaleido/internal/graph"
+	"kaleido/internal/storage"
 )
 
 var engineGraphs = map[int64]*graph.Graph{}
@@ -183,7 +184,7 @@ func measureExpandCase(c expandCase) (testing.BenchmarkResult, int) {
 				b.Fatal(err)
 			}
 			produced = ex.Count()
-			if err := ex.CSE().PopTop(); err != nil {
+			if err := ex.PopTop(); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -205,7 +206,7 @@ func runExpandCase(b *testing.B, c expandCase) {
 			b.Fatal(err)
 		}
 		produced = ex.Count()
-		if err := ex.CSE().PopTop(); err != nil {
+		if err := ex.PopTop(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -276,6 +277,74 @@ func TestHybridBenchCasePlacement(t *testing.T) {
 	if ex.Bytes() > c.budget {
 		t.Fatalf("resident CSE %d exceeds the case budget %d", ex.Bytes(), c.budget)
 	}
+}
+
+// runDiskCase expands the vertex-d3-disk case once under the given
+// compression mode, returning the produced embedding count and the logical /
+// physical spilled byte totals.
+func runDiskCase(tb testing.TB, comp storage.Compression) (produced int, logical, physical int64) {
+	tb.Helper()
+	var c expandCase
+	for _, ec := range expandCases() {
+		if ec.name == "vertex-d3-disk" {
+			c = ec
+		}
+	}
+	if c.name == "" {
+		tb.Fatal("vertex-d3-disk case missing")
+	}
+	g := engineGraph(tb, c.n, c.m, c.seed)
+	ex, err := explore.New(explore.Config{
+		Graph: g, Mode: c.mode, Threads: c.threads,
+		MemoryBudget: c.budget, SpillDir: tb.TempDir(), Compression: comp,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer ex.Close()
+	if err := ex.InitVertices(nil); err != nil {
+		tb.Fatal(err)
+	}
+	for ex.Depth() < c.depth+1 {
+		if err := ex.Expand(bgCtx, nil, nil); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return ex.Count(), ex.SpilledBytes(), ex.SpilledBytesPhysical()
+}
+
+// assertCompressedSpill pins the codec's headline win on the out-of-core
+// bench case: compression on (the default) must produce the same embeddings
+// as raw spilling while putting at least 2x fewer bytes on disk.
+func assertCompressedSpill(t *testing.T) {
+	t.Helper()
+	nAuto, logAuto, physAuto := runDiskCase(t, storage.CompressionAuto)
+	nRaw, logRaw, physRaw := runDiskCase(t, storage.CompressionOff)
+	if nAuto != nRaw {
+		t.Errorf("compressed run produced %d embeddings, raw run %d", nAuto, nRaw)
+	}
+	if logAuto != logRaw {
+		t.Errorf("logical spill bytes differ: %d compressed vs %d raw", logAuto, logRaw)
+	}
+	if physRaw != logRaw {
+		t.Errorf("raw spill physical %d != logical %d", physRaw, logRaw)
+	}
+	if physRaw == 0 {
+		t.Fatal("vertex-d3-disk spilled nothing")
+	}
+	if physAuto*2 > physRaw {
+		t.Errorf("compressed spill %d bytes vs raw %d — below the 2x bytes-on-disk goal (%.2fx)",
+			physAuto, physRaw, float64(physRaw)/float64(physAuto))
+	} else {
+		t.Logf("bytes on disk: %d compressed vs %d raw (%.2fx)", physAuto, physRaw, float64(physRaw)/float64(physAuto))
+	}
+}
+
+// TestCompressedSpillBytesGuard is the ungated form of the bytes-on-disk
+// guard, so the ratio is checked on every `go test` run, not only where the
+// benchmark job opted in.
+func TestCompressedSpillBytesGuard(t *testing.T) {
+	assertCompressedSpill(t)
 }
 
 // expandSnapshot is one benchmark measurement in BENCH_expand.json.
@@ -405,4 +474,6 @@ func TestBenchThroughputGuard(t *testing.T) {
 		c := c
 		guardOne(c.name, func() (testing.BenchmarkResult, int) { return measureAppCase(c) })
 	}
+	// Alongside throughput, guard the codec's bytes-on-disk win.
+	assertCompressedSpill(t)
 }

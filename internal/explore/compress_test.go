@@ -1,0 +1,168 @@
+package explore
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kaleido/internal/memtrack"
+	"kaleido/internal/storage"
+)
+
+// TestCompressionPlacementConformance runs the same exploration with
+// compression on and off across the three storage regimes — all-memory,
+// partially spilled, heavily spilled — and requires identical embeddings,
+// Extract results and ParentOf answers everywhere. It also checks the byte
+// split: auto compresses the spilled bytes, off keeps physical == logical.
+func TestCompressionPlacementConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g := randomGraph(rng, 50, 200)
+
+	// Unbudgeted reference: embeddings plus per-depth CSE sizes.
+	ref := newVertexExplorer(t, g, 3)
+	if err := ref.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	bytesAfter2 := ref.Bytes()
+	if err := ref.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	bytesAfter3 := ref.Bytes()
+	want := collect(t, ref)
+	wantExtract := make([][]uint32, ref.Count())
+	for i := range wantExtract {
+		emb := make([]uint32, ref.Depth())
+		if err := ref.CSE().Extract(i, emb); err != nil {
+			t.Fatal(err)
+		}
+		wantExtract[i] = emb
+	}
+
+	budgets := []int64{
+		0, // all-memory
+		bytesAfter2 + (bytesAfter3-bytesAfter2)/2, // partial spill
+		bytesAfter2 / 2, // heavy spill
+	}
+	for _, comp := range []storage.Compression{storage.CompressionAuto, storage.CompressionOff} {
+		for bi, budget := range budgets {
+			cfg := Config{Graph: g, Mode: VertexInduced, Threads: 3, Compression: comp}
+			if budget > 0 {
+				cfg.MemoryBudget, cfg.SpillDir = budget, t.TempDir()
+			}
+			e, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			if err := e.InitVertices(nil); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if err := e.Expand(bgCtx, nil, nil); err != nil {
+					t.Fatalf("comp=%d budget[%d]: %v", comp, bi, err)
+				}
+			}
+			if got := collect(t, e); !reflect.DeepEqual(got, want) {
+				t.Fatalf("comp=%d budget[%d]: embeddings differ (%d vs %d)", comp, bi, len(got), len(want))
+			}
+			top := e.CSE().Top()
+			for i := 0; i < e.Count(); i++ {
+				emb := make([]uint32, e.Depth())
+				if err := e.CSE().Extract(i, emb); err != nil {
+					t.Fatalf("comp=%d budget[%d]: Extract(%d): %v", comp, bi, i, err)
+				}
+				if !reflect.DeepEqual(emb, wantExtract[i]) {
+					t.Fatalf("comp=%d budget[%d]: Extract(%d) = %v, want %v", comp, bi, i, emb, wantExtract[i])
+				}
+				rp, rerr := ref.CSE().Top().ParentOf(i)
+				gp, gerr := top.ParentOf(i)
+				if rerr != nil || gerr != nil || rp != gp {
+					t.Fatalf("comp=%d budget[%d]: ParentOf(%d) = %d (%v), want %d (%v)", comp, bi, i, gp, gerr, rp, rerr)
+				}
+			}
+			sl, sp := e.SpilledBytes(), e.SpilledBytesPhysical()
+			if budget == 0 {
+				if sl != 0 || sp != 0 {
+					t.Fatalf("comp=%d: all-mem run reports spilled bytes %d/%d", comp, sl, sp)
+				}
+				continue
+			}
+			if e.SpilledParts() == 0 {
+				t.Fatalf("comp=%d budget[%d]: budgeted run spilled nothing", comp, bi)
+			}
+			if sl == 0 || sp == 0 {
+				t.Fatalf("comp=%d budget[%d]: spilled bytes %d logical / %d physical", comp, bi, sl, sp)
+			}
+			if comp == storage.CompressionOff && sl != sp {
+				t.Fatalf("budget[%d]: compression off but physical %d != logical %d", bi, sp, sl)
+			}
+			if comp == storage.CompressionAuto && sp >= sl {
+				t.Fatalf("budget[%d]: compression auto but physical %d not below logical %d", bi, sp, sl)
+			}
+		}
+	}
+}
+
+// TestPopTopPromotesCompressedParts: a level spilled under (external) memory
+// pressure keeps its compressed disk parts until the level above is popped;
+// PopTop must release the popped charge and promote the compressed parts
+// back to raw memory, leaving the data intact.
+func TestPopTopPromotesCompressedParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	g := randomGraph(rng, 40, 160)
+	tr := memtrack.New()
+	e, err := New(Config{
+		Graph: g, Mode: VertexInduced, Threads: 2,
+		MemoryBudget: 1 << 30, SpillDir: t.TempDir(), Tracker: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.InitVertices(nil); err != nil {
+		t.Fatal(err)
+	}
+	// External pressure forces the depth-3 build to spill compressed parts.
+	tr.Alloc(2 << 30)
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	tr.Free(2 << 30)
+	if e.SpilledParts() == 0 {
+		t.Fatal("pressured build spilled nothing")
+	}
+	if e.SpilledBytesPhysical() >= e.SpilledBytes() {
+		t.Fatalf("spill not compressed: %d physical / %d logical", e.SpilledBytesPhysical(), e.SpilledBytes())
+	}
+	want := collect(t, e)
+	// Build one more (all-memory, pressure gone) level, then pop it.
+	if err := e.Expand(bgCtx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	liveBefore := tr.Live()
+	if err := e.PopTop(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Live() >= liveBefore {
+		t.Fatalf("PopTop did not release bytes: live %d -> %d", liveBefore, tr.Live())
+	}
+	if e.PromotedParts() == 0 {
+		t.Fatal("PopTop left headroom but promoted no disk parts")
+	}
+	stats := e.LevelStats()
+	if top := stats[len(stats)-1]; top.DiskParts != 0 {
+		t.Fatalf("disk parts remain after promotion: %+v", top)
+	}
+	if got := collect(t, e); !reflect.DeepEqual(got, want) {
+		t.Fatal("embeddings differ after PopTop promotion")
+	}
+	// The base level cannot be popped.
+	for e.Depth() > 1 {
+		if err := e.PopTop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.PopTop(); err == nil {
+		t.Fatal("PopTop removed the base level")
+	}
+}

@@ -87,6 +87,11 @@ type Config struct {
 	BufSize   int // write-queue buffer size (0 = storage.DefaultBufSize)
 	BlockSize int // read prefetch block size (0 = storage.DefaultBlockSize)
 
+	// Compression selects the encoding of spilled level parts. The zero
+	// value (storage.CompressionAuto) compresses everything that goes to
+	// disk; memory-resident parts always stay raw.
+	Compression storage.Compression
+
 	Tracker *memtrack.Tracker // optional instrumentation
 }
 
@@ -109,6 +114,8 @@ type Explorer struct {
 	spilled       int     // cumulative expansions that migrated ≥ 1 part to disk
 	spilledParts  int     // cumulative parts migrated to disk by expansions
 	promotedParts int     // cumulative disk parts promoted back to memory
+	spilledBytes  int64   // cumulative logical bytes of finished levels' disk parts
+	spilledPhys   int64   // cumulative physical (on-disk) bytes of the same parts
 	ledger        []int64 // tracker bytes charged per level
 	closed        bool
 
@@ -333,9 +340,19 @@ func (e *Explorer) SpilledLevels() int { return e.spilled }
 func (e *Explorer) SpilledParts() int { return e.spilledParts }
 
 // PromotedParts reports how many disk-resident parts were promoted back to
-// memory after an in-place FilterTop shrank their level under the (shared)
-// budget watermark (cumulative).
+// memory after an in-place FilterTop or a PopTop left the (shared) budget
+// with headroom (cumulative).
 func (e *Explorer) PromotedParts() int { return e.promotedParts }
+
+// SpilledBytes reports the logical bytes (raw word size) of the disk parts
+// finished levels held when they were built (cumulative; popped levels keep
+// counting).
+func (e *Explorer) SpilledBytes() int64 { return e.spilledBytes }
+
+// SpilledBytesPhysical reports the bytes those same parts actually occupied
+// on disk — equal to SpilledBytes with compression off, smaller with the
+// delta+varint encoding on.
+func (e *Explorer) SpilledBytesPhysical() int64 { return e.spilledPhys }
 
 // LevelStat describes the storage placement of one live CSE level.
 type LevelStat struct {
@@ -343,7 +360,10 @@ type LevelStat struct {
 	MemParts      int   // memory-resident parts holding data
 	DiskParts     int   // disk-resident parts
 	ResidentBytes int64 // in-memory footprint (arrays + sparse indexes)
-	DiskBytes     int64 // on-disk footprint
+	DiskBytes     int64 // logical on-disk footprint (raw word size)
+	// DiskBytesPhysical is the bytes the disk parts actually occupy —
+	// smaller than DiskBytes when the spill files are compressed.
+	DiskBytesPhysical int64
 }
 
 // LevelStats reports the placement of every live level, base level first.
@@ -354,26 +374,76 @@ func (e *Explorer) LevelStats() []LevelStat {
 	out := make([]LevelStat, e.c.Depth())
 	for i := range out {
 		l := e.c.Level(i + 1)
-		mp, dp, db := levelPlacement(l)
+		mp, dp, db, dbp := levelPlacement(l)
 		out[i] = LevelStat{
 			Len: l.Len(), Groups: l.Groups(),
 			MemParts: mp, DiskParts: dp,
-			ResidentBytes: l.Bytes(), DiskBytes: db,
+			ResidentBytes: l.Bytes(), DiskBytes: db, DiskBytesPhysical: dbp,
 		}
 	}
 	return out
 }
 
 // levelPlacement classifies a level's parts by residency.
-func levelPlacement(l cse.LevelData) (memParts, diskParts int, diskBytes int64) {
+func levelPlacement(l cse.LevelData) (memParts, diskParts int, diskBytes, diskBytesPhysical int64) {
 	switch v := l.(type) {
 	case *storage.HybridLevel:
-		return v.MemParts(), v.DiskParts(), v.DiskBytes()
+		return v.MemParts(), v.DiskParts(), v.DiskBytes(), v.DiskBytesPhysical()
 	case *storage.DiskLevel:
-		return 0, v.NumParts(), v.DiskBytes()
+		return 0, v.NumParts(), v.DiskBytes(), v.DiskBytesPhysical()
 	default:
-		return 1, 0, 0
+		return 1, 0, 0, 0
 	}
+}
+
+// promoteTop promotes disk-resident parts of top back to memory while the
+// (shared, via the arbiter) budget watermark has headroom. The level's
+// resident bytes are already charged, so the headroom is the watermark minus
+// everything tracked: the live-byte cap covers external charges (pattern
+// maps) that buildBudget's CSE-only base misses, and active pressure vetoes
+// promotion outright (the governor is force-spilling; reloading parts would
+// fight it). Promotion is gated on the raw resident cost of a part but
+// ordered by its physical read cost, so compressed parts promote first.
+func (e *Explorer) promoteTop(top *storage.HybridLevel) error {
+	headroom := e.buildBudget(e.c.Bytes())
+	if t := e.cfg.Tracker; t != nil {
+		if g := e.watermarkBytes() - t.SharedLive(); g < headroom {
+			headroom = g
+		}
+	}
+	if e.pressure.Load() {
+		headroom = 0
+	}
+	if headroom <= 0 {
+		return nil
+	}
+	n, err := top.Promote(headroom)
+	if n > 0 {
+		e.promotedParts += n
+		e.uncharge()
+		e.charge(top.Bytes())
+	}
+	return err
+}
+
+// PopTop discards the top level — releasing its budget charge and deleting
+// any spilled files — and returns the CSE to the previous depth. The base
+// level cannot be popped. Popping frees budget, so disk-resident parts of
+// the newly exposed top that now fit are promoted back to memory, exactly as
+// after an in-place FilterTop. Uses the pooled per-worker scratch — do not
+// run it concurrently with another operation on the same Explorer.
+func (e *Explorer) PopTop() error {
+	if e.c == nil {
+		return fmt.Errorf("explore: not initialized")
+	}
+	if err := e.c.PopTop(); err != nil {
+		return err
+	}
+	e.uncharge()
+	if top, ok := e.c.Top().(*storage.HybridLevel); ok {
+		return e.promoteTop(top)
+	}
+	return nil
 }
 
 // CSE exposes the underlying structure (read-only use).
@@ -481,7 +551,7 @@ func (e *Explorer) hybridBuilderFor(nparts int, baseBytes int64) (*storage.Hybri
 	if e.hybridBuilder == nil {
 		hb, err := storage.NewHybridLevelBuilder(
 			e.runDir, e.levelSeq, nparts, e.queue, e.cfg.BlockSize, e.cfg.Tracker,
-			budget, &e.pressure, e.watermarkBytes())
+			budget, &e.pressure, e.watermarkBytes(), e.cfg.Compression)
 		if err != nil {
 			return nil, err
 		}

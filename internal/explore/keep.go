@@ -220,35 +220,8 @@ func (e *Explorer) hybridKeepSink(top *storage.HybridLevel) (*KeepSink, error) {
 		e.uncharge()
 		e.charge(top.Bytes())
 		// The filter just shrank the level: disk parts that were migrated
-		// under build-time pressure may fit the budget again. Promote them
-		// while the (cross-run, via the shared arbiter) watermark has
-		// headroom — the level's resident bytes are already charged, so the
-		// headroom is the watermark minus everything tracked: the live-byte
-		// cap covers external charges (pattern maps) that buildBudget's
-		// CSE-only base misses, and active pressure vetoes promotion
-		// outright (the governor is force-spilling; reloading parts would
-		// fight it).
-		headroom := e.buildBudget(e.c.Bytes())
-		if t := e.cfg.Tracker; t != nil {
-			if g := e.watermarkBytes() - t.SharedLive(); g < headroom {
-				headroom = g
-			}
-		}
-		if e.pressure.Load() {
-			headroom = 0
-		}
-		if headroom > 0 {
-			n, err := top.Promote(headroom)
-			if n > 0 {
-				e.promotedParts += n
-				e.uncharge()
-				e.charge(top.Bytes())
-			}
-			if err != nil {
-				return err
-			}
-		}
-		return nil
+		// under build-time pressure may fit the budget again.
+		return e.promoteTop(top)
 	}
 	s.abortFn = func() { top.AbortRewrite(rws) }
 	return s, nil

@@ -96,9 +96,11 @@ func (s *StoreSink) finish(e *Explorer) error {
 		lvl.Close()
 		return err
 	}
-	if _, dp, _ := levelPlacement(lvl); dp > 0 {
+	if _, dp, db, dbp := levelPlacement(lvl); dp > 0 {
 		e.spilled++
 		e.spilledParts += dp
+		e.spilledBytes += db
+		e.spilledPhys += dbp
 	}
 	e.charge(lvl.Bytes())
 	if s.parents > 0 {

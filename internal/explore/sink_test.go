@@ -332,7 +332,7 @@ func TestHybridBuilderPooling(t *testing.T) {
 		} else if !reflect.DeepEqual(got, want) {
 			t.Fatalf("round %d: rebuilt level differs", round)
 		}
-		if err := e.CSE().PopTop(); err != nil {
+		if err := e.PopTop(); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -32,6 +32,12 @@ type Tracker struct {
 	readBytes  atomic.Int64
 	writeBytes atomic.Int64
 
+	// Spilled level data, counted once per sealed part: logical is the raw
+	// word size of the spilled values, physical the bytes that actually hit
+	// disk — equal unless the spill files are compressed.
+	spillLogical  atomic.Int64
+	spillPhysical atomic.Int64
+
 	// marks is a copy-on-write list of high-water callbacks; Alloc/Free read
 	// it with one atomic load so untriggered watermarks cost nothing on the
 	// hot path.
@@ -214,6 +220,23 @@ func (t *Tracker) WriteIO(n int64) {
 	t.writeBytes.Add(n)
 }
 
+// SpillIO records one sealed spill part: logical raw bytes vs the physical
+// bytes written, the pair that separates level size from disk footprint when
+// spill files are compressed.
+func (t *Tracker) SpillIO(logical, physical int64) {
+	if t.parent != nil {
+		t.parent.spillLogical.Add(logical)
+		t.parent.spillPhysical.Add(physical)
+	}
+	t.spillLogical.Add(logical)
+	t.spillPhysical.Add(physical)
+}
+
+// SpillTotals returns cumulative (logical, physical) spilled bytes.
+func (t *Tracker) SpillTotals() (logical, physical int64) {
+	return t.spillLogical.Load(), t.spillPhysical.Load()
+}
+
 // IOTotals returns cumulative (read, write) bytes.
 func (t *Tracker) IOTotals() (read, write int64) {
 	return t.readBytes.Load(), t.writeBytes.Load()
@@ -241,6 +264,8 @@ func (t *Tracker) Reset() {
 	t.peak.Store(0)
 	t.readBytes.Store(0)
 	t.writeBytes.Store(0)
+	t.spillLogical.Store(0)
+	t.spillPhysical.Store(0)
 	<-t.sampleMu
 	t.samples = nil
 	t.sampleMu <- struct{}{}

@@ -31,6 +31,7 @@ type HybridLevel struct {
 	pred        []cse.PredSeg
 	blockSize   int
 	tracker     *memtrack.Tracker
+	comp        bool // encoding of disk parts, incl. future rewrites
 	closed      bool
 }
 
@@ -45,7 +46,8 @@ type hybridPart struct {
 
 	// Disk residency.
 	vf, cf   *os.File
-	chunkCum []uint64 // chunkCum[j] = children in local groups [0, j·CntChunk)
+	chunkCum []uint64  // chunkCum[j] = children in local groups [0, j·CntChunk)
+	comp     *partComp // compressed-block directory, nil for raw files
 
 	numVerts  int
 	numGroups int
@@ -71,7 +73,7 @@ func (h *HybridLevel) Bytes() int64 {
 	for i := range h.parts {
 		p := &h.parts[i]
 		if p.onDisk() {
-			b += int64(len(p.chunkCum)) * 8
+			b += int64(len(p.chunkCum))*8 + p.comp.dirBytes()
 		} else {
 			b += int64(len(p.verts))*4 + int64(len(p.bounds))*8
 		}
@@ -79,13 +81,35 @@ func (h *HybridLevel) Bytes() int64 {
 	return b + int64(len(h.pred))*16
 }
 
-// DiskBytes reports the on-disk footprint of the migrated parts.
+// DiskBytes reports the logical on-disk footprint of the migrated parts:
+// their raw word size, regardless of encoding.
 func (h *HybridLevel) DiskBytes() int64 {
 	var b int64
 	for i := range h.parts {
 		p := &h.parts[i]
 		if p.onDisk() {
 			b += int64(p.numVerts)*4 + int64(p.numGroups)*4
+		}
+	}
+	return b
+}
+
+// diskBytesPhysical is the bytes part p actually occupies on disk.
+func (p *hybridPart) diskBytesPhysical() int64 {
+	if p.comp != nil {
+		return p.comp.physVerts + p.comp.physCnts
+	}
+	return int64(p.numVerts)*4 + int64(p.numGroups)*4
+}
+
+// DiskBytesPhysical reports the bytes the migrated parts actually occupy on
+// disk — equal to DiskBytes for raw parts, smaller for compressed ones.
+func (h *HybridLevel) DiskBytesPhysical() int64 {
+	var b int64
+	for i := range h.parts {
+		p := &h.parts[i]
+		if p.onDisk() {
+			b += p.diskBytesPhysical()
 		}
 	}
 	return b
@@ -177,14 +201,7 @@ func (h *HybridLevel) UnitAt(i int) (uint32, error) {
 	if !p.onDisk() {
 		return p.verts[li], nil
 	}
-	var b [4]byte
-	if _, err := p.vf.ReadAt(b[:], int64(4*li)); err != nil {
-		return 0, fmt.Errorf("storage: vert read %d of %s: %w", i, p.vf.Name(), err)
-	}
-	if h.tracker != nil {
-		h.tracker.ReadIO(4)
-	}
-	return binary.LittleEndian.Uint32(b[:]), nil
+	return readPartUnit(p.vf, p.comp, li, h.tracker)
 }
 
 // ParentOf implements cse.LevelData: binary search over the resident bounds
@@ -208,7 +225,7 @@ func (h *HybridLevel) ParentOf(i int) (int, error) {
 	}
 	sc := cntPool.Get().(*cntScratch)
 	defer cntPool.Put(sc)
-	cnts, err := readCntsAt(p.cf, lo, hi, h.tracker, sc)
+	cnts, err := readPartCnts(p.cf, p.comp, lo, hi, h.tracker, sc)
 	if err != nil {
 		return 0, err
 	}
@@ -230,7 +247,7 @@ func (p *hybridPart) offAtLocal(lg int, tracker *memtrack.Tracker) (uint64, erro
 	if lg > j*CntChunk {
 		sc := cntPool.Get().(*cntScratch)
 		defer cntPool.Put(sc)
-		cnts, err := readCntsAt(p.cf, j*CntChunk, lg, tracker, sc)
+		cnts, err := readPartCnts(p.cf, p.comp, j*CntChunk, lg, tracker, sc)
 		if err != nil {
 			return 0, err
 		}
@@ -294,7 +311,7 @@ type hybridVertBlocks struct {
 	h         *HybridLevel
 	next, end int
 	pi        int
-	dv        *diskVertBlocks // active disk sub-cursor, nil otherwise
+	dv        cse.VertBlockCursor // active disk sub-cursor, nil otherwise
 	err       error
 }
 
@@ -333,10 +350,23 @@ func (c *hybridVertBlocks) NextBlock() ([]uint32, bool) {
 			c.pi++
 			return blk, true
 		}
-		span := fileSpan{f: p.vf, off: int64(4 * (c.next - p.vertBase)), n: int64(4 * take)}
-		c.dv = &diskVertBlocks{
-			bs:        newBlockStream([]fileSpan{span}, c.h.blockSize, c.h.tracker),
-			remaining: take,
+		from := c.next - p.vertBase
+		if p.comp != nil {
+			b0 := from / codecBlockVals
+			b1 := (from + take - 1) / codecBlockVals
+			off := p.comp.vOffs[b0]
+			span := fileSpan{f: p.vf, off: off, n: p.comp.vertEnd(b1) - off}
+			c.dv = &compVertBlocks{
+				bs:        newBlockStream([]fileSpan{span}, c.h.blockSize, c.h.tracker),
+				skip:      from - b0*codecBlockVals,
+				remaining: take,
+			}
+		} else {
+			span := fileSpan{f: p.vf, off: int64(4 * from), n: int64(4 * take)}
+			c.dv = &diskVertBlocks{
+				bs:        newBlockStream([]fileSpan{span}, c.h.blockSize, c.h.tracker),
+				remaining: take,
+			}
 		}
 	}
 }
@@ -363,7 +393,7 @@ type hybridBoundBlocks struct {
 	g      int // next global group whose end boundary to deliver
 	pi     int
 	active bool
-	dv     *diskBoundBlocks
+	dv     cse.BoundBlockCursor
 	err    error
 }
 
@@ -406,10 +436,22 @@ func (c *hybridBoundBlocks) NextBlock() ([]uint64, bool) {
 			c.err = err
 			return nil, false
 		}
-		span := fileSpan{f: p.cf, off: int64(4 * lf), n: int64(4 * (p.numGroups - lf))}
-		c.dv = &diskBoundBlocks{
-			bs:  newBlockStream([]fileSpan{span}, c.h.blockSize, c.h.tracker),
-			cum: base,
+		if p.comp != nil {
+			b0 := lf / codecBlockVals
+			off := p.comp.cOffs[b0]
+			span := fileSpan{f: p.cf, off: off, n: p.comp.physCnts - off}
+			c.dv = &compBoundBlocks{
+				bs:        newBlockStream([]fileSpan{span}, c.h.blockSize, c.h.tracker),
+				skip:      lf - b0*codecBlockVals,
+				remaining: p.numGroups - lf,
+				cum:       base,
+			}
+		} else {
+			span := fileSpan{f: p.cf, off: int64(4 * lf), n: int64(4 * (p.numGroups - lf))}
+			c.dv = &diskBoundBlocks{
+				bs:  newBlockStream([]fileSpan{span}, c.h.blockSize, c.h.tracker),
+				cum: base,
+			}
 		}
 	}
 }
@@ -471,13 +513,18 @@ func openFilePair(vname, cname string) (vf, cf *os.File, err error) {
 }
 
 // verifyPartFiles checks that a part's vert/cnt files hold exactly the
-// written entry counts — the corruption check both level assembly and the
+// written bytes — raw word counts, or the physical sizes the compressed
+// writer recorded — the corruption check both level assembly and the
 // in-place rewrite run before installing files.
-func verifyPartFiles(vf, cf *os.File, numVerts, numGroups int) error {
+func verifyPartFiles(vf, cf *os.File, numVerts, numGroups int, comp *partComp) error {
+	wantV, wantC := int64(4*numVerts), int64(4*numGroups)
+	if comp != nil {
+		wantV, wantC = comp.physVerts, comp.physCnts
+	}
 	for _, chk := range []struct {
 		f    *os.File
 		want int64
-	}{{vf, int64(4 * numVerts)}, {cf, int64(4 * numGroups)}} {
+	}{{vf, wantV}, {cf, wantC}} {
 		st, err := chk.f.Stat()
 		if err != nil {
 			return err
@@ -501,9 +548,18 @@ func (h *HybridLevel) RewritePart(i int, q *WriteQueue) (*PartRewriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.dw = &diskPartWriter{q: q, vf: vf, cf: cf, vbuf: q.GetBuf(), cbuf: q.GetBuf()}
+	dw := newDiskPartWriter(q, vf, cf, newPartCompBool(h.comp))
+	r.dw = &dw
 	r.buf = poolGetU32()
 	return r, nil
+}
+
+// newPartCompBool is newPartComp for callers holding a resolved on/off flag.
+func newPartCompBool(on bool) *partComp {
+	if !on {
+		return nil
+	}
+	return &partComp{}
 }
 
 // Keep records u as kept in the current group.
@@ -564,7 +620,7 @@ func (h *HybridLevel) FinishRewrite(rws []*PartRewriter, q *WriteQueue) error {
 		r := rws[i]
 		p.vertBase = total
 		if r.dw != nil {
-			if err := verifyPartFiles(r.dw.vf, r.dw.cf, r.dw.numVerts, r.dw.numGroups); err != nil {
+			if err := verifyPartFiles(r.dw.vf, r.dw.cf, r.dw.numVerts, r.dw.numGroups, r.dw.comp); err != nil {
 				h.AbortRewrite(rws[i:])
 				return err
 			}
@@ -572,12 +628,15 @@ func (h *HybridLevel) FinishRewrite(rws []*PartRewriter, q *WriteQueue) error {
 				h.AbortRewrite(rws[i:])
 				return fmt.Errorf("storage: rewrite of %s closed %d groups, want %d", r.dw.vf.Name(), r.dw.numGroups, p.numGroups)
 			}
+			if h.tracker != nil {
+				h.tracker.SpillIO(int64(4*(r.dw.numVerts+r.dw.numGroups)), r.dw.physBytes())
+			}
 			for _, f := range []*os.File{p.vf, p.cf} {
 				name := f.Name()
 				f.Close()
 				os.Remove(name)
 			}
-			p.vf, p.cf, p.chunkCum = r.dw.vf, r.dw.cf, r.dw.chunkCum
+			p.vf, p.cf, p.chunkCum, p.comp = r.dw.vf, r.dw.cf, r.dw.chunkCum, r.dw.comp
 			p.numVerts = r.dw.numVerts
 			poolPutU32(r.buf)
 			r.buf, r.dw = nil, nil
@@ -598,10 +657,12 @@ func (h *HybridLevel) FinishRewrite(rws []*PartRewriter, q *WriteQueue) error {
 }
 
 // promoteCost returns the resident bytes a disk part would occupy back in
-// memory, net of the sparse index it frees: verts as uint32s plus one uint64
-// bound per group.
+// memory, net of the sparse index and block directory it frees: verts as
+// uint32s plus one uint64 bound per group. The cost is the decoded (raw)
+// footprint regardless of the on-disk encoding — promotion always
+// materializes raw arrays.
 func (p *hybridPart) promoteCost() int64 {
-	return int64(p.numVerts)*4 + int64(p.numGroups)*8 - int64(len(p.chunkCum))*8
+	return int64(p.numVerts)*4 + int64(p.numGroups)*8 - int64(len(p.chunkCum))*8 - p.comp.dirBytes()
 }
 
 // PromotePart loads disk part i back into memory: the vert file is read into
@@ -619,28 +680,52 @@ func (h *HybridLevel) PromotePart(i int) error {
 		verts = make([]uint32, p.numVerts)
 	}
 	verts = verts[:p.numVerts]
-	vbuf := make([]byte, 4*p.numVerts)
-	if _, err := p.vf.ReadAt(vbuf, 0); err != nil && p.numVerts > 0 {
+	cnts := poolGetU32()
+	if cap(cnts) < p.numGroups {
+		cnts = make([]uint32, p.numGroups)
+	}
+	cnts = cnts[:p.numGroups]
+	fail := func(f *os.File, err error) error {
 		poolPutU32(verts)
-		return fmt.Errorf("storage: promote read of %s: %w", p.vf.Name(), err)
+		poolPutU32(cnts)
+		return fmt.Errorf("storage: promote read of %s: %w", f.Name(), err)
 	}
-	for j := range verts {
-		verts[j] = binary.LittleEndian.Uint32(vbuf[4*j:])
-	}
-	cbuf := make([]byte, 4*p.numGroups)
-	if _, err := p.cf.ReadAt(cbuf, 0); err != nil && p.numGroups > 0 {
-		poolPutU32(verts)
-		return fmt.Errorf("storage: promote read of %s: %w", p.cf.Name(), err)
-	}
-	if h.tracker != nil {
-		h.tracker.ReadIO(int64(len(vbuf) + len(cbuf)))
+	if p.comp != nil {
+		if err := readCompFile(p.vf, p.comp.physVerts, true, verts); err != nil {
+			return fail(p.vf, err)
+		}
+		if err := readCompFile(p.cf, p.comp.physCnts, false, cnts); err != nil {
+			return fail(p.cf, err)
+		}
+		if h.tracker != nil {
+			h.tracker.ReadIO(p.comp.physVerts + p.comp.physCnts)
+		}
+	} else {
+		vbuf := make([]byte, 4*p.numVerts)
+		if _, err := p.vf.ReadAt(vbuf, 0); err != nil && p.numVerts > 0 {
+			return fail(p.vf, err)
+		}
+		for j := range verts {
+			verts[j] = binary.LittleEndian.Uint32(vbuf[4*j:])
+		}
+		cbuf := make([]byte, 4*p.numGroups)
+		if _, err := p.cf.ReadAt(cbuf, 0); err != nil && p.numGroups > 0 {
+			return fail(p.cf, err)
+		}
+		for j := range cnts {
+			cnts[j] = binary.LittleEndian.Uint32(cbuf[4*j:])
+		}
+		if h.tracker != nil {
+			h.tracker.ReadIO(int64(len(vbuf) + len(cbuf)))
+		}
 	}
 	bounds := poolGetU64(p.numGroups)
 	off := uint64(p.vertBase)
-	for j := 0; j < p.numGroups; j++ {
-		off += uint64(binary.LittleEndian.Uint32(cbuf[4*j:]))
+	for j, c := range cnts {
+		off += uint64(c)
 		bounds[j] = off
 	}
+	poolPutU32(cnts)
 	var first error
 	for _, f := range []*os.File{p.vf, p.cf} {
 		name := f.Name()
@@ -651,27 +736,32 @@ func (h *HybridLevel) PromotePart(i int) error {
 			first = err
 		}
 	}
-	p.vf, p.cf, p.chunkCum = nil, nil, nil
+	p.vf, p.cf, p.chunkCum, p.comp = nil, nil, nil, nil
 	p.verts, p.bounds = verts, bounds
 	return first
 }
 
-// Promote moves disk parts back to memory, smallest first, as long as each
-// part's resident cost fits the remaining headroom — the recovery path after
-// an in-place filter shrank the level: parts migrated under build-time
-// pressure may now fit the (shared) budget again. Returns how many parts
-// were promoted.
+// Promote moves disk parts back to memory, smallest on-disk (physical)
+// footprint first — the cheapest reads — as long as each part's decoded
+// resident cost fits the remaining headroom. This is the recovery path after
+// an in-place filter or a PopTop left the (shared) budget with headroom:
+// parts migrated under build-time pressure may now fit again. Returns how
+// many parts were promoted.
 func (h *HybridLevel) Promote(headroom int64) (int, error) {
 	promoted := 0
 	for {
-		best, bestCost := -1, int64(0)
+		best, bestCost, bestPhys := -1, int64(0), int64(0)
 		for i := range h.parts {
 			p := &h.parts[i]
 			if !p.onDisk() {
 				continue
 			}
-			if c := p.promoteCost(); c <= headroom && (best < 0 || c < bestCost) {
-				best, bestCost = i, c
+			c := p.promoteCost()
+			if c > headroom {
+				continue
+			}
+			if phys := p.diskBytesPhysical(); best < 0 || phys < bestPhys {
+				best, bestCost, bestPhys = i, c, phys
 			}
 		}
 		if best < 0 {
@@ -722,6 +812,7 @@ type HybridLevelBuilder struct {
 	queue     *WriteQueue
 	blockSize int
 	tracker   *memtrack.Tracker
+	compress  Compression
 	gov       governor
 	parts     []hybridPartWriter
 	reserved  int64
@@ -735,14 +826,16 @@ type HybridLevelBuilder struct {
 // A positive pressureLimit lets the governor clear the flag once the
 // tracker's live bytes drop back under it, so a transient spike does not
 // condemn the whole remainder of the level to disk. Part files are created
-// lazily, only when a part actually migrates.
-func NewHybridLevelBuilder(dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker, memBudget int64, pressure *atomic.Bool, pressureLimit int64) (*HybridLevelBuilder, error) {
+// lazily, only when a part actually migrates. compress selects the on-disk
+// encoding of migrated parts; memory-resident parts always stay raw.
+func NewHybridLevelBuilder(dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker, memBudget int64, pressure *atomic.Bool, pressureLimit int64, compress Compression) (*HybridLevelBuilder, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	b := &HybridLevelBuilder{
 		dir: dir, level: level, queue: q, blockSize: blockSize, tracker: tracker,
-		parts: make([]hybridPartWriter, nparts),
+		compress: compress,
+		parts:    make([]hybridPartWriter, nparts),
 	}
 	b.gov.budget = memBudget
 	b.gov.pressure = pressure
@@ -990,13 +1083,20 @@ func (p *hybridPartWriter) migrate() error {
 	if err != nil {
 		return err
 	}
-	p.dw = diskPartWriter{q: b.queue, vf: vf, cf: cf, vbuf: b.queue.GetBuf(), cbuf: b.queue.GetBuf()}
+	p.dw = newDiskPartWriter(b.queue, vf, cf, newPartComp(b.compress))
 	// Bulk-drain the accumulated arrays: straight-line encodes into queue
 	// buffers (no per-group bookkeeping — this runs on the critical path of
 	// whichever worker triggered the migration), then seed the disk writer's
 	// counters and sparse index so subsequent appends continue seamlessly.
-	p.dw.vbuf = bulkEncode(b.queue, vf, p.dw.vbuf, p.verts)
-	p.dw.cbuf = bulkEncode(b.queue, cf, p.dw.cbuf, p.counts)
+	// The compressed path seals full codec blocks and leaves the partial
+	// tails open in the writer, so later appends extend the same blocks.
+	if p.dw.comp != nil {
+		p.dw.appendVertsComp(p.verts)
+		p.dw.appendCntsComp(p.counts)
+	} else {
+		p.dw.vbuf = bulkEncode(b.queue, vf, p.dw.vbuf, p.verts)
+		p.dw.cbuf = bulkEncode(b.queue, cf, p.dw.cbuf, p.counts)
+	}
 	p.dw.numVerts = len(p.verts)
 	p.dw.numGroups = len(p.counts)
 	var cum uint64
@@ -1124,17 +1224,20 @@ func (b *HybridLevelBuilder) Finish() (cse.LevelData, error) {
 			return nil, err
 		}
 	}
-	h := &HybridLevel{blockSize: b.blockSize, tracker: b.tracker}
+	h := &HybridLevel{blockSize: b.blockSize, tracker: b.tracker, comp: b.compress.enabled()}
 	sawPred, sawPlainNonEmpty := false, false
 	for i := range b.parts {
 		p := &b.parts[i]
 		hp := hybridPart{vertBase: h.totalVerts, groupBase: h.totalGroups}
 		if p.migrated {
-			if err := verifyPartFiles(p.dw.vf, p.dw.cf, p.dw.numVerts, p.dw.numGroups); err != nil {
+			if err := verifyPartFiles(p.dw.vf, p.dw.cf, p.dw.numVerts, p.dw.numGroups, p.dw.comp); err != nil {
 				b.Abort()
 				return nil, err
 			}
-			hp.vf, hp.cf, hp.chunkCum = p.dw.vf, p.dw.cf, p.dw.chunkCum
+			if b.tracker != nil {
+				b.tracker.SpillIO(int64(4*(p.dw.numVerts+p.dw.numGroups)), p.dw.physBytes())
+			}
+			hp.vf, hp.cf, hp.chunkCum, hp.comp = p.dw.vf, p.dw.cf, p.dw.chunkCum, p.dw.comp
 			hp.numVerts, hp.numGroups = p.dw.numVerts, p.dw.numGroups
 		} else {
 			hp.verts = p.verts

@@ -29,6 +29,7 @@ type DiskLevel struct {
 	pred        []cse.PredSeg
 	blockSize   int
 	tracker     *memtrack.Tracker
+	comp        bool // all parts share one representation
 	closed      bool
 }
 
@@ -42,6 +43,8 @@ type diskPartMeta struct {
 	groupBase int
 	// chunkCum[j] = number of children in this part's groups [0, j·CntChunk).
 	chunkCum []uint64
+	// comp is the compressed-block directory, nil for raw parts.
+	comp *partComp
 }
 
 // Len implements cse.LevelData.
@@ -58,14 +61,30 @@ func (d *DiskLevel) Predicted() []cse.PredSeg { return d.pred }
 func (d *DiskLevel) Bytes() int64 {
 	var b int64
 	for i := range d.parts {
-		b += int64(len(d.parts[i].chunkCum)) * 8
+		b += int64(len(d.parts[i].chunkCum))*8 + d.parts[i].comp.dirBytes()
 	}
 	return b + int64(len(d.pred))*16
 }
 
-// DiskBytes reports the on-disk footprint of the level.
+// DiskBytes reports the logical on-disk footprint of the level: the raw
+// word size of the spilled data, regardless of encoding.
 func (d *DiskLevel) DiskBytes() int64 {
 	return int64(d.totalVerts)*4 + int64(d.totalGroups)*4
+}
+
+// DiskBytesPhysical reports the bytes the level actually occupies on disk —
+// equal to DiskBytes for raw parts, smaller for compressed ones.
+func (d *DiskLevel) DiskBytesPhysical() int64 {
+	var b int64
+	for i := range d.parts {
+		pm := &d.parts[i]
+		if pm.comp != nil {
+			b += pm.comp.physVerts + pm.comp.physCnts
+		} else {
+			b += int64(pm.numVerts)*4 + int64(pm.numGroups)*4
+		}
+	}
+	return b
 }
 
 // NumParts reports how many parts the level was written in.
@@ -107,10 +126,12 @@ func (d *DiskLevel) partForGroup(g int) *diskPartMeta {
 
 // cntScratch pools the buffers of readCnts: ParentOf/GroupStart run once per
 // walker seeding — t workers per iteration — and previously allocated a fresh
-// byte buffer plus decode slice on every call.
+// byte buffer plus decode slice on every call. blk is the whole-block decode
+// buffer of the compressed paths.
 type cntScratch struct {
 	buf []byte
 	out []uint32
+	blk []uint32
 }
 
 var cntPool = sync.Pool{New: func() any { return new(cntScratch) }}
@@ -118,7 +139,7 @@ var cntPool = sync.Pool{New: func() any { return new(cntScratch) }}
 // readCnts reads the cnt entries [lo, hi) of a part into sc's buffers; the
 // returned slice is valid until sc is reused or returned to the pool.
 func (d *DiskLevel) readCnts(pm *diskPartMeta, lo, hi int, sc *cntScratch) ([]uint32, error) {
-	return readCntsAt(pm.cf, lo, hi, d.tracker, sc)
+	return readPartCnts(pm.cf, pm.comp, lo, hi, d.tracker, sc)
 }
 
 // readCntsAt reads cnt entries [lo, hi) of cf into sc's buffers; the returned
@@ -174,21 +195,15 @@ func (d *DiskLevel) ParentOf(i int) (int, error) {
 	return pm.groupBase + hi - 1, nil
 }
 
-// UnitAt implements cse.LevelData: one bounded 4-byte pread, no streaming
-// cursor or prefetch goroutine — the random access Extract needs.
+// UnitAt implements cse.LevelData: one bounded pread (a 4-byte word for raw
+// parts, one codec block for compressed ones), no streaming cursor or
+// prefetch goroutine — the random access Extract needs.
 func (d *DiskLevel) UnitAt(i int) (uint32, error) {
 	if i < 0 || i >= d.totalVerts {
 		return 0, fmt.Errorf("storage: unit %d out of range %d", i, d.totalVerts)
 	}
 	pm := d.partForVert(i)
-	var b [4]byte
-	if _, err := pm.vf.ReadAt(b[:], int64(4*(i-pm.vertBase))); err != nil {
-		return 0, fmt.Errorf("storage: vert read %d of %s: %w", i, pm.vf.Name(), err)
-	}
-	if d.tracker != nil {
-		d.tracker.ReadIO(4)
-	}
-	return binary.LittleEndian.Uint32(b[:]), nil
+	return readPartUnit(pm.vf, pm.comp, i-pm.vertBase, d.tracker)
 }
 
 // offAt returns the global offs value of group g (the global vert index
@@ -225,8 +240,13 @@ func (d *DiskLevel) GroupStart(g int) (uint64, error) {
 }
 
 // vertSpans returns the file byte ranges covering global verts [lo, hi).
-func (d *DiskLevel) vertSpans(lo, hi int) []fileSpan {
+// For compressed parts the spans are whole codec blocks and skip is how many
+// decoded values the reader must drop before the first requested unit (only
+// the first overlapping part can start mid-block; later parts begin
+// block-aligned).
+func (d *DiskLevel) vertSpans(lo, hi int) ([]fileSpan, int) {
 	var spans []fileSpan
+	skip := 0
 	for i := range d.parts {
 		pm := &d.parts[i]
 		s, e := pm.vertBase, pm.vertBase+pm.numVerts
@@ -234,14 +254,27 @@ func (d *DiskLevel) vertSpans(lo, hi int) []fileSpan {
 			continue
 		}
 		from, to := max(s, lo), min(e, hi)
-		spans = append(spans, fileSpan{f: pm.vf, off: int64(4 * (from - s)), n: int64(4 * (to - from))})
+		if pm.comp == nil {
+			spans = append(spans, fileSpan{f: pm.vf, off: int64(4 * (from - s)), n: int64(4 * (to - from))})
+			continue
+		}
+		b0 := (from - s) / codecBlockVals
+		b1 := (to - s - 1) / codecBlockVals
+		off := pm.comp.vOffs[b0]
+		if len(spans) == 0 {
+			skip = (from - s) - b0*codecBlockVals
+		}
+		spans = append(spans, fileSpan{f: pm.vf, off: off, n: pm.comp.vertEnd(b1) - off})
 	}
-	return spans
+	return spans, skip
 }
 
-// cntSpans returns the file byte ranges of all cnt entries from group first.
-func (d *DiskLevel) cntSpans(first int) []fileSpan {
+// cntSpans returns the file byte ranges of all cnt entries from group first,
+// with the leading-value skip of the compressed representation (see
+// vertSpans).
+func (d *DiskLevel) cntSpans(first int) ([]fileSpan, int) {
 	var spans []fileSpan
+	skip := 0
 	for i := range d.parts {
 		pm := &d.parts[i]
 		s, e := pm.groupBase, pm.groupBase+pm.numGroups
@@ -249,9 +282,18 @@ func (d *DiskLevel) cntSpans(first int) []fileSpan {
 			continue
 		}
 		from := max(s, first)
-		spans = append(spans, fileSpan{f: pm.cf, off: int64(4 * (from - s)), n: int64(4 * (e - from))})
+		if pm.comp == nil {
+			spans = append(spans, fileSpan{f: pm.cf, off: int64(4 * (from - s)), n: int64(4 * (e - from))})
+			continue
+		}
+		b0 := (from - s) / codecBlockVals
+		off := pm.comp.cOffs[b0]
+		if len(spans) == 0 {
+			skip = (from - s) - b0*codecBlockVals
+		}
+		spans = append(spans, fileSpan{f: pm.cf, off: off, n: pm.comp.physCnts - off})
 	}
-	return spans
+	return spans, skip
 }
 
 // VertBlocks implements cse.LevelData: it decodes whole prefetch blocks of
@@ -261,10 +303,12 @@ func (d *DiskLevel) VertBlocks(lo, hi int) cse.VertBlockCursor {
 	if lo >= hi {
 		return &diskVertBlocks{}
 	}
-	return &diskVertBlocks{
-		bs:        newBlockStream(d.vertSpans(lo, hi), d.blockSize, d.tracker),
-		remaining: hi - lo,
+	spans, skip := d.vertSpans(lo, hi)
+	bs := newBlockStream(spans, d.blockSize, d.tracker)
+	if d.comp {
+		return &compVertBlocks{bs: bs, skip: skip, remaining: hi - lo}
 	}
+	return &diskVertBlocks{bs: bs, remaining: hi - lo}
 }
 
 // BoundBlocks implements cse.LevelData: it decodes blocks of cnt entries
@@ -274,10 +318,12 @@ func (d *DiskLevel) BoundBlocks(first int) cse.BoundBlockCursor {
 	if err != nil {
 		return &diskBoundBlocks{err: err}
 	}
-	return &diskBoundBlocks{
-		bs:  newBlockStream(d.cntSpans(first), d.blockSize, d.tracker),
-		cum: base,
+	spans, skip := d.cntSpans(first)
+	bs := newBlockStream(spans, d.blockSize, d.tracker)
+	if d.comp {
+		return &compBoundBlocks{bs: bs, skip: skip, remaining: d.totalGroups - first, cum: base}
 	}
+	return &diskBoundBlocks{bs: bs, cum: base}
 }
 
 // VertCursor implements cse.LevelData as a unit-at-a-time view of VertBlocks.
@@ -396,16 +442,17 @@ type DiskLevelBuilder struct {
 	queue     *WriteQueue
 	tracker   *memtrack.Tracker
 	blockSize int
+	compress  Compression
 	parts     []diskPartWriter
 }
 
 // NewDiskLevelBuilder creates part files named L<level>.p<i>.{vert,cnt}
-// under dir.
-func NewDiskLevelBuilder(dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker) (*DiskLevelBuilder, error) {
+// under dir. compress selects the on-disk encoding of the parts.
+func NewDiskLevelBuilder(dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker, compress Compression) (*DiskLevelBuilder, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	b := &DiskLevelBuilder{queue: q, tracker: tracker, blockSize: blockSize, parts: make([]diskPartWriter, nparts)}
+	b := &DiskLevelBuilder{queue: q, tracker: tracker, blockSize: blockSize, compress: compress, parts: make([]diskPartWriter, nparts)}
 	for i := range b.parts {
 		vf, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("L%d.p%d.vert", level, i)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
@@ -419,7 +466,7 @@ func NewDiskLevelBuilder(dir string, level, nparts int, q *WriteQueue, blockSize
 			b.Abort()
 			return nil, err
 		}
-		b.parts[i] = diskPartWriter{q: q, vf: vf, cf: cf, vbuf: q.GetBuf(), cbuf: q.GetBuf()}
+		b.parts[i] = newDiskPartWriter(q, vf, cf, newPartComp(compress))
 	}
 	return b, nil
 }
@@ -437,7 +484,7 @@ func (b *DiskLevelBuilder) Finish() (cse.LevelData, error) {
 		b.Abort()
 		return nil, err
 	}
-	d := &DiskLevel{blockSize: b.blockSize, tracker: b.tracker}
+	d := &DiskLevel{blockSize: b.blockSize, tracker: b.tracker, comp: b.compress.enabled()}
 	pred := false
 	for i := range b.parts {
 		if b.parts[i].pred {
@@ -450,25 +497,18 @@ func (b *DiskLevelBuilder) Finish() (cse.LevelData, error) {
 			b.Abort()
 			return nil, fmt.Errorf("storage: mixed prediction state across parts")
 		}
-		for _, chk := range []struct {
-			f    *os.File
-			want int64
-		}{{p.vf, int64(4 * p.numVerts)}, {p.cf, int64(4 * p.numGroups)}} {
-			st, err := chk.f.Stat()
-			if err != nil {
-				b.Abort()
-				return nil, err
-			}
-			if st.Size() != chk.want {
-				b.Abort()
-				return nil, fmt.Errorf("storage: %s has %d bytes, want %d", chk.f.Name(), st.Size(), chk.want)
-			}
+		if err := verifyPartFiles(p.vf, p.cf, p.numVerts, p.numGroups, p.comp); err != nil {
+			b.Abort()
+			return nil, err
+		}
+		if b.tracker != nil {
+			b.tracker.SpillIO(int64(4*(p.numVerts+p.numGroups)), p.physBytes())
 		}
 		d.parts = append(d.parts, diskPartMeta{
 			vf: p.vf, cf: p.cf,
 			numVerts: p.numVerts, numGroups: p.numGroups,
 			vertBase: d.totalVerts, groupBase: d.totalGroups,
-			chunkCum: p.chunkCum,
+			chunkCum: p.chunkCum, comp: p.comp,
 		})
 		d.totalVerts += p.numVerts
 		d.totalGroups += p.numGroups
@@ -510,6 +550,17 @@ type diskPartWriter struct {
 	chunkCum   []uint64
 	acc        cse.PredAccum
 	pred       bool
+
+	// Compressed encoding state, unused when comp is nil: the open (not yet
+	// sealed) codec blocks and the per-part block directory being built.
+	comp           *partComp
+	vblock, cblock []uint32
+	enc, payload   []byte
+}
+
+// newDiskPartWriter wires a part writer to its files.
+func newDiskPartWriter(q *WriteQueue, vf, cf *os.File, comp *partComp) diskPartWriter {
+	return diskPartWriter{q: q, vf: vf, cf: cf, vbuf: q.GetBuf(), cbuf: q.GetBuf(), comp: comp}
 }
 
 // AppendGroup implements cse.PartWriter.
@@ -517,18 +568,23 @@ func (p *diskPartWriter) AppendGroup(children []uint32, preds []uint32) error {
 	if p.numGroups%CntChunk == 0 {
 		p.chunkCum = append(p.chunkCum, uint64(p.numVerts))
 	}
-	for _, c := range children {
-		if cap(p.vbuf)-len(p.vbuf) < 4 {
-			p.q.Submit(p.vf, p.vbuf)
-			p.vbuf = p.q.GetBuf()
+	if p.comp != nil {
+		p.appendVertsComp(children)
+		p.appendCntComp(uint32(len(children)))
+	} else {
+		for _, c := range children {
+			if cap(p.vbuf)-len(p.vbuf) < 4 {
+				p.q.Submit(p.vf, p.vbuf)
+				p.vbuf = p.q.GetBuf()
+			}
+			p.vbuf = binary.LittleEndian.AppendUint32(p.vbuf, c)
 		}
-		p.vbuf = binary.LittleEndian.AppendUint32(p.vbuf, c)
+		if cap(p.cbuf)-len(p.cbuf) < 4 {
+			p.q.Submit(p.cf, p.cbuf)
+			p.cbuf = p.q.GetBuf()
+		}
+		p.cbuf = binary.LittleEndian.AppendUint32(p.cbuf, uint32(len(children)))
 	}
-	if cap(p.cbuf)-len(p.cbuf) < 4 {
-		p.q.Submit(p.cf, p.cbuf)
-		p.cbuf = p.q.GetBuf()
-	}
-	p.cbuf = binary.LittleEndian.AppendUint32(p.cbuf, uint32(len(children)))
 	p.numVerts += len(children)
 	p.numGroups++
 	if preds != nil {
@@ -543,6 +599,18 @@ func (p *diskPartWriter) AppendGroup(children []uint32, preds []uint32) error {
 
 // Flush implements cse.PartWriter.
 func (p *diskPartWriter) Flush() error {
+	if p.comp != nil {
+		// Seal the partial tail blocks; the part is done growing.
+		if len(p.vblock) > 0 {
+			p.sealVertBlock()
+		}
+		if len(p.cblock) > 0 {
+			p.sealCntBlock()
+		}
+		poolPutU32(p.vblock)
+		poolPutU32(p.cblock)
+		p.vblock, p.cblock = nil, nil
+	}
 	p.q.Submit(p.vf, p.vbuf)
 	p.q.Submit(p.cf, p.cbuf)
 	p.vbuf, p.cbuf = nil, nil

@@ -8,6 +8,14 @@
 // prefetch cursors, so the I/O of the next window is hidden behind the
 // computation on the current one. DiskLevel remains as the all-disk level
 // representation (and the degenerate hybrid case of a zero budget).
+//
+// Spilled bytes are compressed by default (Compression, codec.go): vertex
+// IDs as group-varint zigzag deltas and group counts frame-of-reference
+// coded, in self-delimiting versioned blocks that decode whole-block into
+// the pooled prefetch buffers. Resident parts stay raw — the representation
+// follows the placement — and the per-part block directory gives the
+// cursors and the random-access readers block-granular seeks into the
+// compressed streams.
 package storage
 
 import (
@@ -26,7 +34,9 @@ const DefaultBufSize = 1 << 20
 
 // WriteQueue serializes buffer flushes from many writer goroutines onto one
 // I/O goroutine — the paper's "writing queue". Buffers are recycled through
-// a pool.
+// a pool. Compression happens on the writer side, not here: encoding on the
+// worker that just produced the values keeps the data cache-hot and scales
+// with the worker count, and the queue stays a pure byte sink.
 type WriteQueue struct {
 	jobs    chan wjob
 	wg      sync.WaitGroup

@@ -20,7 +20,7 @@ func buildBoth(t *testing.T, groups [][]uint32, nparts int, withPred bool) (*cse
 	t.Cleanup(func() { q.Close() })
 
 	mb := cse.NewMemLevelBuilder(nparts)
-	db, err := NewDiskLevelBuilder(t.TempDir(), 2, nparts, q, 128, tracker)
+	db, err := NewDiskLevelBuilder(t.TempDir(), 2, nparts, q, 128, tracker, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestFinishDetectsShortFiles(t *testing.T) {
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
 	dir := t.TempDir()
-	db, err := NewDiskLevelBuilder(dir, 3, 1, q, 0, tracker)
+	db, err := NewDiskLevelBuilder(dir, 3, 1, q, 0, tracker, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestEmptyParts(t *testing.T) {
 	tracker := memtrack.New()
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
-	db, err := NewDiskLevelBuilder(t.TempDir(), 2, 3, q, 0, tracker)
+	db, err := NewDiskLevelBuilder(t.TempDir(), 2, 3, q, 0, tracker, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +331,7 @@ func TestCloseRemovesFiles(t *testing.T) {
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
 	dir := t.TempDir()
-	db, err := NewDiskLevelBuilder(dir, 2, 2, q, 0, tracker)
+	db, err := NewDiskLevelBuilder(dir, 2, 2, q, 0, tracker, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +428,7 @@ func TestBlockCursorsAcrossEmptyParts(t *testing.T) {
 	tracker := memtrack.New()
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
-	db, err := NewDiskLevelBuilder(t.TempDir(), 2, 5, q, 64, tracker)
+	db, err := NewDiskLevelBuilder(t.TempDir(), 2, 5, q, 64, tracker, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}

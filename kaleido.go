@@ -54,6 +54,7 @@ import (
 	"kaleido/internal/explore"
 	"kaleido/internal/graph"
 	"kaleido/internal/memtrack"
+	"kaleido/internal/storage"
 )
 
 // Config tunes a mining run. The zero value runs fully in memory with one
@@ -82,11 +83,28 @@ type Config struct {
 	// extrapolate the latest sampled mean (0 = a sensible default, negative
 	// = predict every group exactly).
 	PredictSample int
+	// Compression selects the on-disk encoding of spilled level parts.
+	// The default (CompressionAuto) writes spilled parts with a versioned
+	// delta+varint block codec — typically 2-4× smaller than raw — while
+	// memory-resident parts stay raw; CompressionOff writes raw words.
+	Compression Compression
 	// Iso selects the isomorphism backend for pattern aggregation.
 	Iso IsoAlgo
 	// Stats, when non-nil, receives memory and I/O accounting.
 	Stats *Stats
 }
+
+// Compression selects the on-disk encoding of spilled CSE level parts.
+type Compression int
+
+const (
+	// CompressionAuto (the default) compresses spilled parts with the
+	// delta+varint block codec; data kept in memory stays raw, so the
+	// encoding follows placement.
+	CompressionAuto Compression = iota
+	// CompressionOff spills raw little-endian words (the pre-codec format).
+	CompressionOff
+)
 
 // IsoAlgo selects the isomorphism backend.
 type IsoAlgo int
@@ -116,9 +134,14 @@ type Stats struct {
 	// the spilling was.
 	SpilledLevels, SpilledParts int
 	// PromotedParts counts disk parts loaded back into memory after an
-	// in-place filter shrank their level under the (shared) budget
-	// watermark.
+	// in-place filter or a pop shrank the resident total under the (shared)
+	// budget watermark.
 	PromotedParts int
+	// SpilledBytes is the logical size (raw word bytes) of the spilled
+	// parts; SpilledBytesPhysical is what those parts actually occupied on
+	// disk. They are equal with CompressionOff; with the default codec the
+	// physical count is typically 2-4× smaller.
+	SpilledBytes, SpilledBytesPhysical int64
 }
 
 func (c Config) appOptions() (apps.Options, *memtrack.Tracker) {
@@ -135,6 +158,7 @@ func (c Config) appOptionsWith(tracker *memtrack.Tracker) (apps.Options, *memtra
 		SpillWatermark: c.SpillWatermark,
 		Predict:        c.Predict,
 		PredictSample:  c.PredictSample,
+		Compression:    storage.Compression(c.Compression),
 		Iso:            apps.IsoAlgo(c.Iso),
 		Tracker:        tracker,
 	}
@@ -153,6 +177,7 @@ func (c Config) finish(tracker *memtrack.Tracker, spill *apps.SpillInfo) {
 	if spill != nil {
 		c.Stats.SpilledLevels, c.Stats.SpilledParts = spill.SpilledLevels, spill.SpilledParts
 		c.Stats.PromotedParts = spill.PromotedParts
+		c.Stats.SpilledBytes, c.Stats.SpilledBytesPhysical = spill.SpilledBytes, spill.SpilledBytesPhysical
 	}
 }
 
@@ -247,6 +272,9 @@ func (c Config) validate() error {
 	}
 	if c.Iso < IsoEigen || c.Iso > IsoEigenExact {
 		return fmt.Errorf("kaleido: unknown Iso backend %d", c.Iso)
+	}
+	if c.Compression < CompressionAuto || c.Compression > CompressionOff {
+		return fmt.Errorf("kaleido: unknown Compression mode %d", c.Compression)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"kaleido/internal/explore"
 	"kaleido/internal/memtrack"
 	"kaleido/internal/pattern"
+	"kaleido/internal/storage"
 )
 
 // Mode selects the exploration unit for a custom Miner.
@@ -61,6 +62,7 @@ func newMiner(ctx context.Context, g *Graph, mode Mode, cfg Config, tracker *mem
 		SpillWatermark: cfg.SpillWatermark,
 		Predict:        cfg.Predict,
 		PredictSample:  cfg.PredictSample,
+		Compression:    storage.Compression(cfg.Compression),
 		Tracker:        tracker,
 	})
 	if err != nil {
@@ -144,6 +146,15 @@ func (m *Miner) SpilledParts() int { return m.e.SpilledParts() }
 // memory after an in-place FilterTop left the (shared) budget with headroom.
 func (m *Miner) PromotedParts() int { return m.e.PromotedParts() }
 
+// SpilledBytes reports the logical size (raw word bytes) of every part the
+// run migrated to disk, cumulatively.
+func (m *Miner) SpilledBytes() int64 { return m.e.SpilledBytes() }
+
+// SpilledBytesPhysical reports what those parts actually occupied on disk —
+// equal to SpilledBytes with CompressionOff, typically 2-4× smaller with the
+// default delta+varint spill codec.
+func (m *Miner) SpilledBytesPhysical() int64 { return m.e.SpilledBytesPhysical() }
+
 // LevelStat describes the storage placement of one live CSE level.
 type LevelStat struct {
 	// Len and Groups are the level's embedding and parent-group counts.
@@ -151,8 +162,10 @@ type LevelStat struct {
 	// MemParts and DiskParts count the level's parts by residency.
 	MemParts, DiskParts int
 	// ResidentBytes is the in-memory footprint (arrays plus the sparse
-	// indexes of disk parts); DiskBytes is the on-disk footprint.
-	ResidentBytes, DiskBytes int64
+	// indexes of disk parts); DiskBytes is the logical on-disk footprint
+	// (raw word size); DiskBytesPhysical is the bytes the disk parts
+	// actually occupy — smaller than DiskBytes when spill compression is on.
+	ResidentBytes, DiskBytes, DiskBytesPhysical int64
 }
 
 // LevelStats reports the placement of every live CSE level, base first —
@@ -165,6 +178,7 @@ func (m *Miner) LevelStats() []LevelStat {
 			Len: s.Len, Groups: s.Groups,
 			MemParts: s.MemParts, DiskParts: s.DiskParts,
 			ResidentBytes: s.ResidentBytes, DiskBytes: s.DiskBytes,
+			DiskBytesPhysical: s.DiskBytesPhysical,
 		}
 	}
 	return out
