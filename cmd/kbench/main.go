@@ -14,6 +14,13 @@
 // N concurrent runs sharing one memory budget through a kaleido.Engine,
 // with the combined resident peak the arbiter recorded. See EXPERIMENTS.md
 // for the paper-vs-measured record.
+//
+// `kbench -faults` runs the fault-injection campaign instead: a seeded
+// vfs.FaultFS injects transient spill faults (EIO, short writes) across the
+// three storage regimes and the campaign verifies the retry layer absorbed
+// them without changing any count, then demonstrates the hard-fault contract
+// (bit-flip corruption → ErrSpillCorrupt, full device → ErrNoSpace). Tune it
+// with -fault-p and -fault-seed.
 package main
 
 import (
@@ -33,6 +40,9 @@ func main() {
 	spill := flag.String("spill", os.TempDir(), "scratch directory for hybrid storage")
 	watermark := flag.Float64("watermark", 0, "spill watermark as a fraction of the memory budget (0 = engine default)")
 	predictSample := flag.Int("predict-sample", 0, "exactly-predicted groups per chunk for §4.2 prediction (0 = engine default, -1 = every group)")
+	faults := flag.Bool("faults", false, "run the fault-injection campaign (shorthand for -exp faults)")
+	faultP := flag.Float64("fault-p", 0, "per-op probability of each transient fault class in the faults campaign (0 = default 0.01)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault schedule seed (0 = default 42)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -49,9 +59,13 @@ func main() {
 		Quick:          *quick,
 		SpillWatermark: *watermark,
 		PredictSample:  *predictSample,
+		FaultP:         *faultP,
+		FaultSeed:      *faultSeed,
 	}
 	ids := []string{*exp}
-	if *exp == "all" {
+	if *faults {
+		ids = []string{"faults"}
+	} else if *exp == "all" {
 		ids = bench.Experiments()
 	}
 	for _, id := range ids {

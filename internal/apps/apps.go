@@ -25,6 +25,7 @@ import (
 	"kaleido/internal/memtrack"
 	"kaleido/internal/pattern"
 	"kaleido/internal/storage"
+	"kaleido/internal/storage/vfs"
 )
 
 // IsoAlgo selects the isomorphism backend of the pattern aggregation phase.
@@ -54,8 +55,11 @@ type Options struct {
 	// Compression selects the on-disk encoding of spilled level parts
 	// (storage.CompressionAuto compresses spill files; memory stays raw).
 	Compression storage.Compression
-	Iso         IsoAlgo
-	Tracker     *memtrack.Tracker
+	// FS routes all spill I/O; nil means the real filesystem. Fault
+	// campaigns inject a vfs.FaultFS here.
+	FS      vfs.FS
+	Iso     IsoAlgo
+	Tracker *memtrack.Tracker
 	// Spill, when non-nil, receives the run's part-level spill accounting.
 	Spill *SpillInfo
 }
@@ -84,6 +88,7 @@ func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config
 		Predict:        o.Predict, PredictSample: o.PredictSample,
 		BufSize: o.BufSize, BlockSize: o.BlockSize,
 		Compression: o.Compression,
+		FS:          o.FS,
 		Tracker:     o.Tracker,
 	}
 }

@@ -35,6 +35,13 @@ type RunConfig struct {
 	// sweep the governor watermark and the §4.2 sampling budget.
 	SpillWatermark float64
 	PredictSample  int
+
+	// FaultP and FaultSeed parameterize the "faults" campaign: the
+	// per-operation probability of each transient fault class (EIO read,
+	// EIO write, short write) and the deterministic schedule seed.
+	// Zero values mean p=0.01, seed 42.
+	FaultP    float64
+	FaultSeed int64
 }
 
 // Result is one rendered experiment artifact.
@@ -80,7 +87,7 @@ func (r Result) Render() string {
 // Experiments lists the available experiment ids in paper order, followed by
 // the engine experiments that go beyond the paper's evaluation.
 func Experiments() []string {
-	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks", "compress", "concurrent"}
+	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks", "compress", "concurrent", "faults"}
 }
 
 // Run executes one experiment by id.
@@ -110,6 +117,8 @@ func Run(id string, cfg RunConfig) ([]Result, error) {
 		return compress(cfg)
 	case "concurrent":
 		return concurrent(cfg)
+	case "faults":
+		return faults(cfg)
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
 	}

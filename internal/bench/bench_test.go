@@ -7,7 +7,7 @@ import (
 
 func TestExperimentsListed(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 12 {
+	if len(ids) != 13 {
 		t.Fatalf("experiments = %v", ids)
 	}
 	if _, err := Run("nope", RunConfig{}); err == nil {
@@ -37,6 +37,32 @@ func TestGeomean(t *testing.T) {
 	}
 	if geomean(nil) != 0 {
 		t.Fatal("empty geomean not 0")
+	}
+}
+
+// TestFaultsSmoke runs the fault-injection campaign end to end at -quick
+// scale: transient faults must be absorbed with identical counts, and the two
+// hard faults must dispatch through the right sentinel.
+func TestFaultsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	res, err := Run("faults", RunConfig{Threads: 4, Quick: true, CacheDir: t.TempDir(), SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %+v", res)
+	}
+	for _, row := range res[0].Rows {
+		if got := row[len(row)-1]; got != "yes" {
+			t.Fatalf("regime %s not identical under transient faults: %v", row[0], row)
+		}
+	}
+	for _, row := range res[1].Rows {
+		if got := row[2]; got != "true" {
+			t.Fatalf("hard fault %s missed its sentinel: %v", row[0], row)
+		}
 	}
 }
 

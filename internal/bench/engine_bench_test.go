@@ -403,6 +403,14 @@ func TestEmitExpandBenchSnapshot(t *testing.T) {
 // comparable to the snapshot machine (recorded in the snapshot's "cpu"
 // field). On persistently slower hardware, widen KALEIDO_BENCH_TOLERANCE
 // (default 1.30) rather than regenerating the snapshot.
+//
+// The vertex-d3-disk and vertex-d3-hybrid cases run the full hardened spill
+// path: since format version 2 every compressed block carries a CRC32C that
+// is verified on every decode, and all file access goes through the vfs
+// seam. The guard therefore prices checksummed decode (and the seam's
+// indirection) into the same regression budget as the rest of the read
+// path — a checksum implementation that fell off its hardware-accelerated
+// fast path would fail here, not just slow CI down silently.
 func TestBenchThroughputGuard(t *testing.T) {
 	path := os.Getenv("KALEIDO_BENCH_GUARD")
 	if path == "" {

@@ -17,8 +17,8 @@ package explore
 import (
 	"context"
 	"fmt"
-	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +26,7 @@ import (
 	"kaleido/internal/graph"
 	"kaleido/internal/memtrack"
 	"kaleido/internal/storage"
+	"kaleido/internal/storage/vfs"
 )
 
 // Mode selects the exploration unit (§1.1: vertex-induced expansion adds one
@@ -92,6 +93,10 @@ type Config struct {
 	// disk; memory-resident parts always stay raw.
 	Compression storage.Compression
 
+	// FS is the filesystem the spill path goes through. nil means the real
+	// one (vfs.OS); tests and fault campaigns inject a vfs.FaultFS here.
+	FS vfs.FS
+
 	Tracker *memtrack.Tracker // optional instrumentation
 }
 
@@ -107,6 +112,7 @@ const DefaultPredictSample = 128
 // owning the CSE and its spilled levels.
 type Explorer struct {
 	cfg           Config
+	fs            vfs.FS // resolved cfg.FS (never nil)
 	c             *cse.CSE
 	queue         *storage.WriteQueue
 	runDir        string // per-run spill subdirectory (concurrent runs may share SpillDir)
@@ -218,12 +224,12 @@ func New(cfg Config) (*Explorer, error) {
 	if cfg.SpillWatermark < 0 || cfg.SpillWatermark > 1 {
 		return nil, fmt.Errorf("explore: spill watermark %v outside [0, 1]", cfg.SpillWatermark)
 	}
-	e := &Explorer{cfg: cfg, scratch: make([]workerScratch, cfg.Threads)}
+	e := &Explorer{cfg: cfg, fs: vfs.OrOS(cfg.FS), scratch: make([]workerScratch, cfg.Threads)}
 	if cfg.MemoryBudget > 0 {
 		// Spill into a private subdirectory: concurrent runs (e.g. vended by
 		// one budget-sharing engine) may point at the same SpillDir, and the
 		// level files are named only by sequence within a run.
-		dir, err := os.MkdirTemp(cfg.SpillDir, "run-")
+		dir, err := e.fs.MkdirTemp(cfg.SpillDir, "run-")
 		if err != nil {
 			return nil, fmt.Errorf("explore: spill dir: %w", err)
 		}
@@ -478,7 +484,7 @@ func (e *Explorer) Close() error {
 		// Belt and braces: the levels and builders remove their own files;
 		// the run directory itself (and anything a crashed rewrite left
 		// behind) goes with it.
-		if err := os.RemoveAll(e.runDir); err != nil && first == nil {
+		if err := e.fs.RemoveAll(e.runDir); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -550,7 +556,7 @@ func (e *Explorer) hybridBuilderFor(nparts int, baseBytes int64) (*storage.Hybri
 	budget := e.buildBudget(baseBytes)
 	if e.hybridBuilder == nil {
 		hb, err := storage.NewHybridLevelBuilder(
-			e.runDir, e.levelSeq, nparts, e.queue, e.cfg.BlockSize, e.cfg.Tracker,
+			e.fs, e.runDir, e.levelSeq, nparts, e.queue, e.cfg.BlockSize, e.cfg.Tracker,
 			budget, &e.pressure, e.watermarkBytes(), e.cfg.Compression)
 		if err != nil {
 			return nil, err
@@ -1000,6 +1006,11 @@ func partitionSegs(segs []cse.PredSeg, n, p int) []int {
 // ctx before every chunk pull and abort with ctx.Err() once it is done, so a
 // cancelled operation stops within one chunk's work (plus the finer-grained
 // polls the chunk bodies run themselves).
+//
+// A panicking chunk (a user callback, or a bug in a walker) is recovered
+// into an error instead of crashing the process: the operation fails like
+// any other error, the caller's abort path reclaims the partial output, and
+// sibling runs sharing the engine stay unaffected.
 func (e *Explorer) runParallel(ctx context.Context, nchunks int, fn func(worker, chunk int) error) error {
 	threads := e.cfg.Threads
 	if threads > nchunks {
@@ -1016,6 +1027,12 @@ func (e *Explorer) runParallel(ctx context.Context, nchunks int, fn func(worker,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("explore: worker %d panic: %v\n%s", w, r, debug.Stack())
+					cancel.Store(true)
+				}
+			}()
 			for !cancel.Load() {
 				if err := ctxErr(ctx); err != nil {
 					errs[w] = err

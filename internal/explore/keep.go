@@ -11,6 +11,7 @@ package explore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"kaleido/internal/cse"
@@ -206,8 +207,7 @@ func (e *Explorer) hybridKeepSink(top *storage.HybridLevel) (*KeepSink, error) {
 	for i := 0; i < nparts; i++ {
 		r, err := top.RewritePart(i, e.queue)
 		if err != nil {
-			top.AbortRewrite(rws)
-			return nil, err
+			return nil, errors.Join(err, top.AbortRewrite(rws))
 		}
 		rws[i] = r
 		writers[i] = r

@@ -38,6 +38,11 @@ type Tracker struct {
 	spillLogical  atomic.Int64
 	spillPhysical atomic.Int64
 
+	// ioRetries counts transient spill I/O errors that were retried (each
+	// backoff sleep is one retry) — the robustness counter behind
+	// Stats.IORetries.
+	ioRetries atomic.Int64
+
 	// marks is a copy-on-write list of high-water callbacks; Alloc/Free read
 	// it with one atomic load so untriggered watermarks cost nothing on the
 	// hot path.
@@ -232,6 +237,17 @@ func (t *Tracker) SpillIO(logical, physical int64) {
 	t.spillPhysical.Add(physical)
 }
 
+// NoteIORetry records one retried transient spill I/O error.
+func (t *Tracker) NoteIORetry() {
+	if t.parent != nil {
+		t.parent.ioRetries.Add(1)
+	}
+	t.ioRetries.Add(1)
+}
+
+// IORetries returns the cumulative count of retried transient I/O errors.
+func (t *Tracker) IORetries() int64 { return t.ioRetries.Load() }
+
 // SpillTotals returns cumulative (logical, physical) spilled bytes.
 func (t *Tracker) SpillTotals() (logical, physical int64) {
 	return t.spillLogical.Load(), t.spillPhysical.Load()
@@ -266,6 +282,7 @@ func (t *Tracker) Reset() {
 	t.writeBytes.Store(0)
 	t.spillLogical.Store(0)
 	t.spillPhysical.Store(0)
+	t.ioRetries.Store(0)
 	<-t.sampleMu
 	t.samples = nil
 	t.sampleMu <- struct{}{}

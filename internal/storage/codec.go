@@ -3,11 +3,12 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"math/bits"
-	"os"
 
 	"kaleido/internal/memtrack"
+	"kaleido/internal/storage/vfs"
 )
 
 // Compression selects the on-disk encoding of spilled level parts.
@@ -30,7 +31,14 @@ func (c Compression) enabled() bool { return c != CompressionOff }
 // The compressed on-disk format is a sequence of self-delimiting blocks of
 // codecBlockVals values each (the last block of a file may hold fewer):
 //
-//	[1 byte version][uvarint count][uvarint payloadLen][payload]
+//	[1 byte version][uvarint count][uvarint payloadLen][4-byte LE CRC32C][payload]
+//
+// The CRC32C (Castagnoli, hardware-accelerated on amd64/arm64) covers the
+// payload bytes and is verified on every whole-block decode, so a flipped
+// bit on disk surfaces as a typed corruption error instead of a misdecode.
+// Version 2 added the checksum field; version-1 blocks (the pre-checksum
+// format) are cleanly rejected — spill files are single-run scratch, never
+// read across versions, so no compatibility decode path exists.
 //
 // A vert payload is the block's first value as a uvarint followed by the
 // remaining count-1 values as zigzag deltas (mod 2³²) in group-varint: one
@@ -49,7 +57,7 @@ func (c Compression) enabled() bool { return c != CompressionOff }
 // a hard error: readers written today must refuse data written by a newer
 // format instead of misdecoding it.
 const (
-	codecVersion = 1
+	codecVersion = 2
 	// codecBlockVals is the number of values per compressed block. It
 	// equals CntChunk so every sparse-index entry falls on a cnt block
 	// boundary: the bounded cnt read behind ParentOf/GroupStart touches
@@ -60,6 +68,11 @@ const (
 	// before trusting their length field.
 	maxCodecPayload = 5 * (codecBlockVals + 1)
 )
+
+// castagnoli is the CRC32C table: crc32.Checksum with it uses the SSE4.2 /
+// ARMv8 CRC instructions, so the per-block checksum is nanoseconds, not a
+// measurable cost against the ±3% throughput guard.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // partComp is the block directory of one compressed part: the physical file
 // offset where each block starts, plus the physical file sizes. Logical
@@ -241,6 +254,7 @@ func appendVertBlock(dst []byte, vals []uint32, scratch *[]byte) []byte {
 	dst = append(dst, codecVersion)
 	dst = binary.AppendUvarint(dst, uint64(len(vals)))
 	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(s[:n], castagnoli))
 	return append(dst, s[:n]...)
 }
 
@@ -274,19 +288,23 @@ func appendCntBlock(dst []byte, vals []uint32, scratch *[]byte) []byte {
 	dst = append(dst, codecVersion)
 	dst = binary.AppendUvarint(dst, uint64(len(vals)))
 	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(s[:n], castagnoli))
 	return append(dst, s[:n]...)
 }
 
 // decodeCodecBlock decodes one complete block from the front of buf into
-// dst (cap ≥ codecBlockVals). It returns the decoded values and the bytes
-// consumed, or consumed == 0 with a nil error when buf holds only a partial
-// block — the streaming cursors then pull more bytes and retry.
+// dst (cap ≥ codecBlockVals), verifying the payload CRC32C before trusting a
+// single byte of it. It returns the decoded values and the bytes consumed,
+// or consumed == 0 with a nil error when buf holds only a partial block —
+// the streaming cursors then pull more bytes and retry. Validation errors
+// are plain; callers wrap them into CorruptError with the file and block
+// coordinates they alone know.
 func decodeCodecBlock(buf []byte, vert bool, dst []uint32) ([]uint32, int, error) {
 	if len(buf) == 0 {
 		return nil, 0, nil
 	}
 	if buf[0] != codecVersion {
-		return nil, 0, fmt.Errorf("storage: unknown compressed block version %d (want %d); refusing to decode", buf[0], codecVersion)
+		return nil, 0, fmt.Errorf("unknown compressed block version %d (want %d); refusing to decode", buf[0], codecVersion)
 	}
 	p := 1
 	count, n := binary.Uvarint(buf[p:])
@@ -294,7 +312,7 @@ func decodeCodecBlock(buf []byte, vert bool, dst []uint32) ([]uint32, int, error
 		return nil, 0, nil
 	}
 	if n < 0 || count > codecBlockVals {
-		return nil, 0, fmt.Errorf("storage: corrupt compressed block: count %d exceeds %d", count, codecBlockVals)
+		return nil, 0, fmt.Errorf("count %d exceeds %d", count, codecBlockVals)
 	}
 	p += n
 	plen, n := binary.Uvarint(buf[p:])
@@ -302,13 +320,21 @@ func decodeCodecBlock(buf []byte, vert bool, dst []uint32) ([]uint32, int, error
 		return nil, 0, nil
 	}
 	if n < 0 || plen > maxCodecPayload {
-		return nil, 0, fmt.Errorf("storage: corrupt compressed block: payload length %d exceeds %d", plen, maxCodecPayload)
+		return nil, 0, fmt.Errorf("payload length %d exceeds %d", plen, maxCodecPayload)
 	}
 	p += n
+	if len(buf)-p < 4 {
+		return nil, 0, nil
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[p:])
+	p += 4
 	if uint64(len(buf)-p) < plen {
 		return nil, 0, nil
 	}
 	payload := buf[p : p+int(plen)]
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return nil, 0, fmt.Errorf("checksum mismatch: payload CRC32C %08x, header says %08x", got, wantCRC)
+	}
 	var err error
 	if vert {
 		err = decodeVertPayload(payload, dst[:count])
@@ -524,6 +550,11 @@ type compVertBlocks struct {
 	skip      int
 	remaining int
 	err       error
+	// path and blk locate decode failures: the file the streamed range
+	// starts in and the running block index within that range, attached to
+	// the CorruptError a bad block surfaces as.
+	path string
+	blk  int
 }
 
 func (c *compVertBlocks) NextBlock() ([]uint32, bool) {
@@ -536,11 +567,12 @@ func (c *compVertBlocks) NextBlock() ([]uint32, bool) {
 	for {
 		vals, consumed, err := decodeCodecBlock(c.carry.rest(), true, c.dec[:codecBlockVals])
 		if err != nil {
-			c.err = err
+			c.err = corruptAt(c.path, c.blk, err)
 			return nil, false
 		}
 		if consumed > 0 {
 			c.carry.consume(consumed)
+			c.blk++
 			if c.skip >= len(vals) {
 				c.skip -= len(vals)
 				continue
@@ -561,7 +593,7 @@ func (c *compVertBlocks) NextBlock() ([]uint32, bool) {
 			if err := c.bs.Err(); err != nil {
 				c.err = err
 			} else {
-				c.err = fmt.Errorf("storage: truncated compressed vert stream (%d units missing)", c.remaining)
+				c.err = corruptAt(c.path, c.blk, fmt.Errorf("truncated compressed vert stream (%d units missing)", c.remaining))
 			}
 			return nil, false
 		}
@@ -598,6 +630,9 @@ type compBoundBlocks struct {
 	remaining int
 	cum       uint64
 	err       error
+	// path/blk: see compVertBlocks.
+	path string
+	blk  int
 }
 
 func (c *compBoundBlocks) NextBlock() ([]uint64, bool) {
@@ -610,11 +645,12 @@ func (c *compBoundBlocks) NextBlock() ([]uint64, bool) {
 	for {
 		vals, consumed, err := decodeCodecBlock(c.carry.rest(), false, c.dec[:codecBlockVals])
 		if err != nil {
-			c.err = err
+			c.err = corruptAt(c.path, c.blk, err)
 			return nil, false
 		}
 		if consumed > 0 {
 			c.carry.consume(consumed)
+			c.blk++
 			if c.skip >= len(vals) {
 				c.skip -= len(vals)
 				continue
@@ -645,7 +681,7 @@ func (c *compBoundBlocks) NextBlock() ([]uint64, bool) {
 			if err := c.bs.Err(); err != nil {
 				c.err = err
 			} else {
-				c.err = fmt.Errorf("storage: truncated compressed cnt stream (%d groups missing)", c.remaining)
+				c.err = corruptAt(c.path, c.blk, fmt.Errorf("truncated compressed cnt stream (%d groups missing)", c.remaining))
 			}
 			return nil, false
 		}
@@ -672,7 +708,7 @@ func (c *compBoundBlocks) Close() error {
 
 // readPartCnts dispatches a bounded cnt read between the raw and compressed
 // representations of a part.
-func readPartCnts(cf *os.File, comp *partComp, lo, hi int, tracker *memtrack.Tracker, sc *cntScratch) ([]uint32, error) {
+func readPartCnts(cf vfs.File, comp *partComp, lo, hi int, tracker *memtrack.Tracker, sc *cntScratch) ([]uint32, error) {
 	if comp == nil {
 		return readCntsAt(cf, lo, hi, tracker, sc)
 	}
@@ -685,8 +721,8 @@ func readPartCnts(cf *os.File, comp *partComp, lo, hi int, tracker *memtrack.Tra
 		sc.buf = make([]byte, n)
 	}
 	buf := sc.buf[:n]
-	if _, err := cf.ReadAt(buf, off); err != nil {
-		return nil, fmt.Errorf("storage: cnt read [%d,%d) of %s: %w", lo, hi, cf.Name(), err)
+	if err := retryReadAt(cf, buf, off, nil, tracker); err != nil {
+		return nil, err
 	}
 	if tracker != nil {
 		tracker.ReadIO(int64(n))
@@ -703,10 +739,10 @@ func readPartCnts(cf *os.File, comp *partComp, lo, hi int, tracker *memtrack.Tra
 	for b := b0; b <= b1; b++ {
 		vals, consumed, err := decodeCodecBlock(buf[pos:], false, sc.blk[:codecBlockVals])
 		if err != nil {
-			return nil, fmt.Errorf("storage: cnt block %d of %s: %w", b, cf.Name(), err)
+			return nil, corruptAt(cf.Name(), b, err)
 		}
 		if consumed == 0 {
-			return nil, fmt.Errorf("storage: cnt block %d of %s: truncated", b, cf.Name())
+			return nil, corruptAt(cf.Name(), b, fmt.Errorf("truncated cnt block"))
 		}
 		pos += consumed
 		start := lo - b*codecBlockVals
@@ -723,18 +759,18 @@ func readPartCnts(cf *os.File, comp *partComp, lo, hi int, tracker *memtrack.Tra
 	}
 	sc.out = out
 	if len(out) != want {
-		return nil, fmt.Errorf("storage: cnt blocks [%d,%d] of %s decoded %d entries, want %d", b0, b1, cf.Name(), len(out), want)
+		return nil, corruptAt(cf.Name(), b0, fmt.Errorf("cnt blocks [%d,%d] decoded %d entries, want %d", b0, b1, len(out), want))
 	}
 	return out, nil
 }
 
 // readPartUnit dispatches a single-unit vert read: one 4-byte pread for raw
 // parts, one block read+decode for compressed parts.
-func readPartUnit(vf *os.File, comp *partComp, li int, tracker *memtrack.Tracker) (uint32, error) {
+func readPartUnit(vf vfs.File, comp *partComp, li int, tracker *memtrack.Tracker) (uint32, error) {
 	if comp == nil {
 		var b [4]byte
-		if _, err := vf.ReadAt(b[:], int64(4*li)); err != nil {
-			return 0, fmt.Errorf("storage: vert read %d of %s: %w", li, vf.Name(), err)
+		if err := retryReadAt(vf, b[:], int64(4*li), nil, tracker); err != nil {
+			return 0, err
 		}
 		if tracker != nil {
 			tracker.ReadIO(4)
@@ -751,8 +787,8 @@ func readPartUnit(vf *os.File, comp *partComp, li int, tracker *memtrack.Tracker
 		sc.buf = make([]byte, n)
 	}
 	buf := sc.buf[:n]
-	if _, err := vf.ReadAt(buf, off); err != nil {
-		return 0, fmt.Errorf("storage: vert read %d of %s: %w", li, vf.Name(), err)
+	if err := retryReadAt(vf, buf, off, nil, tracker); err != nil {
+		return 0, err
 	}
 	if tracker != nil {
 		tracker.ReadIO(int64(n))
@@ -762,14 +798,14 @@ func readPartUnit(vf *os.File, comp *partComp, li int, tracker *memtrack.Tracker
 	}
 	vals, consumed, err := decodeCodecBlock(buf, true, sc.blk[:codecBlockVals])
 	if err != nil {
-		return 0, fmt.Errorf("storage: vert block %d of %s: %w", b, vf.Name(), err)
+		return 0, corruptAt(vf.Name(), b, err)
 	}
 	if consumed == 0 {
-		return 0, fmt.Errorf("storage: vert block %d of %s: truncated", b, vf.Name())
+		return 0, corruptAt(vf.Name(), b, fmt.Errorf("truncated vert block"))
 	}
 	k := li - b*codecBlockVals
 	if k >= len(vals) {
-		return 0, fmt.Errorf("storage: vert block %d of %s holds %d units, need index %d", b, vf.Name(), len(vals), k)
+		return 0, corruptAt(vf.Name(), b, fmt.Errorf("block holds %d units, need index %d", len(vals), k))
 	}
 	return vals[k], nil
 }
@@ -777,35 +813,36 @@ func readPartUnit(vf *os.File, comp *partComp, li int, tracker *memtrack.Tracker
 // readCompFile reads a whole compressed part file (phys bytes) and decodes
 // every block into dst, whose length must equal the part's logical value
 // count — the bulk load behind PromotePart.
-func readCompFile(f *os.File, phys int64, vert bool, dst []uint32) error {
+func readCompFile(f vfs.File, phys int64, vert bool, dst []uint32) error {
 	if phys == 0 {
 		if len(dst) != 0 {
-			return fmt.Errorf("storage: empty compressed file, want %d values", len(dst))
+			return corruptAt(f.Name(), 0, fmt.Errorf("empty compressed file, want %d values", len(dst)))
 		}
 		return nil
 	}
 	buf := make([]byte, phys)
-	if _, err := f.ReadAt(buf, 0); err != nil {
+	if err := retryReadAt(f, buf, 0, nil, nil); err != nil {
 		return err
 	}
 	blk := make([]uint32, codecBlockVals)
-	pos, got := 0, 0
+	pos, got, b := 0, 0, 0
 	for pos < len(buf) {
 		vals, consumed, err := decodeCodecBlock(buf[pos:], vert, blk)
 		if err != nil {
-			return err
+			return corruptAt(f.Name(), b, err)
 		}
 		if consumed == 0 {
-			return fmt.Errorf("storage: truncated compressed block at byte %d", pos)
+			return corruptAt(f.Name(), b, fmt.Errorf("truncated compressed block at byte %d", pos))
 		}
 		pos += consumed
+		b++
 		if got+len(vals) > len(dst) {
-			return fmt.Errorf("storage: compressed file decodes past %d values", len(dst))
+			return corruptAt(f.Name(), b-1, fmt.Errorf("compressed file decodes past %d values", len(dst)))
 		}
 		got += copy(dst[got:], vals)
 	}
 	if got != len(dst) {
-		return fmt.Errorf("storage: compressed file decoded %d values, want %d", got, len(dst))
+		return corruptAt(f.Name(), b, fmt.Errorf("compressed file decoded %d values, want %d", got, len(dst)))
 	}
 	return nil
 }
@@ -813,7 +850,7 @@ func readCompFile(f *os.File, phys int64, vert bool, dst []uint32) error {
 // appendQueueBytes copies data into the open queue buffer, submitting and
 // replacing it as it fills — the write-behind seam the codec shares with the
 // raw bulkEncode path.
-func appendQueueBytes(q *WriteQueue, f *os.File, buf, data []byte) []byte {
+func appendQueueBytes(q *WriteQueue, f vfs.File, buf, data []byte) []byte {
 	for len(data) > 0 {
 		space := cap(buf) - len(buf)
 		if space == 0 {

@@ -163,7 +163,7 @@ func buildCompressed(t *testing.T, groups [][]uint32, nparts int, withPred bool)
 	q := NewWriteQueue(64, tracker) // tiny buffers force block-straddling reads
 	t.Cleanup(func() { q.Close() })
 	mb := cse.NewMemLevelBuilder(nparts)
-	db, err := NewDiskLevelBuilder(t.TempDir(), 2, nparts, q, 128, tracker, CompressionAuto)
+	db, err := NewDiskLevelBuilder(nil, t.TempDir(), 2, nparts, q, 128, tracker, CompressionAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,10 +346,14 @@ func TestCompressedCorruptionSurfaces(t *testing.T) {
 	}
 
 	// Version-bumped vert file: the streaming cursor must refuse to decode.
-	vf := dl.parts[0].vf
+	vf, err := os.OpenFile(dl.parts[0].vf.Name(), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := vf.WriteAt([]byte{codecVersion + 1}, 0); err != nil {
 		t.Fatal(err)
 	}
+	vf.Close()
 	bc := dl.VertBlocks(0, dl.Len())
 	defer bc.Close()
 	for {
@@ -366,7 +370,7 @@ func TestCompressedCorruptionSurfaces(t *testing.T) {
 
 	// Truncated vert file: the stream must end with a truncation error.
 	_, dl2, _ := buildCompressed(t, groups, 1, false)
-	if st, err := dl2.parts[0].vf.Stat(); err != nil || st.Size() < 4 {
+	if sz, err := dl2.parts[0].vf.Size(); err != nil || sz < 4 {
 		t.Skip("vert file too small to truncate meaningfully")
 	}
 	if err := os.Truncate(dl2.parts[0].vf.Name(), 3); err != nil {
@@ -426,7 +430,7 @@ func buildHybridCompressed(t *testing.T, groups [][]uint32, nparts int, spillPar
 	q := NewWriteQueue(64, tracker)
 	t.Cleanup(func() { q.Close() })
 	mb := cse.NewMemLevelBuilder(nparts)
-	hb, err := NewHybridLevelBuilder(t.TempDir(), 2, nparts, q, 128, tracker, 1<<40, nil, 0, CompressionAuto)
+	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 2, nparts, q, 128, tracker, 1<<40, nil, 0, CompressionAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -579,7 +583,7 @@ func TestHybridCompressedMidBuildSpill(t *testing.T) {
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
 	const nparts = 8
-	hb, err := NewHybridLevelBuilder(t.TempDir(), 3, nparts, q, 0, tracker, totalBytes/2, nil, 0, CompressionAuto)
+	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 3, nparts, q, 0, tracker, totalBytes/2, nil, 0, CompressionAuto)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,8 +2,8 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -11,6 +11,7 @@ import (
 
 	"kaleido/internal/cse"
 	"kaleido/internal/memtrack"
+	"kaleido/internal/storage/vfs"
 )
 
 // HybridLevel is one CSE level whose parts are individually memory- or
@@ -31,6 +32,7 @@ type HybridLevel struct {
 	pred        []cse.PredSeg
 	blockSize   int
 	tracker     *memtrack.Tracker
+	fs          vfs.FS
 	comp        bool // encoding of disk parts, incl. future rewrites
 	closed      bool
 }
@@ -45,7 +47,7 @@ type hybridPart struct {
 	bounds []uint64 // global end boundary of each local group; len = numGroups
 
 	// Disk residency.
-	vf, cf   *os.File
+	vf, cf   vfs.File
 	chunkCum []uint64  // chunkCum[j] = children in local groups [0, j·CntChunk)
 	comp     *partComp // compressed-block directory, nil for raw files
 
@@ -147,6 +149,7 @@ func (h *HybridLevel) Close() error {
 		return nil
 	}
 	h.closed = true
+	fs := vfs.OrOS(h.fs)
 	var first error
 	for i := range h.parts {
 		p := &h.parts[i]
@@ -156,12 +159,12 @@ func (h *HybridLevel) Close() error {
 			p.verts, p.bounds = nil, nil
 			continue
 		}
-		for _, f := range []*os.File{p.vf, p.cf} {
+		for _, f := range []vfs.File{p.vf, p.cf} {
 			name := f.Name()
 			if err := f.Close(); err != nil && first == nil {
 				first = err
 			}
-			if err := os.Remove(name); err != nil && first == nil {
+			if err := fs.Remove(name); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -360,6 +363,7 @@ func (c *hybridVertBlocks) NextBlock() ([]uint32, bool) {
 				bs:        newBlockStream([]fileSpan{span}, c.h.blockSize, c.h.tracker),
 				skip:      from - b0*codecBlockVals,
 				remaining: take,
+				path:      p.vf.Name(),
 			}
 		} else {
 			span := fileSpan{f: p.vf, off: int64(4 * from), n: int64(4 * take)}
@@ -445,6 +449,7 @@ func (c *hybridBoundBlocks) NextBlock() ([]uint64, bool) {
 				skip:      lf - b0*codecBlockVals,
 				remaining: p.numGroups - lf,
 				cum:       base,
+				path:      p.cf.Name(),
 			}
 		} else {
 			span := fileSpan{f: p.cf, off: int64(4 * lf), n: int64(4 * (p.numGroups - lf))}
@@ -497,16 +502,23 @@ type PartRewriter struct {
 }
 
 // openFilePair creates (truncating) a part's vert/cnt file pair, removing
-// the vert file again if the cnt open fails.
-func openFilePair(vname, cname string) (vf, cf *os.File, err error) {
-	vf, err = os.OpenFile(vname, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+// the vert file again if the cnt open fails. Cleanup failures on that path
+// are joined onto the create error instead of being swallowed.
+func openFilePair(fs vfs.FS, vname, cname string) (vf, cf vfs.File, err error) {
+	fs = vfs.OrOS(fs)
+	vf, err = fs.Create(vname)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, wrapIO("create", vname, err)
 	}
-	cf, err = os.OpenFile(cname, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	cf, err = fs.Create(cname)
 	if err != nil {
-		vf.Close()
-		os.Remove(vf.Name())
+		err = wrapIO("create", cname, err)
+		if cerr := vf.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		if rerr := fs.Remove(vname); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
 		return nil, nil, err
 	}
 	return vf, cf, nil
@@ -516,21 +528,21 @@ func openFilePair(vname, cname string) (vf, cf *os.File, err error) {
 // written bytes — raw word counts, or the physical sizes the compressed
 // writer recorded — the corruption check both level assembly and the
 // in-place rewrite run before installing files.
-func verifyPartFiles(vf, cf *os.File, numVerts, numGroups int, comp *partComp) error {
+func verifyPartFiles(vf, cf vfs.File, numVerts, numGroups int, comp *partComp) error {
 	wantV, wantC := int64(4*numVerts), int64(4*numGroups)
 	if comp != nil {
 		wantV, wantC = comp.physVerts, comp.physCnts
 	}
 	for _, chk := range []struct {
-		f    *os.File
+		f    vfs.File
 		want int64
 	}{{vf, wantV}, {cf, wantC}} {
-		st, err := chk.f.Stat()
+		size, err := chk.f.Size()
 		if err != nil {
-			return err
+			return wrapIO("stat", chk.f.Name(), err)
 		}
-		if st.Size() != chk.want {
-			return fmt.Errorf("storage: %s has %d bytes, want %d", chk.f.Name(), st.Size(), chk.want)
+		if size != chk.want {
+			return corruptAt(chk.f.Name(), 0, fmt.Errorf("file has %d bytes, want %d", size, chk.want))
 		}
 	}
 	return nil
@@ -544,7 +556,7 @@ func (h *HybridLevel) RewritePart(i int, q *WriteQueue) (*PartRewriter, error) {
 	if !p.onDisk() {
 		return r, nil
 	}
-	vf, cf, err := openFilePair(p.vf.Name()+".r", p.cf.Name()+".r")
+	vf, cf, err := openFilePair(h.fs, p.vf.Name()+".r", p.cf.Name()+".r")
 	if err != nil {
 		return nil, err
 	}
@@ -610,10 +622,11 @@ func (h *HybridLevel) FinishRewrite(rws []*PartRewriter, q *WriteQueue) error {
 	}
 	if anyDisk {
 		if err := q.Barrier(); err != nil {
-			h.AbortRewrite(rws)
-			return err
+			return errors.Join(err, h.AbortRewrite(rws))
 		}
 	}
+	fs := vfs.OrOS(h.fs)
+	var swapErr error
 	total := 0
 	for i := range h.parts {
 		p := &h.parts[i]
@@ -621,20 +634,26 @@ func (h *HybridLevel) FinishRewrite(rws []*PartRewriter, q *WriteQueue) error {
 		p.vertBase = total
 		if r.dw != nil {
 			if err := verifyPartFiles(r.dw.vf, r.dw.cf, r.dw.numVerts, r.dw.numGroups, r.dw.comp); err != nil {
-				h.AbortRewrite(rws[i:])
-				return err
+				return errors.Join(err, h.AbortRewrite(rws[i:]))
 			}
 			if r.dw.numGroups != p.numGroups {
-				h.AbortRewrite(rws[i:])
-				return fmt.Errorf("storage: rewrite of %s closed %d groups, want %d", r.dw.vf.Name(), r.dw.numGroups, p.numGroups)
+				err := fmt.Errorf("storage: rewrite of %s closed %d groups, want %d", r.dw.vf.Name(), r.dw.numGroups, p.numGroups)
+				return errors.Join(err, h.AbortRewrite(rws[i:]))
 			}
 			if h.tracker != nil {
 				h.tracker.SpillIO(int64(4*(r.dw.numVerts+r.dw.numGroups)), r.dw.physBytes())
 			}
-			for _, f := range []*os.File{p.vf, p.cf} {
+			// Swap the fresh files in; old-file cleanup failures are collected
+			// and surfaced after the swap completes (the rewrite itself
+			// succeeded — the level state below is still installed).
+			for _, f := range []vfs.File{p.vf, p.cf} {
 				name := f.Name()
-				f.Close()
-				os.Remove(name)
+				if err := f.Close(); err != nil && swapErr == nil {
+					swapErr = err
+				}
+				if err := fs.Remove(name); err != nil && swapErr == nil {
+					swapErr = err
+				}
 			}
 			p.vf, p.cf, p.chunkCum, p.comp = r.dw.vf, r.dw.cf, r.dw.chunkCum, r.dw.comp
 			p.numVerts = r.dw.numVerts
@@ -653,7 +672,7 @@ func (h *HybridLevel) FinishRewrite(rws []*PartRewriter, q *WriteQueue) error {
 	}
 	h.totalVerts = total
 	h.pred = nil
-	return nil
+	return swapErr
 }
 
 // promoteCost returns the resident bytes a disk part would occupy back in
@@ -685,7 +704,7 @@ func (h *HybridLevel) PromotePart(i int) error {
 		cnts = make([]uint32, p.numGroups)
 	}
 	cnts = cnts[:p.numGroups]
-	fail := func(f *os.File, err error) error {
+	fail := func(f vfs.File, err error) error {
 		poolPutU32(verts)
 		poolPutU32(cnts)
 		return fmt.Errorf("storage: promote read of %s: %w", f.Name(), err)
@@ -702,15 +721,19 @@ func (h *HybridLevel) PromotePart(i int) error {
 		}
 	} else {
 		vbuf := make([]byte, 4*p.numVerts)
-		if _, err := p.vf.ReadAt(vbuf, 0); err != nil && p.numVerts > 0 {
-			return fail(p.vf, err)
+		if p.numVerts > 0 {
+			if err := retryReadAt(p.vf, vbuf, 0, nil, h.tracker); err != nil {
+				return fail(p.vf, err)
+			}
 		}
 		for j := range verts {
 			verts[j] = binary.LittleEndian.Uint32(vbuf[4*j:])
 		}
 		cbuf := make([]byte, 4*p.numGroups)
-		if _, err := p.cf.ReadAt(cbuf, 0); err != nil && p.numGroups > 0 {
-			return fail(p.cf, err)
+		if p.numGroups > 0 {
+			if err := retryReadAt(p.cf, cbuf, 0, nil, h.tracker); err != nil {
+				return fail(p.cf, err)
+			}
 		}
 		for j := range cnts {
 			cnts[j] = binary.LittleEndian.Uint32(cbuf[4*j:])
@@ -726,13 +749,14 @@ func (h *HybridLevel) PromotePart(i int) error {
 		bounds[j] = off
 	}
 	poolPutU32(cnts)
+	fs := vfs.OrOS(h.fs)
 	var first error
-	for _, f := range []*os.File{p.vf, p.cf} {
+	for _, f := range []vfs.File{p.vf, p.cf} {
 		name := f.Name()
 		if err := f.Close(); err != nil && first == nil {
 			first = err
 		}
-		if err := os.Remove(name); err != nil && first == nil {
+		if err := fs.Remove(name); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -775,26 +799,34 @@ func (h *HybridLevel) Promote(headroom int64) (int, error) {
 	}
 }
 
-// AbortRewrite discards the fresh files of an unfinished rewrite. The level
-// itself may already be partially compacted (memory parts rewrite in
-// place), so a failed pass is fatal for the level — AbortRewrite only
-// guarantees no stray files remain; Close the level afterwards.
-func (h *HybridLevel) AbortRewrite(rws []*PartRewriter) {
+// AbortRewrite discards the fresh files of an unfinished rewrite, returning
+// the first cleanup failure instead of swallowing it. The level itself may
+// already be partially compacted (memory parts rewrite in place), so a
+// failed pass is fatal for the level — AbortRewrite only guarantees no stray
+// files remain; Close the level afterwards.
+func (h *HybridLevel) AbortRewrite(rws []*PartRewriter) error {
+	fs := vfs.OrOS(h.fs)
+	var first error
 	for _, r := range rws {
 		if r == nil || r.dw == nil {
 			continue
 		}
-		for _, f := range []*os.File{r.dw.vf, r.dw.cf} {
+		for _, f := range []vfs.File{r.dw.vf, r.dw.cf} {
 			if f == nil {
 				continue
 			}
 			name := f.Name()
-			f.Close()
-			os.Remove(name)
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			if err := fs.Remove(name); err != nil && first == nil {
+				first = err
+			}
 		}
 		poolPutU32(r.buf)
 		r.buf, r.dw = nil, nil
 	}
+	return first
 }
 
 // HybridLevelBuilder builds a HybridLevel from t concurrently written parts.
@@ -813,6 +845,7 @@ type HybridLevelBuilder struct {
 	blockSize int
 	tracker   *memtrack.Tracker
 	compress  Compression
+	fs        vfs.FS
 	gov       governor
 	parts     []hybridPartWriter
 	reserved  int64
@@ -827,15 +860,17 @@ type HybridLevelBuilder struct {
 // tracker's live bytes drop back under it, so a transient spike does not
 // condemn the whole remainder of the level to disk. Part files are created
 // lazily, only when a part actually migrates. compress selects the on-disk
-// encoding of migrated parts; memory-resident parts always stay raw.
-func NewHybridLevelBuilder(dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker, memBudget int64, pressure *atomic.Bool, pressureLimit int64, compress Compression) (*HybridLevelBuilder, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+// encoding of migrated parts; memory-resident parts always stay raw. fs is
+// the filesystem the spill files live on (nil = the real one).
+func NewHybridLevelBuilder(fs vfs.FS, dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker, memBudget int64, pressure *atomic.Bool, pressureLimit int64, compress Compression) (*HybridLevelBuilder, error) {
+	fs = vfs.OrOS(fs)
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, wrapIO("mkdir", dir, err)
 	}
 	b := &HybridLevelBuilder{
 		dir: dir, level: level, queue: q, blockSize: blockSize, tracker: tracker,
-		compress: compress,
-		parts:    make([]hybridPartWriter, nparts),
+		compress: compress, fs: fs,
+		parts: make([]hybridPartWriter, nparts),
 	}
 	b.gov.budget = memBudget
 	b.gov.pressure = pressure
@@ -921,6 +956,12 @@ func (g *governor) releaseInflight() {
 // bytes fit the budget, migrating already-flushed victims on the calling
 // goroutine (their owner is done with them).
 func (g *governor) spillOver(budget int64) {
+	if g.b.queue.Failed() {
+		// The write-behind queue hit a hard error (typically ENOSPC): there
+		// is nowhere for victims to go, so stop marking parts — the run is
+		// failing; AppendGroup surfaces the queue's typed error.
+		return
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for g.inflight.Load()-g.pending.Load() > budget {
@@ -1033,6 +1074,11 @@ const maxHybridReserve = 1 << 27
 
 // AppendGroup implements cse.PartWriter.
 func (p *hybridPartWriter) AppendGroup(children []uint32, preds []uint32) error {
+	if p.b.queue.Failed() {
+		// Fail the chunk worker promptly instead of finishing the whole
+		// expansion into a queue that discards everything (see governor).
+		return p.b.queue.Err()
+	}
 	if preds != nil {
 		if len(preds) != len(children) {
 			return fmt.Errorf("storage: %d preds for %d children", len(preds), len(children))
@@ -1077,7 +1123,7 @@ func (p *hybridPartWriter) migrate() error {
 		return nil
 	}
 	b := p.b
-	vf, cf, err := openFilePair(
+	vf, cf, err := openFilePair(b.fs,
 		filepath.Join(b.dir, fmt.Sprintf("L%d.p%d.vert", b.level, p.idx)),
 		filepath.Join(b.dir, fmt.Sprintf("L%d.p%d.cnt", b.level, p.idx)))
 	if err != nil {
@@ -1160,7 +1206,7 @@ func poolPutU64(s []uint64) {
 
 // bulkEncode appends vals to f through the write queue in buffer-sized
 // chunks, returning the open (unsubmitted) tail buffer.
-func bulkEncode(q *WriteQueue, f *os.File, buf []byte, vals []uint32) []byte {
+func bulkEncode(q *WriteQueue, f vfs.File, buf []byte, vals []uint32) []byte {
 	for off := 0; off < len(vals); {
 		space := (cap(buf) - len(buf)) / 4
 		if space == 0 {
@@ -1224,7 +1270,7 @@ func (b *HybridLevelBuilder) Finish() (cse.LevelData, error) {
 			return nil, err
 		}
 	}
-	h := &HybridLevel{blockSize: b.blockSize, tracker: b.tracker, comp: b.compress.enabled()}
+	h := &HybridLevel{blockSize: b.blockSize, tracker: b.tracker, fs: b.fs, comp: b.compress.enabled()}
 	sawPred, sawPlainNonEmpty := false, false
 	for i := range b.parts {
 		p := &b.parts[i]
@@ -1314,13 +1360,14 @@ func (b *HybridLevelBuilder) Reset(level, nparts int, memBudget int64) {
 // files and drop the memory parts.
 func (b *HybridLevelBuilder) Abort() error {
 	b.gov.releaseInflight()
+	fs := vfs.OrOS(b.fs)
 	var first error
 	for i := range b.parts {
 		p := &b.parts[i]
 		if !p.migrated {
 			continue
 		}
-		for _, f := range []*os.File{p.dw.vf, p.dw.cf} {
+		for _, f := range []vfs.File{p.dw.vf, p.dw.cf} {
 			if f == nil {
 				continue
 			}
@@ -1328,7 +1375,7 @@ func (b *HybridLevelBuilder) Abort() error {
 			if err := f.Close(); err != nil && first == nil {
 				first = err
 			}
-			if err := os.Remove(name); err != nil && first == nil {
+			if err := fs.Remove(name); err != nil && first == nil {
 				first = err
 			}
 		}

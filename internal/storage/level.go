@@ -2,14 +2,15 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
 	"kaleido/internal/cse"
 	"kaleido/internal/memtrack"
+	"kaleido/internal/storage/vfs"
 )
 
 // CntChunk is the group granularity of the in-memory random-access index
@@ -29,6 +30,7 @@ type DiskLevel struct {
 	pred        []cse.PredSeg
 	blockSize   int
 	tracker     *memtrack.Tracker
+	fs          vfs.FS
 	comp        bool // all parts share one representation
 	closed      bool
 }
@@ -36,7 +38,7 @@ type DiskLevel struct {
 var _ cse.LevelData = (*DiskLevel)(nil)
 
 type diskPartMeta struct {
-	vf, cf    *os.File
+	vf, cf    vfs.File
 	numVerts  int
 	numGroups int
 	vertBase  int
@@ -97,14 +99,15 @@ func (d *DiskLevel) Close() error {
 		return nil
 	}
 	d.closed = true
+	fs := vfs.OrOS(d.fs)
 	var first error
 	for i := range d.parts {
-		for _, f := range []*os.File{d.parts[i].vf, d.parts[i].cf} {
+		for _, f := range []vfs.File{d.parts[i].vf, d.parts[i].cf} {
 			name := f.Name()
 			if err := f.Close(); err != nil && first == nil {
 				first = err
 			}
-			if err := os.Remove(name); err != nil && first == nil {
+			if err := fs.Remove(name); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -145,14 +148,14 @@ func (d *DiskLevel) readCnts(pm *diskPartMeta, lo, hi int, sc *cntScratch) ([]ui
 // readCntsAt reads cnt entries [lo, hi) of cf into sc's buffers; the returned
 // slice is valid until sc is reused or returned to the pool. Shared between
 // DiskLevel and the disk-resident parts of HybridLevel.
-func readCntsAt(cf *os.File, lo, hi int, tracker *memtrack.Tracker, sc *cntScratch) ([]uint32, error) {
+func readCntsAt(cf vfs.File, lo, hi int, tracker *memtrack.Tracker, sc *cntScratch) ([]uint32, error) {
 	n := hi - lo
 	if cap(sc.buf) < 4*n {
 		sc.buf = make([]byte, 4*n)
 	}
 	buf := sc.buf[:4*n]
-	if _, err := cf.ReadAt(buf, int64(4*lo)); err != nil {
-		return nil, fmt.Errorf("storage: cnt read [%d,%d) of %s: %w", lo, hi, cf.Name(), err)
+	if err := retryReadAt(cf, buf, int64(4*lo), nil, tracker); err != nil {
+		return nil, err
 	}
 	if tracker != nil {
 		tracker.ReadIO(int64(len(buf)))
@@ -239,6 +242,15 @@ func (d *DiskLevel) GroupStart(g int) (uint64, error) {
 	return d.offAt(g)
 }
 
+// spanPath names the file a streamed read starts in — the coordinate a
+// CorruptError from the compressed cursors carries.
+func spanPath(spans []fileSpan) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	return spans[0].f.Name()
+}
+
 // vertSpans returns the file byte ranges covering global verts [lo, hi).
 // For compressed parts the spans are whole codec blocks and skip is how many
 // decoded values the reader must drop before the first requested unit (only
@@ -306,7 +318,7 @@ func (d *DiskLevel) VertBlocks(lo, hi int) cse.VertBlockCursor {
 	spans, skip := d.vertSpans(lo, hi)
 	bs := newBlockStream(spans, d.blockSize, d.tracker)
 	if d.comp {
-		return &compVertBlocks{bs: bs, skip: skip, remaining: hi - lo}
+		return &compVertBlocks{bs: bs, skip: skip, remaining: hi - lo, path: spanPath(spans)}
 	}
 	return &diskVertBlocks{bs: bs, remaining: hi - lo}
 }
@@ -321,7 +333,7 @@ func (d *DiskLevel) BoundBlocks(first int) cse.BoundBlockCursor {
 	spans, skip := d.cntSpans(first)
 	bs := newBlockStream(spans, d.blockSize, d.tracker)
 	if d.comp {
-		return &compBoundBlocks{bs: bs, skip: skip, remaining: d.totalGroups - first, cum: base}
+		return &compBoundBlocks{bs: bs, skip: skip, remaining: d.totalGroups - first, cum: base, path: spanPath(spans)}
 	}
 	return &diskBoundBlocks{bs: bs, cum: base}
 }
@@ -443,26 +455,36 @@ type DiskLevelBuilder struct {
 	tracker   *memtrack.Tracker
 	blockSize int
 	compress  Compression
+	fs        vfs.FS
 	parts     []diskPartWriter
 }
 
 // NewDiskLevelBuilder creates part files named L<level>.p<i>.{vert,cnt}
-// under dir. compress selects the on-disk encoding of the parts.
-func NewDiskLevelBuilder(dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker, compress Compression) (*DiskLevelBuilder, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+// under dir. compress selects the on-disk encoding of the parts; fs is the
+// filesystem the level lives on (nil = the real one).
+func NewDiskLevelBuilder(fs vfs.FS, dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker, compress Compression) (*DiskLevelBuilder, error) {
+	fs = vfs.OrOS(fs)
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, wrapIO("mkdir", dir, err)
 	}
-	b := &DiskLevelBuilder{queue: q, tracker: tracker, blockSize: blockSize, compress: compress, parts: make([]diskPartWriter, nparts)}
+	b := &DiskLevelBuilder{queue: q, tracker: tracker, blockSize: blockSize, compress: compress, fs: fs, parts: make([]diskPartWriter, nparts)}
 	for i := range b.parts {
-		vf, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("L%d.p%d.vert", level, i)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		vname := filepath.Join(dir, fmt.Sprintf("L%d.p%d.vert", level, i))
+		vf, err := fs.Create(vname)
 		if err != nil {
 			b.Abort()
-			return nil, err
+			return nil, wrapIO("create", vname, err)
 		}
-		cf, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("L%d.p%d.cnt", level, i)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		cname := filepath.Join(dir, fmt.Sprintf("L%d.p%d.cnt", level, i))
+		cf, err := fs.Create(cname)
 		if err != nil {
-			vf.Close()
-			os.Remove(vf.Name())
+			err = wrapIO("create", cname, err)
+			if cerr := vf.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			if rerr := fs.Remove(vf.Name()); rerr != nil {
+				err = errors.Join(err, rerr)
+			}
 			b.Abort()
 			return nil, err
 		}
@@ -484,7 +506,7 @@ func (b *DiskLevelBuilder) Finish() (cse.LevelData, error) {
 		b.Abort()
 		return nil, err
 	}
-	d := &DiskLevel{blockSize: b.blockSize, tracker: b.tracker, comp: b.compress.enabled()}
+	d := &DiskLevel{blockSize: b.blockSize, tracker: b.tracker, fs: b.fs, comp: b.compress.enabled()}
 	pred := false
 	for i := range b.parts {
 		if b.parts[i].pred {
@@ -522,9 +544,10 @@ func (b *DiskLevelBuilder) Finish() (cse.LevelData, error) {
 
 // Abort implements cse.LevelBuilder: close and remove all part files.
 func (b *DiskLevelBuilder) Abort() error {
+	fs := vfs.OrOS(b.fs)
 	var first error
 	for i := range b.parts {
-		for _, f := range []*os.File{b.parts[i].vf, b.parts[i].cf} {
+		for _, f := range []vfs.File{b.parts[i].vf, b.parts[i].cf} {
 			if f == nil {
 				continue
 			}
@@ -532,7 +555,7 @@ func (b *DiskLevelBuilder) Abort() error {
 			if err := f.Close(); err != nil && first == nil {
 				first = err
 			}
-			if err := os.Remove(name); err != nil && first == nil {
+			if err := fs.Remove(name); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -543,7 +566,7 @@ func (b *DiskLevelBuilder) Abort() error {
 
 type diskPartWriter struct {
 	q          *WriteQueue
-	vf, cf     *os.File
+	vf, cf     vfs.File
 	vbuf, cbuf []byte
 	numVerts   int
 	numGroups  int
@@ -559,12 +582,18 @@ type diskPartWriter struct {
 }
 
 // newDiskPartWriter wires a part writer to its files.
-func newDiskPartWriter(q *WriteQueue, vf, cf *os.File, comp *partComp) diskPartWriter {
+func newDiskPartWriter(q *WriteQueue, vf, cf vfs.File, comp *partComp) diskPartWriter {
 	return diskPartWriter{q: q, vf: vf, cf: cf, vbuf: q.GetBuf(), cbuf: q.GetBuf(), comp: comp}
 }
 
 // AppendGroup implements cse.PartWriter.
 func (p *diskPartWriter) AppendGroup(children []uint32, preds []uint32) error {
+	if p.q.Failed() {
+		// The write-behind queue hit a hard error (ENOSPC, retries
+		// exhausted): stop producing for a doomed level instead of encoding
+		// the rest of the expansion into buffers the queue will discard.
+		return p.q.Err()
+	}
 	if p.numGroups%CntChunk == 0 {
 		p.chunkCum = append(p.chunkCum, uint64(p.numVerts))
 	}

@@ -1,12 +1,10 @@
 package storage
 
 import (
-	"fmt"
-	"io"
-	"os"
 	"sync"
 
 	"kaleido/internal/memtrack"
+	"kaleido/internal/storage/vfs"
 )
 
 // DefaultBlockSize is the prefetch window granularity for disk cursors.
@@ -14,7 +12,7 @@ const DefaultBlockSize = 256 << 10
 
 // fileSpan is a byte range of one file.
 type fileSpan struct {
-	f   *os.File
+	f   vfs.File
 	off int64
 	n   int64
 }
@@ -61,10 +59,11 @@ func newBlockStream(spans []fileSpan, blockSize int, tracker *memtrack.Tracker) 
 					n = sp.n - off
 				}
 				buf := make([]byte, n)
-				if _, err := sp.f.ReadAt(buf, sp.off+off); err != nil {
-					if err == io.EOF {
-						err = fmt.Errorf("storage: short read at %d+%d of %s: %w", sp.off, off, sp.f.Name(), io.ErrUnexpectedEOF)
-					}
+				// Transient read errors retry with backoff; Close (s.stop)
+				// interrupts a backoff sleep so teardown never waits one out.
+				// EOF means the spill file is shorter than its directory says
+				// — truncation, surfaced as corruption inside retryReadAt.
+				if err := retryReadAt(sp.f, buf, sp.off+off, s.stop, tracker); err != nil {
 					select {
 					case s.ch <- rblock{err: err}:
 					case <-s.stop:

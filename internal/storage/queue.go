@@ -11,20 +11,32 @@
 //
 // Spilled bytes are compressed by default (Compression, codec.go): vertex
 // IDs as group-varint zigzag deltas and group counts frame-of-reference
-// coded, in self-delimiting versioned blocks that decode whole-block into
-// the pooled prefetch buffers. Resident parts stay raw — the representation
-// follows the placement — and the per-part block directory gives the
-// cursors and the random-access readers block-granular seeks into the
-// compressed streams.
+// coded, in self-delimiting versioned blocks (version 2: a CRC32C of the
+// payload sits between the header and the payload, verified on every
+// whole-block decode) that decode whole-block into the pooled prefetch
+// buffers. Version-1 blocks — the pre-checksum format — are cleanly
+// rejected, not decoded: spill files are single-run scratch, so no
+// cross-version reader is needed. Resident parts stay raw — the
+// representation follows the placement — and the per-part block directory
+// gives the cursors and the random-access readers block-granular seeks into
+// the compressed streams.
+//
+// The spill path is hardened against I/O failure: all file access goes
+// through the vfs seam (package vfs) so tests inject faults; transient write
+// and read errors are retried with bounded exponential backoff + jitter;
+// checksum or truncation failures surface as ErrSpillCorrupt with block
+// coordinates; ENOSPC is terminal — the governor stops spilling and the run
+// aborts cleanly with ErrNoSpace.
 package storage
 
 import (
-	"fmt"
-	"os"
+	"errors"
+	"io"
 	"sync"
 	"sync/atomic"
 
 	"kaleido/internal/memtrack"
+	"kaleido/internal/storage/vfs"
 )
 
 // DefaultBufSize is the per-part write buffer size. The paper uses a fixed
@@ -37,6 +49,12 @@ const DefaultBufSize = 1 << 20
 // a pool. Compression happens on the writer side, not here: encoding on the
 // worker that just produced the values keeps the data cache-hot and scales
 // with the worker count, and the queue stays a pure byte sink.
+//
+// Transient write errors (EIO, short writes) are retried with bounded
+// backoff; a hard error (ENOSPC, retries exhausted) latches the queue into a
+// failed state — subsequent buffers are discarded, Failed() lets producers
+// stop early, and Err() carries the typed first error to the operation's
+// Barrier.
 type WriteQueue struct {
 	jobs    chan wjob
 	wg      sync.WaitGroup
@@ -46,13 +64,18 @@ type WriteQueue struct {
 	// aborted makes the I/O goroutine discard buffers instead of writing
 	// them — the cancellation path of a failed operation (see Abort).
 	aborted atomic.Bool
+	// failed latches when a write gave up: like aborted it switches the
+	// queue to discard mode, but it is set by the I/O goroutine itself and
+	// carries an error.
+	failed atomic.Bool
 
-	mu  sync.Mutex
-	err error
+	mu      sync.Mutex
+	err     error
+	abortCh chan struct{} // closed by Abort; recreated by Reset
 }
 
 type wjob struct {
-	f    *os.File
+	f    vfs.File
 	buf  []byte
 	done chan struct{} // non-nil for barrier jobs
 }
@@ -65,6 +88,7 @@ func NewWriteQueue(bufSize int, tracker *memtrack.Tracker) *WriteQueue {
 	q := &WriteQueue{
 		jobs:    make(chan wjob, 64),
 		tracker: tracker,
+		abortCh: make(chan struct{}),
 	}
 	q.pool.New = func() any { return make([]byte, 0, bufSize) }
 	q.wg.Add(1)
@@ -79,16 +103,19 @@ func (q *WriteQueue) run() {
 			close(j.done)
 			continue
 		}
-		if q.aborted.Load() {
+		if q.aborted.Load() || q.failed.Load() {
 			q.pool.Put(j.buf[:0])
 			continue
 		}
-		if _, err := j.f.Write(j.buf); err != nil {
+		if err := q.writeAll(j.f, j.buf); err != nil {
+			// Record the error before latching failed: producers that see
+			// Failed() must find the typed error already at Err().
 			q.mu.Lock()
 			if q.err == nil {
-				q.err = fmt.Errorf("storage: write queue: %w", err)
+				q.err = wrapIO("write", j.f.Name(), err)
 			}
 			q.mu.Unlock()
+			q.failed.Store(true)
 		} else if q.tracker != nil {
 			q.tracker.WriteIO(int64(len(j.buf)))
 		}
@@ -96,12 +123,50 @@ func (q *WriteQueue) run() {
 	}
 }
 
+// writeAll appends buf to f, retrying transient errors and short writes with
+// bounded backoff. Forward progress (any bytes accepted) re-arms the retry
+// budget; Abort interrupts an in-flight backoff sleep immediately.
+func (q *WriteQueue) writeAll(f vfs.File, buf []byte) error {
+	abort := q.abortSignal()
+	for attempt := 0; ; {
+		n, err := f.Write(buf)
+		if n > 0 {
+			buf = buf[n:]
+			attempt = 0
+		}
+		if err == nil {
+			if len(buf) == 0 {
+				return nil
+			}
+			err = io.ErrShortWrite
+		}
+		if retriable := errors.Is(err, io.ErrShortWrite) || retryable(err); !retriable || attempt >= retryAttempts {
+			return err
+		}
+		if q.tracker != nil {
+			q.tracker.NoteIORetry()
+		}
+		if !sleepBackoff(attempt, abort) {
+			return err // aborted mid-backoff: surface promptly
+		}
+		attempt++
+	}
+}
+
+// abortSignal returns the channel Abort closes. It is re-created by Reset,
+// so readers must fetch it under the lock rather than caching it.
+func (q *WriteQueue) abortSignal() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.abortCh
+}
+
 // GetBuf returns an empty buffer from the pool.
 func (q *WriteQueue) GetBuf() []byte { return q.pool.Get().([]byte)[:0] }
 
 // Submit enqueues buf for appending to f. The buffer is owned by the queue
 // after the call; get a fresh one with GetBuf.
-func (q *WriteQueue) Submit(f *os.File, buf []byte) {
+func (q *WriteQueue) Submit(f vfs.File, buf []byte) {
 	if len(buf) == 0 {
 		q.pool.Put(buf[:0])
 		return
@@ -111,20 +176,36 @@ func (q *WriteQueue) Submit(f *os.File, buf []byte) {
 
 // Abort switches the queue into discard mode: pending and subsequently
 // submitted buffers are recycled unwritten until Reset. The write in flight,
-// if any, completes — cancelling an operation drains in-flight writes and
-// aborts pending ones. Abort the queue before closing or removing the files
-// the pending buffers target, then Barrier to drain and Reset to re-arm.
-func (q *WriteQueue) Abort() { q.aborted.Store(true) }
+// if any, completes — except that a backoff sleep inside its retry loop is
+// interrupted immediately, so aborting never waits out a retry schedule.
+// Abort the queue before closing or removing the files the pending buffers
+// target, then Barrier to drain and Reset to re-arm.
+func (q *WriteQueue) Abort() {
+	if q.aborted.CompareAndSwap(false, true) {
+		q.mu.Lock()
+		close(q.abortCh)
+		q.mu.Unlock()
+	}
+}
 
-// Reset re-arms an aborted queue for the next operation, clearing and
-// returning any recorded write error (the failed operation owns it; the next
-// one starts clean).
+// Failed reports whether a write gave up and latched the queue into discard
+// mode. Producers poll this to stop building work for a doomed operation;
+// the typed error is at Err.
+func (q *WriteQueue) Failed() bool { return q.failed.Load() }
+
+// Reset re-arms an aborted or failed queue for the next operation, clearing
+// and returning any recorded write error (the failed operation owns it; the
+// next one starts clean).
 func (q *WriteQueue) Reset() error {
-	q.aborted.Store(false)
 	q.mu.Lock()
-	defer q.mu.Unlock()
+	if q.aborted.Load() {
+		q.abortCh = make(chan struct{})
+	}
 	err := q.err
 	q.err = nil
+	q.mu.Unlock()
+	q.aborted.Store(false)
+	q.failed.Store(false)
 	return err
 }
 

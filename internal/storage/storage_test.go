@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -20,7 +21,7 @@ func buildBoth(t *testing.T, groups [][]uint32, nparts int, withPred bool) (*cse
 	t.Cleanup(func() { q.Close() })
 
 	mb := cse.NewMemLevelBuilder(nparts)
-	db, err := NewDiskLevelBuilder(t.TempDir(), 2, nparts, q, 128, tracker, CompressionOff)
+	db, err := NewDiskLevelBuilder(nil, t.TempDir(), 2, nparts, q, 128, tracker, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestFinishDetectsShortFiles(t *testing.T) {
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
 	dir := t.TempDir()
-	db, err := NewDiskLevelBuilder(dir, 3, 1, q, 0, tracker, CompressionOff)
+	db, err := NewDiskLevelBuilder(nil, dir, 3, 1, q, 0, tracker, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,6 +268,18 @@ func TestFinishDetectsShortFiles(t *testing.T) {
 	}
 }
 
+// plainFile adapts a bare *os.File to vfs.File for tests that need a file
+// the vfs.OS constructor would refuse to hand out (e.g. read-only).
+type plainFile struct{ *os.File }
+
+func (f plainFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
 func TestWriteQueueErrorPropagation(t *testing.T) {
 	q := NewWriteQueue(0, nil)
 	defer q.Close()
@@ -277,9 +290,21 @@ func TestWriteQueueErrorPropagation(t *testing.T) {
 	defer f.Close()
 	buf := q.GetBuf()
 	buf = append(buf, 1, 2, 3, 4)
-	q.Submit(f, buf)
+	q.Submit(plainFile{f}, buf)
 	if err := q.Barrier(); err == nil {
 		t.Fatal("write to read-only file reported no error")
+	}
+	if !errors.Is(q.Err(), ErrSpillIO) {
+		t.Fatalf("queue error %v does not wrap ErrSpillIO", q.Err())
+	}
+	if !q.Failed() {
+		t.Fatal("queue did not latch Failed after write give-up")
+	}
+	if err := q.Reset(); err == nil {
+		t.Fatal("Reset returned no error from the failed operation")
+	}
+	if q.Err() != nil || q.Failed() {
+		t.Fatal("Reset left error state behind")
 	}
 }
 
@@ -289,7 +314,7 @@ func TestEmptyParts(t *testing.T) {
 	tracker := memtrack.New()
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
-	db, err := NewDiskLevelBuilder(t.TempDir(), 2, 3, q, 0, tracker, CompressionOff)
+	db, err := NewDiskLevelBuilder(nil, t.TempDir(), 2, 3, q, 0, tracker, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +356,7 @@ func TestCloseRemovesFiles(t *testing.T) {
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
 	dir := t.TempDir()
-	db, err := NewDiskLevelBuilder(dir, 2, 2, q, 0, tracker, CompressionOff)
+	db, err := NewDiskLevelBuilder(nil, dir, 2, 2, q, 0, tracker, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +453,7 @@ func TestBlockCursorsAcrossEmptyParts(t *testing.T) {
 	tracker := memtrack.New()
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
-	db, err := NewDiskLevelBuilder(t.TempDir(), 2, 5, q, 64, tracker, CompressionOff)
+	db, err := NewDiskLevelBuilder(nil, t.TempDir(), 2, 5, q, 64, tracker, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -664,14 +689,14 @@ func TestWriteQueueAbort(t *testing.T) {
 	defer q.Close()
 
 	buf := append(q.GetBuf(), 1, 2, 3, 4)
-	q.Submit(f, buf)
+	q.Submit(plainFile{f}, buf)
 	if err := q.Barrier(); err != nil {
 		t.Fatal(err)
 	}
 
 	q.Abort()
 	buf = append(q.GetBuf(), 5, 6, 7, 8)
-	q.Submit(f, buf)
+	q.Submit(plainFile{f}, buf)
 	if err := q.Barrier(); err != nil { // barrier drains even while aborted
 		t.Fatal(err)
 	}
@@ -683,7 +708,7 @@ func TestWriteQueueAbort(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf = append(q.GetBuf(), 9, 10)
-	q.Submit(f, buf)
+	q.Submit(plainFile{f}, buf)
 	if err := q.Barrier(); err != nil {
 		t.Fatal(err)
 	}
@@ -703,7 +728,7 @@ func TestWriteQueueResetClearsError(t *testing.T) {
 	f.Close() // closed: the write must fail
 	q := NewWriteQueue(64, nil)
 	defer q.Close()
-	q.Submit(f, append(q.GetBuf(), 1))
+	q.Submit(plainFile{f}, append(q.GetBuf(), 1))
 	if err := q.Barrier(); err == nil {
 		t.Fatal("write to closed file succeeded")
 	}

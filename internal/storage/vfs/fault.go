@@ -1,0 +1,215 @@
+package vfs
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Fault configures a FaultFS. Probabilities are per I/O call in [0, 1];
+// zero fields inject nothing, so a partially populated Fault targets one
+// failure mode at a time. All injection is driven by one seeded RNG, so a
+// given (seed, workload) pair replays the same fault sequence when the
+// workload's I/O call order is deterministic.
+type Fault struct {
+	// Seed seeds the deterministic fault stream.
+	Seed int64
+
+	// ReadErrP is the probability a ReadAt fails with a transient EIO.
+	ReadErrP float64
+	// WriteErrP is the probability a Write fails with a transient EIO
+	// (no bytes written).
+	WriteErrP float64
+	// ShortWriteP is the probability a Write persists only a prefix and
+	// returns io.ErrShortWrite — the caller must resume from the remainder.
+	ShortWriteP float64
+	// BitFlipP is the probability a ReadAt flips one random bit of the
+	// returned buffer — silent corruption the block checksums must catch.
+	BitFlipP float64
+	// LatencyP is the probability an I/O call sleeps Latency first.
+	LatencyP float64
+	// Latency is the injected delay.
+	Latency time.Duration
+
+	// WriteCap, when positive, is the total bytes writable through the FS
+	// before every further Write fails with ENOSPC — the disk-full scenario.
+	// ENOSPC is hard: it persists for the life of the FaultFS.
+	WriteCap int64
+}
+
+// FaultStats counts what a FaultFS actually injected — tests assert against
+// these instead of trusting probabilities.
+type FaultStats struct {
+	Reads, Writes                     int64
+	ReadErrs, WriteErrs, ShortWrites  int64
+	BitFlips, Latencies, NoSpaceFails int64
+}
+
+// FaultFS wraps an inner FS and injects the configured faults on file reads
+// and writes. Create/Remove/Mkdir/RemoveAll are passed through untouched —
+// cleanup must always succeed, so a faulty run can still tear down — and
+// injected errors carry syscall errnos (EIO, ENOSPC) so the storage layer's
+// transient/hard classification sees exactly what a real device would return.
+type FaultFS struct {
+	inner FS
+	cfg   Fault
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	written int64
+
+	reads, writes                    atomic.Int64
+	readErrs, writeErrs, shortWrites atomic.Int64
+	bitFlips, latencies, noSpace     atomic.Int64
+}
+
+// NewFaultFS wraps inner (nil = the OS implementation) with fault injection.
+func NewFaultFS(inner FS, cfg Fault) *FaultFS {
+	return &FaultFS{inner: OrOS(inner), cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the injection counters.
+func (f *FaultFS) Stats() FaultStats {
+	return FaultStats{
+		Reads: f.reads.Load(), Writes: f.writes.Load(),
+		ReadErrs: f.readErrs.Load(), WriteErrs: f.writeErrs.Load(),
+		ShortWrites: f.shortWrites.Load(), BitFlips: f.bitFlips.Load(),
+		Latencies: f.latencies.Load(), NoSpaceFails: f.noSpace.Load(),
+	}
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f}, nil
+}
+
+// Remove implements FS (never faulted: cleanup must always succeed).
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string) error { return f.inner.MkdirAll(path) }
+
+// MkdirTemp implements FS.
+func (f *FaultFS) MkdirTemp(dir, pattern string) (string, error) {
+	return f.inner.MkdirTemp(dir, pattern)
+}
+
+// RemoveAll implements FS (never faulted).
+func (f *FaultFS) RemoveAll(path string) error { return f.inner.RemoveAll(path) }
+
+// roll draws fault decisions for one I/O call under the shared RNG. flipBit
+// is a bit index to flip in the read buffer (-1 = none), shortN the prefix
+// length of a short write (-1 = full write).
+type roll struct {
+	sleep   bool
+	fail    bool
+	flipBit int64
+	shortN  int
+}
+
+func (f *FaultFS) rollRead(n int) (r roll) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r.flipBit = -1
+	r.sleep = f.cfg.LatencyP > 0 && f.rng.Float64() < f.cfg.LatencyP
+	r.fail = f.cfg.ReadErrP > 0 && f.rng.Float64() < f.cfg.ReadErrP
+	if !r.fail && n > 0 && f.cfg.BitFlipP > 0 && f.rng.Float64() < f.cfg.BitFlipP {
+		r.flipBit = f.rng.Int63n(int64(n) * 8)
+	}
+	return r
+}
+
+func (f *FaultFS) rollWrite(n int) (r roll, noSpace bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r.flipBit, r.shortN = -1, -1
+	if f.cfg.WriteCap > 0 && f.written+int64(n) > f.cfg.WriteCap {
+		return r, true
+	}
+	r.sleep = f.cfg.LatencyP > 0 && f.rng.Float64() < f.cfg.LatencyP
+	r.fail = f.cfg.WriteErrP > 0 && f.rng.Float64() < f.cfg.WriteErrP
+	if !r.fail && n > 1 && f.cfg.ShortWriteP > 0 && f.rng.Float64() < f.cfg.ShortWriteP {
+		r.shortN = 1 + f.rng.Intn(n-1)
+	}
+	if !r.fail {
+		wrote := int64(n)
+		if r.shortN >= 0 {
+			wrote = int64(r.shortN)
+		}
+		f.written += wrote
+	}
+	return r, false
+}
+
+// faultFile injects the FS's faults on one file's reads and writes.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	f := ff.fs
+	f.reads.Add(1)
+	r := f.rollRead(len(p))
+	if r.sleep {
+		f.latencies.Add(1)
+		time.Sleep(f.cfg.Latency)
+	}
+	if r.fail {
+		f.readErrs.Add(1)
+		return 0, &faultErr{op: "read", path: ff.Name(), errno: syscall.EIO}
+	}
+	n, err := ff.File.ReadAt(p, off)
+	if err == nil && r.flipBit >= 0 && int(r.flipBit/8) < n {
+		f.bitFlips.Add(1)
+		p[r.flipBit/8] ^= 1 << (r.flipBit % 8)
+	}
+	return n, err
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.writes.Add(1)
+	r, noSpace := f.rollWrite(len(p))
+	if noSpace {
+		f.noSpace.Add(1)
+		return 0, &faultErr{op: "write", path: ff.Name(), errno: syscall.ENOSPC}
+	}
+	if r.sleep {
+		f.latencies.Add(1)
+		time.Sleep(f.cfg.Latency)
+	}
+	if r.fail {
+		f.writeErrs.Add(1)
+		return 0, &faultErr{op: "write", path: ff.Name(), errno: syscall.EIO}
+	}
+	if r.shortN >= 0 {
+		f.shortWrites.Add(1)
+		n, err := ff.File.Write(p[:r.shortN])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return ff.File.Write(p)
+}
+
+// faultErr is an injected I/O error carrying a syscall errno, so
+// errors.Is(err, syscall.EIO/ENOSPC) classifies it like a real device error.
+type faultErr struct {
+	op, path string
+	errno    syscall.Errno
+}
+
+func (e *faultErr) Error() string {
+	return "vfs: injected " + e.op + " fault on " + e.path + ": " + e.errno.Error()
+}
+
+func (e *faultErr) Unwrap() error { return e.errno }

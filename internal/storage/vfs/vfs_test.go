@@ -1,0 +1,211 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSRoundTrip: the production FS writes, reads back, sizes, and removes.
+func TestOSRoundTrip(t *testing.T) {
+	fs := OrOS(nil)
+	dir, err := fs.MkdirTemp(t.TempDir(), "run-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "part.bin")
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("kaleido spill bytes")
+	if n, err := f.Write(data); err != nil || n != len(data) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if f.Name() != name {
+		t.Fatalf("Name() = %q, want %q", f.Name(), name)
+	}
+	if sz, err := f.Size(); err != nil || sz != int64(len(data)) {
+		t.Fatalf("Size() = %d, %v", sz, err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q, want %q", got, data)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultFSDeterministic: the same seed over the same I/O sequence injects
+// the identical fault schedule — the property the conformance matrix relies
+// on to pin embedding counts under faults.
+func TestFaultFSDeterministic(t *testing.T) {
+	run := func(seed int64) (FaultStats, []error) {
+		ff := NewFaultFS(nil, Fault{Seed: seed, ReadErrP: 0.3, WriteErrP: 0.3, ShortWriteP: 0.2})
+		f, err := ff.Create(filepath.Join(t.TempDir(), "d.bin"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var errs []error
+		buf := make([]byte, 64)
+		for i := 0; i < 50; i++ {
+			_, werr := f.Write(buf)
+			_, rerr := f.ReadAt(buf[:8], 0)
+			errs = append(errs, werr, rerr)
+		}
+		return ff.Stats(), errs
+	}
+	s1, e1 := run(7)
+	s2, e2 := run(7)
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	for i := range e1 {
+		if (e1[i] == nil) != (e2[i] == nil) {
+			t.Fatalf("same seed, different error at op %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if s1.WriteErrs == 0 || s1.ReadErrs == 0 || s1.ShortWrites == 0 {
+		t.Fatalf("p=0.3/0.2 over 50 ops injected nothing: %+v", s1)
+	}
+	s3, _ := run(8)
+	if s1 == s3 {
+		t.Fatalf("different seeds, identical stats: %+v", s1)
+	}
+}
+
+// TestFaultFSInjectedErrnos: injected failures classify like real device
+// errors via errors.Is.
+func TestFaultFSInjectedErrnos(t *testing.T) {
+	ff := NewFaultFS(nil, Fault{Seed: 1, ReadErrP: 1})
+	f, err := ff.Create(filepath.Join(t.TempDir(), "e.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(make([]byte, 4), 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("injected read error %v is not EIO", err)
+	}
+}
+
+// TestFaultFSWriteCap: writes past the cap fail with ENOSPC, persistently.
+func TestFaultFSWriteCap(t *testing.T) {
+	ff := NewFaultFS(nil, Fault{Seed: 1, WriteCap: 100})
+	f, err := ff.Create(filepath.Join(t.TempDir(), "cap.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, 100)); err != nil {
+		t.Fatalf("write under cap: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte{0}); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d past cap: %v, want ENOSPC", i, err)
+		}
+	}
+	if st := ff.Stats(); st.NoSpaceFails != 3 {
+		t.Fatalf("NoSpaceFails = %d, want 3", st.NoSpaceFails)
+	}
+}
+
+// TestFaultFSBitFlip: a forced bit flip corrupts exactly one bit of the read.
+func TestFaultFSBitFlip(t *testing.T) {
+	ff := NewFaultFS(nil, Fault{Seed: 3, BitFlipP: 1})
+	f, err := ff.Create(filepath.Join(t.TempDir(), "flip.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := make([]byte, 32)
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 32)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^data[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flip changed %d bits, want 1", diff)
+	}
+	if st := ff.Stats(); st.BitFlips != 1 {
+		t.Fatalf("BitFlips = %d, want 1", st.BitFlips)
+	}
+}
+
+// TestFaultFSShortWrite: a short write persists the returned prefix and
+// reports io.ErrShortWrite, honoring the io.Writer contract the queue's
+// resume-from-remainder loop depends on.
+func TestFaultFSShortWrite(t *testing.T) {
+	ff := NewFaultFS(nil, Fault{Seed: 5, ShortWriteP: 1})
+	f, err := ff.Create(filepath.Join(t.TempDir(), "short.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data := []byte("0123456789abcdef")
+	n, err := f.Write(data)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	if n <= 0 || n >= len(data) {
+		t.Fatalf("short write n = %d outside (0, %d)", n, len(data))
+	}
+	if sz, err := f.Size(); err != nil || sz != int64(n) {
+		t.Fatalf("Size() = %d, %v; want %d", sz, err, n)
+	}
+	got := make([]byte, n)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[:n]) {
+		t.Fatalf("persisted prefix %q, want %q", got, data[:n])
+	}
+}
+
+// TestFaultFSCleanupNeverFaulted: Remove/RemoveAll pass through even under
+// total fault pressure — a failed run must still tear down.
+func TestFaultFSCleanupNeverFaulted(t *testing.T) {
+	ff := NewFaultFS(nil, Fault{Seed: 9, ReadErrP: 1, WriteErrP: 1})
+	dir, err := ff.MkdirTemp(t.TempDir(), "run-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "f.bin")
+	f, err := ff.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := ff.Remove(name); err != nil {
+		t.Fatalf("Remove faulted: %v", err)
+	}
+	if err := ff.RemoveAll(dir); err != nil {
+		t.Fatalf("RemoveAll faulted: %v", err)
+	}
+}

@@ -49,12 +49,32 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"kaleido/internal/apps"
 	"kaleido/internal/explore"
 	"kaleido/internal/graph"
 	"kaleido/internal/memtrack"
 	"kaleido/internal/storage"
+	"kaleido/internal/storage/vfs"
+)
+
+// Typed spill-path errors. Any error a mining run returns because of its
+// spill I/O wraps exactly one of these, so callers can dispatch with
+// errors.Is regardless of the path, block, or retry detail in the message:
+//
+//   - ErrSpillIO: an I/O operation failed and exhausted its retry budget
+//     (transient errors are retried with bounded exponential backoff first).
+//   - ErrSpillCorrupt: spilled data failed its CRC32C checksum, was
+//     truncated, or carried an unknown block version. Never retried — the
+//     error message carries the file and block coordinates.
+//   - ErrNoSpace: the spill device ran out of space (ENOSPC). Terminal: the
+//     run stops spilling and fails cleanly; sibling runs on the same Engine
+//     are unaffected.
+var (
+	ErrSpillIO      = storage.ErrSpillIO
+	ErrSpillCorrupt = storage.ErrSpillCorrupt
+	ErrNoSpace      = storage.ErrNoSpace
 )
 
 // Config tunes a mining run. The zero value runs fully in memory with one
@@ -92,6 +112,52 @@ type Config struct {
 	Iso IsoAlgo
 	// Stats, when non-nil, receives memory and I/O accounting.
 	Stats *Stats
+	// Faults, when non-nil, routes the run's spill I/O through a
+	// deterministic fault-injecting filesystem — the robustness test
+	// harness. Production runs leave it nil.
+	Faults *FaultSpec
+}
+
+// FaultSpec configures deterministic spill-path fault injection: each
+// probability is rolled per I/O operation from a PRNG seeded with Seed, so a
+// given (workload, spec) pair replays the identical fault schedule. Injected
+// read/write errors are transient (EIO) and exercise the retry path;
+// BitFlipP corrupts one bit of a read and exercises the checksum path;
+// WriteCapBytes makes the device report ENOSPC after that many bytes.
+type FaultSpec struct {
+	// Seed fixes the fault schedule (same seed, same faults).
+	Seed int64
+	// ReadErrorP / WriteErrorP are per-operation probabilities of a
+	// transient EIO.
+	ReadErrorP, WriteErrorP float64
+	// ShortWriteP is the probability a write accepts only a prefix.
+	ShortWriteP float64
+	// BitFlipP is the probability a successful read comes back with one bit
+	// flipped — detected by the block checksums as ErrSpillCorrupt.
+	BitFlipP float64
+	// LatencyP delays the operation by Latency with this probability.
+	LatencyP float64
+	Latency  time.Duration
+	// WriteCapBytes, when > 0, fails every write past that many cumulative
+	// bytes with ENOSPC (a full device).
+	WriteCapBytes int64
+}
+
+// fs builds the vfs the spec describes (nil spec = nil, the real filesystem).
+func (s *FaultSpec) fs() vfs.FS {
+	if s == nil {
+		return nil
+	}
+	return vfs.NewFaultFS(nil, vfs.Fault{
+		Seed:        s.Seed,
+		ReadErrP:    s.ReadErrorP,
+		WriteErrP:   s.WriteErrorP,
+		ShortWriteP: s.ShortWriteP,
+		BitFlipP:    s.BitFlipP,
+		LatencyP:    s.LatencyP,
+		Latency:     s.Latency,
+		WriteCap:    s.WriteCapBytes,
+	})
 }
 
 // Compression selects the on-disk encoding of spilled CSE level parts.
@@ -142,6 +208,11 @@ type Stats struct {
 	// disk. They are equal with CompressionOff; with the default codec the
 	// physical count is typically 2-4× smaller.
 	SpilledBytes, SpilledBytesPhysical int64
+	// IORetries counts transient spill I/O errors that were absorbed by the
+	// retry/backoff policy instead of failing the run. Nonzero retries with
+	// a successful result mean the storage layer rode out real (or injected)
+	// faults.
+	IORetries int64
 }
 
 func (c Config) appOptions() (apps.Options, *memtrack.Tracker) {
@@ -159,6 +230,7 @@ func (c Config) appOptionsWith(tracker *memtrack.Tracker) (apps.Options, *memtra
 		Predict:        c.Predict,
 		PredictSample:  c.PredictSample,
 		Compression:    storage.Compression(c.Compression),
+		FS:             c.Faults.fs(),
 		Iso:            apps.IsoAlgo(c.Iso),
 		Tracker:        tracker,
 	}
@@ -174,6 +246,7 @@ func (c Config) finish(tracker *memtrack.Tracker, spill *apps.SpillInfo) {
 	}
 	c.Stats.PeakBytes = tracker.Peak()
 	c.Stats.ReadBytes, c.Stats.WriteBytes = tracker.IOTotals()
+	c.Stats.IORetries = tracker.IORetries()
 	if spill != nil {
 		c.Stats.SpilledLevels, c.Stats.SpilledParts = spill.SpilledLevels, spill.SpilledParts
 		c.Stats.PromotedParts = spill.PromotedParts

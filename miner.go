@@ -63,6 +63,7 @@ func newMiner(ctx context.Context, g *Graph, mode Mode, cfg Config, tracker *mem
 		Predict:        cfg.Predict,
 		PredictSample:  cfg.PredictSample,
 		Compression:    storage.Compression(cfg.Compression),
+		FS:             cfg.Faults.fs(),
 		Tracker:        tracker,
 	})
 	if err != nil {
