@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"kaleido/internal/apps"
+	"kaleido/internal/memtrack"
 	"kaleido/internal/pattern"
 )
 
@@ -72,6 +73,13 @@ func (g *Graph) Triangles(ctx context.Context, cfg Config) (uint64, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
+	if cfg.Shards > 1 {
+		res, err := runSharded(ctx, Job{Graph: g, App: AppTriangles, Config: cfg}, cfg.Shards, memtrack.NewArbiter(cfg.MemoryBudget))
+		if err != nil {
+			return 0, err
+		}
+		return res.Count, nil
+	}
 	opt, tracker := cfg.appOptions()
 	defer cfg.finish(tracker, opt.Spill)
 	return apps.TriangleCount(ctxOrBackground(ctx), g.g, opt)
@@ -82,6 +90,13 @@ func (g *Graph) Triangles(ctx context.Context, cfg Config) (uint64, error) {
 func (g *Graph) Cliques(ctx context.Context, k int, cfg Config) (uint64, error) {
 	if err := cfg.validate(); err != nil {
 		return 0, err
+	}
+	if cfg.Shards > 1 {
+		res, err := runSharded(ctx, Job{Graph: g, App: AppCliques, K: k, Config: cfg}, cfg.Shards, memtrack.NewArbiter(cfg.MemoryBudget))
+		if err != nil {
+			return 0, err
+		}
+		return res.Count, nil
 	}
 	opt, tracker := cfg.appOptions()
 	defer cfg.finish(tracker, opt.Spill)
@@ -94,6 +109,13 @@ func (g *Graph) Cliques(ctx context.Context, k int, cfg Config) (uint64, error) 
 func (g *Graph) Motifs(ctx context.Context, k int, cfg Config) ([]PatternCount, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		res, err := runSharded(ctx, Job{Graph: g, App: AppMotifs, K: k, Config: cfg}, cfg.Shards, memtrack.NewArbiter(cfg.MemoryBudget))
+		if err != nil {
+			return nil, err
+		}
+		return res.Patterns, nil
 	}
 	opt, tracker := cfg.appOptions()
 	defer cfg.finish(tracker, opt.Spill)
@@ -112,6 +134,13 @@ func (g *Graph) Motifs(ctx context.Context, k int, cfg Config) ([]PatternCount, 
 func (g *Graph) FSM(ctx context.Context, k int, support uint64, cfg Config) ([]PatternCount, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		res, err := runSharded(ctx, Job{Graph: g, App: AppFSM, K: k, Support: support, Config: cfg}, cfg.Shards, memtrack.NewArbiter(cfg.MemoryBudget))
+		if err != nil {
+			return nil, err
+		}
+		return res.Patterns, nil
 	}
 	opt, tracker := cfg.appOptions()
 	defer cfg.finish(tracker, opt.Spill)

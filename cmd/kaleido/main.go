@@ -32,6 +32,7 @@ func main() {
 	dsName := flag.String("dataset", "", "named dataset (citeseer, mico, patent, youtube)")
 	graphPath := flag.String("graph", "", "edge-list file")
 	threads := flag.Int("threads", 0, "worker threads (0 = all CPUs)")
+	shards := flag.Int("shards", 0, "prefix-range shards run concurrently under one budget (0/1 = unsharded)")
 	budget := flag.String("budget", "", "memory budget for intermediate data (e.g. 512MiB); empty = in-memory")
 	spill := flag.String("spill", os.TempDir(), "spill directory for hybrid storage")
 	predict := flag.Bool("predict", true, "prediction-based load balancing for spilled levels")
@@ -48,6 +49,7 @@ func main() {
 	var stats kaleido.Stats
 	cfg := kaleido.Config{
 		Threads: *threads,
+		Shards:  *shards,
 		Predict: *predict,
 		Stats:   &stats,
 	}

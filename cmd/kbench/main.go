@@ -10,10 +10,13 @@
 // fig16 (+fig15), fig17 (+fig18), plus "sinks" — the fused terminal-
 // expansion paths (clique-d4 / motif-d3 of BENCH_expand.json) with their
 // all-disk write-byte accounting — "compress" — the delta+varint spill
-// codec's time and bytes-on-disk against raw spilling — and "concurrent" —
+// codec's time and bytes-on-disk against raw spilling — "concurrent" —
 // N concurrent runs sharing one memory budget through a kaleido.Engine,
-// with the combined resident peak the arbiter recorded. See EXPERIMENTS.md
-// for the paper-vs-measured record.
+// with the combined resident peak the arbiter recorded — and "shards" —
+// prefix-range sharded execution scaling the vertex-d4 frontier count over
+// 1/2/4 degree-mass-balanced shards (one worker each), with the summed
+// embedding count pinned across shard counts. See EXPERIMENTS.md for the
+// paper-vs-measured record.
 //
 // `kbench -faults` runs the fault-injection campaign instead: a seeded
 // vfs.FaultFS injects transient spill faults (EIO, short writes) across the

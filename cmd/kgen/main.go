@@ -58,13 +58,15 @@ func main() {
 		defer f.Close()
 		w = bufio.NewWriterSize(f, 1<<20)
 	}
+	// Emit original vertex ids: identity on freshly generated graphs, and
+	// layout-independent if the source graph was degree-order relabeled.
 	fmt.Fprintf(w, "# kgen: %d vertices, %d edges, %d labels\n", g.N(), g.M(), g.NumLabels())
 	for _, e := range g.Edges() {
-		fmt.Fprintf(w, "%d %d\n", e.U, e.V)
+		fmt.Fprintf(w, "%d %d\n", g.OrigID(e.U), g.OrigID(e.V))
 	}
 	for v := 0; v < g.N(); v++ {
 		if l := g.Label(uint32(v)); l != 0 {
-			fmt.Fprintf(w, "%d label=%d\n", v, l)
+			fmt.Fprintf(w, "%d label=%d\n", g.OrigID(uint32(v)), l)
 		}
 	}
 	if err := w.Flush(); err != nil {

@@ -22,7 +22,9 @@ func Dataset(name, cacheDir string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	// Load relabels new graphs itself (and caches carry the relabel flag);
+	// wrapGraph is a no-op then, but covers caches written before the flag.
+	return wrapGraph(g)
 }
 
 // DatasetNames lists the available named datasets.
@@ -43,7 +45,7 @@ func Synthetic(n, m, labels int, seed int64) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return wrapGraph(g)
 }
 
 func defaultWorkerCount() int { return runtime.GOMAXPROCS(0) }

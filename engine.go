@@ -86,6 +86,13 @@ func (en *Engine) Triangles(ctx context.Context, g *Graph, cfg Config) (uint64, 
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
+	if cfg.Shards > 1 {
+		res, err := runSharded(ctx, Job{Graph: g, App: AppTriangles, Config: cfg}, cfg.Shards, en.arbiter())
+		if err != nil {
+			return 0, err
+		}
+		return res.Count, nil
+	}
 	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
 	defer cfg.finish(tracker, opt.Spill)
 	return apps.TriangleCount(ctxOrBackground(ctx), g.g, opt)
@@ -97,6 +104,13 @@ func (en *Engine) Cliques(ctx context.Context, g *Graph, k int, cfg Config) (uin
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
+	if cfg.Shards > 1 {
+		res, err := runSharded(ctx, Job{Graph: g, App: AppCliques, K: k, Config: cfg}, cfg.Shards, en.arbiter())
+		if err != nil {
+			return 0, err
+		}
+		return res.Count, nil
+	}
 	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
 	defer cfg.finish(tracker, opt.Spill)
 	return apps.CliqueCount(ctxOrBackground(ctx), g.g, k, opt)
@@ -107,6 +121,13 @@ func (en *Engine) Motifs(ctx context.Context, g *Graph, k int, cfg Config) ([]Pa
 	cfg = en.config(cfg)
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		sres, err := runSharded(ctx, Job{Graph: g, App: AppMotifs, K: k, Config: cfg}, cfg.Shards, en.arbiter())
+		if err != nil {
+			return nil, err
+		}
+		return sres.Patterns, nil
 	}
 	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
 	defer cfg.finish(tracker, opt.Spill)
@@ -122,6 +143,13 @@ func (en *Engine) FSM(ctx context.Context, g *Graph, k int, support uint64, cfg 
 	cfg = en.config(cfg)
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		sres, err := runSharded(ctx, Job{Graph: g, App: AppFSM, K: k, Support: support, Config: cfg}, cfg.Shards, en.arbiter())
+		if err != nil {
+			return nil, err
+		}
+		return sres.Patterns, nil
 	}
 	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
 	defer cfg.finish(tracker, opt.Spill)

@@ -62,6 +62,33 @@ type Options struct {
 	Tracker *memtrack.Tracker
 	// Spill, when non-nil, receives the run's part-level spill accounting.
 	Spill *SpillInfo
+	// Seeds restricts level 1 to a contiguous range of exploration units —
+	// vertex ids for vertex-induced apps, edge ids for FSM. Nil seeds the
+	// full range. Prefix-range sharded execution gives each shard one range:
+	// every canonical embedding is rooted at exactly one level-1 unit, so
+	// disjoint ranges covering the id space partition the embedding space.
+	Seeds *SeedRange
+}
+
+// SeedRange is a half-open level-1 unit id range [Lo, Hi).
+type SeedRange struct {
+	Lo, Hi uint32
+}
+
+// initVertices seeds level 1 with the Options' vertex range (or all vertices).
+func (o Options) initVertices(e *explore.Explorer, g *graph.Graph, filter func(v uint32) bool) error {
+	if o.Seeds != nil {
+		return e.InitVertexRange(o.Seeds.Lo, o.Seeds.Hi, filter)
+	}
+	return e.InitVertices(filter)
+}
+
+// initEdges seeds level 1 with the Options' edge range (or all edges).
+func (o Options) initEdges(e *explore.Explorer, g *graph.Graph, filter func(eid uint32) bool) error {
+	if o.Seeds != nil {
+		return e.InitEdgeRange(o.Seeds.Lo, o.Seeds.Hi, filter)
+	}
+	return e.InitEdges(filter)
 }
 
 // SpillInfo is the hybrid-storage accounting of one application run.
@@ -165,7 +192,7 @@ func TriangleCount(ctx context.Context, g *graph.Graph, opt Options) (uint64, er
 	}
 	defer e.Close()
 	defer captureSpill(opt, e)
-	if err := e.InitVertices(nil); err != nil {
+	if err := opt.initVertices(e, g, nil); err != nil {
 		return 0, err
 	}
 	if err := e.Expand(ctx, nil, nil); err != nil {
@@ -260,7 +287,7 @@ func CliqueCount(ctx context.Context, g *graph.Graph, k int, opt Options) (uint6
 	}
 	defer e.Close()
 	defer captureSpill(opt, e)
-	if err := e.InitVertices(nil); err != nil {
+	if err := opt.initVertices(e, g, nil); err != nil {
 		return 0, err
 	}
 	filter := cliqueFilter(g, threadsOf(opt))
@@ -289,7 +316,7 @@ func MotifCount(ctx context.Context, g *graph.Graph, k int, opt Options) ([]Patt
 	}
 	defer e.Close()
 	defer captureSpill(opt, e)
-	if err := e.InitVertices(nil); err != nil {
+	if err := opt.initVertices(e, g, nil); err != nil {
 		return nil, err
 	}
 	// k-Motif stores only k−1 levels (§6.5): the last expansion is consumed

@@ -22,11 +22,16 @@ func defaultThreads() int { return runtime.GOMAXPROCS(0) }
 // dropped, which is why FSM run time is non-monotonic in the support
 // (Fig. 11). ctx cancels the run between blocks of work.
 func FSM(ctx context.Context, g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, error) {
-	if k < 2 || k > pattern.MaxK {
-		return nil, fmt.Errorf("apps: FSM size %d out of [2,%d]", k, pattern.MaxK)
-	}
-	if support == 0 {
-		return nil, fmt.Errorf("apps: FSM support must be positive")
+	res, _, err := fsmRun(ctx, g, k, support, opt)
+	return res, err
+}
+
+// fsmRun is FSM returning also the number of final-level embeddings the
+// fused aggregation visited (the CountVisitSink total) — the Count a sharded
+// Result reports.
+func fsmRun(ctx context.Context, g *graph.Graph, k int, support uint64, opt Options) ([]PatternCount, uint64, error) {
+	if err := fsmValidate(k, support); err != nil {
+		return nil, 0, err
 	}
 
 	// Init (§5.1): MNI support of every single-edge pattern; infrequent
@@ -35,26 +40,76 @@ func FSM(ctx context.Context, g *graph.Graph, k int, support uint64, opt Options
 	if k == 2 {
 		out := edgeCounts
 		sortCounts(out)
-		return out, nil
+		return out, uint64(g.M()), nil
 	}
 
 	e, err := explore.New(opt.exploreConfig(g, explore.EdgeInduced))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer e.Close()
 	defer captureSpill(opt, e)
-	err = e.InitEdges(func(eid uint32) bool {
-		ed := g.EdgeAt(eid)
-		return freqPairs[pairKey(g.Label(ed.U), g.Label(ed.V))]
-	})
-	if err != nil {
-		return nil, err
+	if err := opt.initEdges(e, g, fsmSeedFilter(g, freqPairs)); err != nil {
+		return nil, 0, err
 	}
 
-	// EmbeddingFilter: the candidate edge must itself be frequent and the
-	// embedding must not exceed k distinct vertices.
-	filter := func(_ int, emb []uint32, verts []uint32, cand uint32) bool {
+	filter := fsmEmbeddingFilter(g, k, freqPairs)
+
+	var result []PatternCount
+	var total uint64
+	for level := 2; level <= k-1; level++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		if level < k-1 {
+			if err := e.Expand(ctx, nil, filter); err != nil {
+				return nil, 0, err
+			}
+			merged, err := aggregateFSM(ctx, g, e, support, opt)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := fsmFilterTop(ctx, g, e, k, merged, opt); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		// Final level: the largest level of the run is aggregated at the
+		// expansion frontier and never materialized — the §6.5
+		// terminal-consumption trick applied to FSM.
+		merged, n, err := aggregateFSMFused(ctx, g, e, filter, support, opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		total = n
+		result = collectFrequent(result, merged, support)
+	}
+	sortCounts(result)
+	return result, total, nil
+}
+
+func fsmValidate(k int, support uint64) error {
+	if k < 2 || k > pattern.MaxK {
+		return fmt.Errorf("apps: FSM size %d out of [2,%d]", k, pattern.MaxK)
+	}
+	if support == 0 {
+		return fmt.Errorf("apps: FSM support must be positive")
+	}
+	return nil
+}
+
+// fsmSeedFilter admits only edges whose 1-edge pattern is frequent.
+func fsmSeedFilter(g *graph.Graph, freqPairs map[uint32]bool) func(eid uint32) bool {
+	return func(eid uint32) bool {
+		ed := g.EdgeAt(eid)
+		return freqPairs[pairKey(g.Label(ed.U), g.Label(ed.V))]
+	}
+}
+
+// fsmEmbeddingFilter is FSM's EmbeddingFilter: the candidate edge must
+// itself be frequent and the embedding must not exceed k distinct vertices.
+func fsmEmbeddingFilter(g *graph.Graph, k int, freqPairs map[uint32]bool) explore.EdgeFilter {
+	return func(_ int, emb []uint32, verts []uint32, cand uint32) bool {
 		ed := g.EdgeAt(cand)
 		if !freqPairs[pairKey(g.Label(ed.U), g.Label(ed.V))] {
 			return false
@@ -68,66 +123,68 @@ func FSM(ctx context.Context, g *graph.Graph, k int, support uint64, opt Options
 		}
 		return len(verts)+nv <= k
 	}
+}
 
-	var result []PatternCount
-	for level := 2; level <= k-1; level++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if level < k-1 {
-			if err := e.Expand(ctx, nil, filter); err != nil {
-				return nil, err
-			}
-			merged, err := aggregateFSM(ctx, g, e, support, opt)
-			if err != nil {
-				return nil, err
-			}
-			// Reducer pruning: drop embeddings of infrequent patterns. The
-			// top level is rewritten in place (keep sink): resident data is
-			// compacted where it sits instead of being copied through a
-			// fresh level builder.
-			nw := threadsOf(opt)
-			hashers := make([]hasher, nw)
-			bufs := make([][]uint32, nw)
-			for i := range hashers {
-				hashers[i] = newHasher(opt.Iso)
-				bufs[i] = make([]uint32, 0, 2*k)
-			}
-			err = e.FilterTop(ctx, func(w int, emb []uint32) bool {
-				p, verts, err := patternOfEdges(g, emb, bufs[w])
-				bufs[w] = verts[:0]
-				if err != nil {
-					return false
-				}
-				h := hashers[w].Hash(p)
-				agg, ok := merged[h]
-				return ok && agg.Frequent()
-			})
-			if err != nil {
-				return nil, err
-			}
-			continue
-		}
-		// Final level: the largest level of the run is aggregated at the
-		// expansion frontier (VisitSink) and never materialized — the §6.5
-		// terminal-consumption trick applied to FSM.
-		merged, err := aggregateFSMFused(ctx, g, e, filter, support, opt)
+// fsmFilterTop is the Reducer pruning pass: drop embeddings of infrequent
+// patterns, rewriting the top level in place (keep sink) so resident data is
+// compacted where it sits instead of being copied through a fresh builder.
+// When the merged map shows every pattern frequent, nothing would be pruned
+// and the whole hash pass over the level is skipped.
+func fsmFilterTop(ctx context.Context, g *graph.Graph, e *explore.Explorer, k int, merged map[uint64]*mni.Agg, opt Options) error {
+	if allFrequent(merged) {
+		return nil
+	}
+	nw := threadsOf(opt)
+	hashers := make([]hasher, nw)
+	bufs := make([][]uint32, nw)
+	for i := range hashers {
+		hashers[i] = newHasher(opt.Iso)
+		bufs[i] = make([]uint32, 0, 2*k)
+	}
+	return e.FilterTop(ctx, func(w int, emb []uint32) bool {
+		p, verts, err := patternOfEdges(g, emb, bufs[w])
+		bufs[w] = verts[:0]
 		if err != nil {
-			return nil, err
+			return false
 		}
-		for _, agg := range merged {
-			if !agg.Frequent() {
-				continue
-			}
-			result = append(result, PatternCount{
-				Pattern: agg.Pat,
-				Count:   agg.Count,
-				Support: agg.Support(),
-			})
+		h := hashers[w].Hash(p)
+		agg, ok := merged[h]
+		return ok && agg.Frequent()
+	})
+}
+
+// allFrequent reports whether every aggregated pattern reached the support
+// threshold — then a pruning pass would keep every embedding.
+func allFrequent(m map[uint64]*mni.Agg) bool {
+	for _, agg := range m {
+		if !agg.Frequent() {
+			return false
 		}
 	}
-	sortCounts(result)
-	return result, nil
+	return true
+}
+
+// collectFrequent appends the frequent patterns of a merged map as results.
+// The reported support is saturated at the query threshold: following the
+// paper (§6.2) domains are released the moment a pattern crosses the
+// threshold, so the exact support is never computed and the raw crossing
+// value would vary with worker and shard merge order.
+func collectFrequent(result []PatternCount, merged map[uint64]*mni.Agg, support uint64) []PatternCount {
+	for _, agg := range merged {
+		if !agg.Frequent() {
+			continue
+		}
+		s := agg.Support()
+		if s > support {
+			s = support
+		}
+		result = append(result, PatternCount{
+			Pattern: agg.Pat,
+			Count:   agg.Count,
+			Support: s,
+		})
+	}
+	return result
 }
 
 // pairKey packs an unordered label pair.
@@ -252,21 +309,23 @@ func aggregateFSM(ctx context.Context, g *graph.Graph, e *explore.Explorer, supp
 }
 
 // aggregateFSMFused is aggregateFSM fused into the expansion itself: the
-// final level's embeddings are handed to the Mapper as they are produced
-// (VisitSink) and never stored, so FSM's largest level writes zero bytes.
-func aggregateFSMFused(ctx context.Context, g *graph.Graph, e *explore.Explorer, filter explore.EdgeFilter, support uint64, opt Options) (map[uint64]*mni.Agg, error) {
+// final level's embeddings are handed to the Mapper as they are produced and
+// never stored, so FSM's largest level writes zero bytes. The sink is the
+// combined Count+Visit sink, so the total embedding count of the final level
+// comes out of the same pass instead of a second walk over the aggregates.
+func aggregateFSMFused(ctx context.Context, g *graph.Graph, e *explore.Explorer, filter explore.EdgeFilter, support uint64, opt Options) (map[uint64]*mni.Agg, uint64, error) {
 	a := newFSMAggregator(g, support, opt)
 	embBufs := make([][]uint32, threadsOf(opt))
-	err := e.ExpandVisit(ctx, nil, filter, func(w int, emb []uint32, cand uint32) error {
+	total, err := e.ExpandCountVisit(ctx, nil, filter, func(w int, emb []uint32, cand uint32) error {
 		buf := append(embBufs[w][:0], emb...)
 		buf = append(buf, cand)
 		embBufs[w] = buf
 		return a.add(w, buf)
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return a.merge(), nil
+	return a.merge(), total, nil
 }
 
 // patternOfEdges builds the labeled pattern of an edge-induced embedding.

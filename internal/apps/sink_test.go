@@ -209,12 +209,7 @@ func materializedFSMFinal(t *testing.T, g *graph.Graph, k int, support uint64, o
 			}
 			continue
 		}
-		for _, agg := range merged {
-			if !agg.Frequent() {
-				continue
-			}
-			result = append(result, PatternCount{Pattern: agg.Pat, Count: agg.Count, Support: agg.Support()})
-		}
+		result = collectFrequent(result, merged, support)
 	}
 	sortCounts(result)
 	return result

@@ -95,12 +95,14 @@ func Generate(d Desc) (*graph.Graph, error) {
 	return g, nil
 }
 
-// Load returns the dataset graph, generating and caching it under cacheDir
-// ("" disables caching). Cached files are validated on read and regenerated
-// on any corruption.
+// Load returns the dataset graph — degree-order relabeled for cache-aware
+// mining — generating and caching it under cacheDir ("" disables caching).
+// Cached files store original ids plus the relabel flag, so a cache hit
+// reproduces the identical permutation; they are validated on read and
+// regenerated on any corruption.
 func Load(d Desc, cacheDir string) (*graph.Graph, error) {
 	if cacheDir == "" {
-		return Generate(d)
+		return generateRelabeled(d)
 	}
 	// The generation parameters are part of the file name so a descriptor
 	// change invalidates stale caches.
@@ -108,7 +110,7 @@ func Load(d Desc, cacheDir string) (*graph.Graph, error) {
 	if g, err := graph.LoadFile(path); err == nil {
 		return g, nil
 	}
-	g, err := Generate(d)
+	g, err := generateRelabeled(d)
 	if err != nil {
 		return nil, err
 	}
@@ -121,14 +123,36 @@ func Load(d Desc, cacheDir string) (*graph.Graph, error) {
 	return g, nil
 }
 
+func generateRelabeled(d Desc) (*graph.Graph, error) {
+	g, err := Generate(d)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Relabel(g)
+}
+
 // CoarsenPatentLabels maps the Patent dataset's 37 fine-grained labels onto 7
 // coarse categories, reproducing the paper's PA-7 variant (Fig. 13): the
 // original graph carries two label levels (category and sub-category of each
 // patent).
 func CoarsenPatentLabels(g *graph.Graph) (*graph.Graph, error) {
+	// Rebuild under original ids so the coarsened graph carries the same
+	// id contract (and relabel pass) as its source.
 	labels := make([]graph.Label, g.N())
+	edges := make([]graph.Edge, 0, g.M())
 	for v := 0; v < g.N(); v++ {
-		labels[v] = g.Label(uint32(v)) * 7 / 37
+		labels[g.OrigID(uint32(v))] = g.Label(uint32(v)) * 7 / 37
 	}
-	return graph.FromEdges(g.N(), g.Edges(), labels)
+	for _, e := range g.Edges() {
+		u, v := g.OrigID(e.U), g.OrigID(e.V)
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	ng, err := graph.FromEdges(g.N(), edges, labels)
+	if err != nil || !g.Relabeled() {
+		return ng, err
+	}
+	return graph.Relabel(ng)
 }

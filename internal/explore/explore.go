@@ -262,12 +262,23 @@ func (e *Explorer) watermarkBytes() int64 {
 // InitVertices sets level 1 to the graph's vertices (optionally filtered) —
 // the Init of vertex-induced applications (§5).
 func (e *Explorer) InitVertices(filter func(v uint32) bool) error {
+	return e.InitVertexRange(0, uint32(e.cfg.Graph.N()), filter)
+}
+
+// InitVertexRange sets level 1 to the vertex ids in [lo, hi) (optionally
+// filtered) — the seed-range restricted Init of prefix-range sharded runs.
+// Every canonical embedding is rooted at exactly one level-1 unit, so
+// explorers seeded with disjoint ranges covering [0, N) together enumerate
+// exactly the embeddings of a full run, each exactly once.
+func (e *Explorer) InitVertexRange(lo, hi uint32, filter func(v uint32) bool) error {
 	if e.cfg.Mode != VertexInduced {
 		return fmt.Errorf("explore: InitVertices on edge-induced explorer")
 	}
-	g := e.cfg.Graph
-	units := make([]uint32, 0, g.N())
-	for v := uint32(0); v < uint32(g.N()); v++ {
+	if n := uint32(e.cfg.Graph.N()); hi > n || lo > hi {
+		return fmt.Errorf("explore: vertex seed range [%d, %d) outside [0, %d)", lo, hi, n)
+	}
+	units := make([]uint32, 0, hi-lo)
+	for v := lo; v < hi; v++ {
 		if filter == nil || filter(v) {
 			units = append(units, v)
 		}
@@ -278,12 +289,20 @@ func (e *Explorer) InitVertices(filter func(v uint32) bool) error {
 // InitEdges sets level 1 to the graph's edge ids (optionally filtered) — the
 // Init of edge-induced applications (§5).
 func (e *Explorer) InitEdges(filter func(eid uint32) bool) error {
+	return e.InitEdgeRange(0, uint32(e.cfg.Graph.M()), filter)
+}
+
+// InitEdgeRange sets level 1 to the edge ids in [lo, hi) (optionally
+// filtered) — the edge-induced analogue of InitVertexRange.
+func (e *Explorer) InitEdgeRange(lo, hi uint32, filter func(eid uint32) bool) error {
 	if e.cfg.Mode != EdgeInduced {
 		return fmt.Errorf("explore: InitEdges on vertex-induced explorer")
 	}
-	g := e.cfg.Graph
-	units := make([]uint32, 0, g.M())
-	for eid := uint32(0); eid < uint32(g.M()); eid++ {
+	if m := uint32(e.cfg.Graph.M()); hi > m || lo > hi {
+		return fmt.Errorf("explore: edge seed range [%d, %d) outside [0, %d)", lo, hi, m)
+	}
+	units := make([]uint32, 0, hi-lo)
+	for eid := lo; eid < hi; eid++ {
 		if filter == nil || filter(eid) {
 			units = append(units, eid)
 		}
@@ -315,6 +334,18 @@ func (e *Explorer) uncharge() {
 	e.ledger = e.ledger[:len(e.ledger)-1]
 	if e.cfg.Tracker != nil {
 		e.cfg.Tracker.Free(b)
+	}
+}
+
+// rechargeLevel replaces the ledger entry of level l (1-based) with b,
+// adjusting the tracker by the delta. Unlike uncharge/charge this works for
+// any resident level, which promotion below the top needs.
+func (e *Explorer) rechargeLevel(l int, b int64) {
+	old := e.ledger[l-1]
+	e.ledger[l-1] = b
+	if e.cfg.Tracker != nil {
+		e.cfg.Tracker.Free(old)
+		e.cfg.Tracker.Alloc(b)
 	}
 }
 
@@ -411,6 +442,12 @@ func levelPlacement(l cse.LevelData) (memParts, diskParts int, diskBytes, diskBy
 // fight it). Promotion is gated on the raw resident cost of a part but
 // ordered by its physical read cost, so compressed parts promote first.
 func (e *Explorer) promoteTop(top *storage.HybridLevel) error {
+	return e.promoteLevel(e.c.Depth(), top)
+}
+
+// promoteLevel is promoteTop generalized to any resident level l (1-based):
+// the only difference is which ledger slot absorbs the grown resident bytes.
+func (e *Explorer) promoteLevel(l int, h *storage.HybridLevel) error {
 	headroom := e.buildBudget(e.c.Bytes())
 	if t := e.cfg.Tracker; t != nil {
 		if g := e.watermarkBytes() - t.SharedLive(); g < headroom {
@@ -423,21 +460,39 @@ func (e *Explorer) promoteTop(top *storage.HybridLevel) error {
 	if headroom <= 0 {
 		return nil
 	}
-	n, err := top.Promote(headroom)
+	n, err := h.Promote(headroom)
 	if n > 0 {
 		e.promotedParts += n
-		e.uncharge()
-		e.charge(top.Bytes())
+		e.rechargeLevel(l, h.Bytes())
 	}
 	return err
+}
+
+// promoteLevels promotes disk-resident parts of every live hybrid level, top
+// level first (its data is the hottest: the next expansion reads it), while
+// the shared budget watermark keeps headroom. Each promotion recomputes the
+// headroom, so a lower level only reloads what the levels above it left room
+// for.
+func (e *Explorer) promoteLevels() error {
+	for l := e.c.Depth(); l >= 1; l-- {
+		h, ok := e.c.Level(l).(*storage.HybridLevel)
+		if !ok || h.DiskParts() == 0 {
+			continue
+		}
+		if err := e.promoteLevel(l, h); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PopTop discards the top level — releasing its budget charge and deleting
 // any spilled files — and returns the CSE to the previous depth. The base
 // level cannot be popped. Popping frees budget, so disk-resident parts of
-// the newly exposed top that now fit are promoted back to memory, exactly as
-// after an in-place FilterTop. Uses the pooled per-worker scratch — do not
-// run it concurrently with another operation on the same Explorer.
+// any still-live level that now fit — the newly exposed top first, then the
+// levels below it — are promoted back to memory, exactly as after an
+// in-place FilterTop. Uses the pooled per-worker scratch — do not run it
+// concurrently with another operation on the same Explorer.
 func (e *Explorer) PopTop() error {
 	if e.c == nil {
 		return fmt.Errorf("explore: not initialized")
@@ -446,10 +501,7 @@ func (e *Explorer) PopTop() error {
 		return err
 	}
 	e.uncharge()
-	if top, ok := e.c.Top().(*storage.HybridLevel); ok {
-		return e.promoteTop(top)
-	}
-	return nil
+	return e.promoteLevels()
 }
 
 // CSE exposes the underlying structure (read-only use).

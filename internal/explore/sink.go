@@ -193,6 +193,47 @@ func (s *VisitSink) endChunk(worker, chunk int) error { return nil }
 func (s *VisitSink) finish(e *Explorer) error         { return nil }
 func (s *VisitSink) abort()                           {}
 
+// CountVisitSink fuses CountSink and VisitSink: every extension reaches the
+// per-worker callback and is tallied into a padded per-worker counter in the
+// same pass. A workload whose terminal expansion both aggregates and needs
+// the total embedding count (FSM's final MNI aggregation) gets the count for
+// free instead of re-deriving it with a second hash pass over its aggregates.
+type CountVisitSink struct {
+	VisitSink
+	counts []paddedCount
+	total  uint64
+}
+
+func (s *CountVisitSink) begin(e *Explorer, top cse.LevelData, bounds []int) error {
+	if err := s.VisitSink.begin(e, top, bounds); err != nil {
+		return err
+	}
+	if cap(s.counts) < e.cfg.Threads {
+		s.counts = make([]paddedCount, e.cfg.Threads)
+	}
+	s.counts = s.counts[:e.cfg.Threads]
+	for i := range s.counts {
+		s.counts[i].n = 0
+	}
+	s.total = 0
+	return nil
+}
+
+func (s *CountVisitSink) emit(worker, chunk int, emb, children, preds []uint32) error {
+	s.counts[worker].n += uint64(len(children))
+	return s.VisitSink.emit(worker, chunk, emb, children, preds)
+}
+
+func (s *CountVisitSink) finish(e *Explorer) error {
+	for i := range s.counts {
+		s.total += s.counts[i].n
+	}
+	return nil
+}
+
+// Total returns the number of children the expansion produced.
+func (s *CountVisitSink) Total() uint64 { return s.total }
+
 // ExpandTo runs one exploration iteration under the default canonical filter
 // plus the optional user filter, emitting the output stream into sink. It is
 // the engine primitive behind Expand (StoreSink), ExpandCount (CountSink)
@@ -257,4 +298,16 @@ func (e *Explorer) ExpandCount(ctx context.Context, vf VertexFilter, ef EdgeFilt
 func (e *Explorer) ExpandVisit(ctx context.Context, vf VertexFilter, ef EdgeFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
 	s := VisitSink{visit: visit}
 	return e.ExpandTo(ctx, &s, vf, ef)
+}
+
+// ExpandCountVisit is ExpandVisit plus the embedding count of the same pass
+// (CountVisitSink): the walk visits every canonical extension and returns how
+// many there were, so terminal aggregations that also report a count do not
+// need a second pass over their aggregate state. The CSE is unchanged.
+func (e *Explorer) ExpandCountVisit(ctx context.Context, vf VertexFilter, ef EdgeFilter, visit func(worker int, emb []uint32, cand uint32) error) (uint64, error) {
+	s := CountVisitSink{VisitSink: VisitSink{visit: visit}}
+	if err := e.ExpandTo(ctx, &s, vf, ef); err != nil {
+		return 0, err
+	}
+	return s.Total(), nil
 }

@@ -50,6 +50,12 @@ type Graph struct {
 	// hub is the bitset half of the hybrid adjacency index (adjindex.go);
 	// nil when disabled or when no vertex reaches the threshold.
 	hub *hubIndex
+
+	// Degree-ordered relabeling permutation (relabel.go): origID[new] is the
+	// load-time id of internal vertex new, newID[old] the inverse. Both nil
+	// when the graph was never relabeled.
+	origID []uint32
+	newID  []uint32
 }
 
 // N returns the number of vertices.
@@ -141,6 +147,8 @@ func (g *Graph) Bytes() int64 {
 		int64(len(g.adjEdge))*4 +
 		int64(len(g.edges))*8 +
 		int64(len(g.labels))*2 +
+		int64(len(g.origID))*4 +
+		int64(len(g.newID))*4 +
 		g.hub.bytes()
 }
 

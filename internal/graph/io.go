@@ -82,27 +82,59 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 // binaryMagic identifies the Kaleido binary graph format.
 const binaryMagic = uint32(0x4b414c44) // "KALD"
 
+// binaryRelabeled is the version-2 flag bit recording that the graph was
+// degree-order relabeled. The file always stores original (load-time) ids —
+// stable across relabeling policy changes and diffable against the text edge
+// list — and the reader re-runs the deterministic Relabel pass when the flag
+// is set, reproducing the identical permutation.
+const binaryRelabeled = uint32(1)
+
 // WriteBinary serializes the graph in a compact little-endian binary format
-// so generated datasets can be cached between benchmark runs.
+// so generated datasets can be cached between benchmark runs. Version 2 adds
+// a flags word after the header; edges and labels are written under the
+// original vertex ids regardless of relabeling.
 func (g *Graph) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	hdr := []uint32{binaryMagic, 1, uint32(g.n), uint32(g.m), uint32(g.numLabels)}
+	flags := uint32(0)
+	if g.Relabeled() {
+		flags |= binaryRelabeled
+	}
+	hdr := []uint32{binaryMagic, 2, uint32(g.n), uint32(g.m), uint32(g.numLabels), flags}
 	for _, h := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.edges); err != nil {
+	edges := g.edges
+	if g.Relabeled() {
+		edges = make([]Edge, g.m)
+		for i, e := range g.edges {
+			u, v := g.origID[e.U], g.origID[e.V]
+			if u > v {
+				u, v = v, u
+			}
+			edges[i] = Edge{u, v}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, edges); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.labels); err != nil {
+	labels := g.labels
+	if g.Relabeled() {
+		labels = make([]Label, g.n)
+		for nv, l := range g.labels {
+			labels[g.origID[nv]] = l
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, labels); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
 // ReadBinary deserializes a graph written by WriteBinary, validating all
-// invariants before returning.
+// invariants before returning. Version-1 files (no flags word, never
+// relabeled) are still accepted.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic, version, n, m, numLabels uint32
@@ -114,8 +146,14 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if magic != binaryMagic {
 		return nil, fmt.Errorf("graph: bad magic %#x", magic)
 	}
-	if version != 1 {
+	if version != 1 && version != 2 {
 		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	var flags uint32
+	if version == 2 {
+		if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+			return nil, fmt.Errorf("graph: bad binary header: %w", err)
+		}
 	}
 	if n > 1<<30 || m > 1<<31 {
 		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
@@ -128,7 +166,14 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err := binary.Read(br, binary.LittleEndian, labels); err != nil {
 		return nil, fmt.Errorf("graph: truncated labels: %w", err)
 	}
-	return FromEdges(int(n), edges, labels)
+	g, err := FromEdges(int(n), edges, labels)
+	if err != nil {
+		return nil, err
+	}
+	if flags&binaryRelabeled != 0 {
+		return Relabel(g)
+	}
+	return g, nil
 }
 
 // SaveFile writes the binary format to path.

@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"time"
 
 	"kaleido/internal/apps"
@@ -82,6 +83,17 @@ var (
 type Config struct {
 	// Threads is the worker count (0 = GOMAXPROCS).
 	Threads int
+	// Shards splits the run into that many contiguous level-1 seed ranges —
+	// balanced by degree mass over the relabeled id order — executed as
+	// concurrent sub-runs that share this Config's memory budget and merge
+	// their results at the barrier (counts sum; motif aggregates merge by
+	// isomorphism hash; FSM prunes level-synchronously against globally
+	// merged supports, so sharded counts and supports equal unsharded ones
+	// exactly — only the representative edge list rendering a pattern class
+	// may vary, as in any concurrent run).
+	// Threads are divided across the shards, each shard getting at least
+	// one worker. 0 or 1 runs unsharded. See also Engine.RunSharded.
+	Shards int
 	// MemoryBudget caps the resident bytes of intermediate embedding data
 	// (§4.1 hybrid storage). Levels are built in memory part by part; when
 	// the resident total crosses SpillWatermark·MemoryBudget mid-build, the
@@ -264,8 +276,28 @@ func ctxOrBackground(ctx context.Context) context.Context {
 }
 
 // Graph is an immutable labeled undirected graph.
+//
+// Graphs built through this package are degree-order relabeled internally:
+// high-degree vertices get dense low internal ids, so the hub bitset rows
+// and the marker/merge probes of the mining hot path touch a compact low-id
+// prefix of their arrays (fewer cache lines on power-law graphs), and
+// prefix-range sharding cuts balanced seed ranges with a first-fit scan.
+// The permutation is carried on the graph and every public API accepts and
+// returns original (load-time) vertex ids — Label, HasEdge, Neighbors,
+// Miner embeddings and filters all translate transparently.
 type Graph struct {
 	g *graph.Graph
+}
+
+// wrapGraph relabels a freshly built internal graph and wraps it. Every
+// public constructor funnels through here so the id-translation contract
+// holds uniformly.
+func wrapGraph(g *graph.Graph) (*Graph, error) {
+	rg, err := graph.Relabel(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: rg}, nil
 }
 
 // GraphBuilder accumulates edges and labels.
@@ -285,13 +317,14 @@ func (gb *GraphBuilder) AddEdge(u, v uint32) { gb.b.AddEdge(u, v) }
 // SetLabel assigns a vertex label.
 func (gb *GraphBuilder) SetLabel(v uint32, label uint16) { gb.b.SetLabel(v, label) }
 
-// Build finalizes the graph.
+// Build finalizes the graph. Vertex ids keep meaning the builder's ids at
+// the API surface; internally the graph is degree-order relabeled.
 func (gb *GraphBuilder) Build() (*Graph, error) {
 	g, err := gb.b.Build()
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return wrapGraph(g)
 }
 
 // LoadEdgeList parses a whitespace-separated edge list ("u v" lines, "#"
@@ -301,7 +334,7 @@ func LoadEdgeList(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: g}, nil
+	return wrapGraph(g)
 }
 
 // LoadEdgeListFile reads an edge-list file.
@@ -326,19 +359,40 @@ func (g *Graph) NumLabels() int { return g.g.NumLabels() }
 // AvgDegree returns 2M/N.
 func (g *Graph) AvgDegree() float64 { return g.g.AvgDegree() }
 
-// Label returns the label of vertex v.
-func (g *Graph) Label(v uint32) uint16 { return g.g.Label(v) }
+// Relabeled reports whether the graph's internal ids were degree-order
+// relabeled at build time. The public API accepts and returns original ids
+// either way; this only signals that translation is happening underneath.
+func (g *Graph) Relabeled() bool { return g.g.Relabeled() }
 
-// HasEdge reports whether {u, v} is an edge.
-func (g *Graph) HasEdge(u, v uint32) bool { return g.g.HasEdge(u, v) }
+// Label returns the label of vertex v (original id).
+func (g *Graph) Label(v uint32) uint16 { return g.g.Label(g.g.NewID(v)) }
 
-// Neighbors returns the sorted neighbors of v; callers must not mutate it.
-func (g *Graph) Neighbors(v uint32) []uint32 { return g.g.Neighbors(v) }
+// HasEdge reports whether {u, v} is an edge (original ids).
+func (g *Graph) HasEdge(u, v uint32) bool { return g.g.HasEdge(g.g.NewID(u), g.g.NewID(v)) }
+
+// Neighbors returns the sorted neighbors of v under original ids. On a
+// relabeled graph this is a freshly translated copy; otherwise it aliases
+// internal storage and must not be mutated.
+func (g *Graph) Neighbors(v uint32) []uint32 {
+	nb := g.g.Neighbors(g.g.NewID(v))
+	if !g.g.Relabeled() {
+		return nb
+	}
+	out := make([]uint32, len(nb))
+	for i, u := range nb {
+		out[i] = g.g.OrigID(u)
+	}
+	slices.Sort(out)
+	return out
+}
 
 // validate checks a config for early, friendly errors.
 func (c Config) validate() error {
 	if c.MemoryBudget > 0 && c.SpillDir == "" {
 		return fmt.Errorf("kaleido: MemoryBudget set but SpillDir empty")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("kaleido: negative Shards %d", c.Shards)
 	}
 	if c.SpillWatermark < 0 || c.SpillWatermark > 1 {
 		return fmt.Errorf("kaleido: SpillWatermark %v outside [0, 1]", c.SpillWatermark)

@@ -34,9 +34,10 @@ type EmbeddingFilter func(worker int, emb []uint32, cand uint32) bool
 // EmbeddingsExplorer, ResultAggregator) for custom mining applications.
 // A Miner must be Closed to release spilled levels.
 type Miner struct {
-	g   *Graph
-	e   *explore.Explorer
-	cfg Config
+	g    *Graph
+	e    *explore.Explorer
+	cfg  Config
+	mode Mode
 }
 
 // NewMiner creates a Miner over g. ctx only gates creation; each exploration
@@ -69,7 +70,7 @@ func newMiner(ctx context.Context, g *Graph, mode Mode, cfg Config, tracker *mem
 	if err != nil {
 		return nil, err
 	}
-	m := &Miner{g: g, e: e, cfg: cfg}
+	m := &Miner{g: g, e: e, cfg: cfg, mode: mode}
 	if mode == EdgeInduced {
 		err = e.InitEdges(nil)
 	} else {
@@ -113,16 +114,55 @@ func (m *Miner) ExpandCount(ctx context.Context, filter EmbeddingFilter) (uint64
 // must not be retained. Cancelling ctx aborts the walk with ctx.Err().
 func (m *Miner) ExpandVisit(ctx context.Context, filter EmbeddingFilter, visit func(worker int, emb []uint32, cand uint32) error) error {
 	vf, ef := m.filters(filter)
+	if tr := m.translator(); tr != nil {
+		inner := visit
+		og := m.g.g
+		visit = func(w int, emb []uint32, cand uint32) error {
+			return inner(w, tr(w, emb), og.OrigID(cand))
+		}
+	}
 	return m.e.ExpandVisit(ctxOrBackground(ctx), vf, ef, visit)
 }
 
-// filters adapts the public filter to both engine modes.
+// filters adapts the public filter to both engine modes. On a relabeled
+// vertex-induced graph the filter sees original ids — the same translation
+// ForEach and ExpandVisit apply — so user code is id-layout agnostic.
 func (m *Miner) filters(filter EmbeddingFilter) (explore.VertexFilter, explore.EdgeFilter) {
 	if filter == nil {
 		return nil, nil
 	}
+	if tr := m.translator(); tr != nil {
+		inner := filter
+		og := m.g.g
+		filter = func(w int, emb []uint32, cand uint32) bool {
+			return inner(w, tr(w, emb), og.OrigID(cand))
+		}
+	}
 	return func(w int, emb []uint32, cand uint32) bool { return filter(w, emb, cand) },
 		func(w int, emb []uint32, _ []uint32, cand uint32) bool { return filter(w, emb, cand) }
+}
+
+// translator returns a per-worker buffer-reusing mapping from internal to
+// original vertex ids, or nil when ids need no translation (edge-induced
+// mode exposes opaque edge ids; unrelabeled graphs are the identity).
+func (m *Miner) translator() func(worker int, emb []uint32) []uint32 {
+	g := m.g.g
+	if m.mode != VertexInduced || !g.Relabeled() {
+		return nil
+	}
+	threads := m.cfg.Threads
+	if threads <= 0 {
+		threads = defaultWorkerCount()
+	}
+	bufs := make([][]uint32, threads)
+	return func(w int, emb []uint32) []uint32 {
+		buf := append(bufs[w][:0], emb...)
+		for i, v := range buf {
+			buf[i] = g.OrigID(v)
+		}
+		bufs[w] = buf
+		return buf
+	}
 }
 
 // Depth returns the current embedding size.
@@ -190,6 +230,10 @@ func (m *Miner) LevelStats() []LevelStat {
 // buffer the callback must not retain. Cancelling ctx aborts the walk with
 // ctx.Err().
 func (m *Miner) ForEach(ctx context.Context, visit func(worker int, emb []uint32) error) error {
+	if tr := m.translator(); tr != nil {
+		inner := visit
+		visit = func(w int, emb []uint32) error { return inner(w, tr(w, emb)) }
+	}
 	return m.e.ForEach(ctxOrBackground(ctx), visit)
 }
 

@@ -1,0 +1,172 @@
+package kaleido
+
+import (
+	"context"
+	"fmt"
+
+	"kaleido/internal/apps"
+	"kaleido/internal/memtrack"
+)
+
+// App identifies one of the built-in mining applications for sharded jobs.
+type App int
+
+const (
+	// AppTriangles counts triangles (K and Support unused).
+	AppTriangles App = iota
+	// AppCliques counts K-cliques.
+	AppCliques
+	// AppMotifs counts K-vertex motifs.
+	AppMotifs
+	// AppFSM mines frequent subgraphs with K−1 edges at MNI support Support.
+	AppFSM
+)
+
+// Job describes one mining job for Engine.RunSharded.
+type Job struct {
+	Graph *Graph
+	App   App
+	// K is the embedding size of clique/motif/FSM jobs.
+	K int
+	// Support is the FSM MNI support threshold.
+	Support uint64
+	// Config tunes the job. Config.Shards is ignored here — the shard count
+	// is the RunSharded argument.
+	Config Config
+}
+
+// Result is the merged output of a sharded run.
+type Result struct {
+	// Count is the scalar result: triangles or K-cliques counted; for
+	// motifs the total embeddings aggregated; for FSM the number of
+	// final-level embeddings the fused aggregation visited.
+	Count uint64
+	// Patterns holds the merged aggregates of motif and FSM jobs, sorted
+	// exactly as an unsharded run sorts them.
+	Patterns []PatternCount
+	// Stats is the merged accounting of all shards (I/O and spill counters
+	// sum; PeakBytes is the combined peak of the budget pool the shards
+	// shared).
+	Stats Stats
+}
+
+// RunSharded executes job as shards concurrent prefix-range sub-runs, each
+// charging the engine's shared budget through its own arbiter tracker, and
+// merges counts, pattern aggregates, and stats at the barrier. The level-1
+// unit range (vertex ids, or edge ids for FSM) is split into contiguous
+// ranges balanced by degree mass — cheap and tight because built graphs are
+// degree-order relabeled — and every canonical embedding is rooted at
+// exactly one level-1 unit, so the shards partition the embedding space:
+// merged results are identical to an unsharded run's. Job threads are
+// divided across the shards. Cancelling ctx cancels every shard.
+func (en *Engine) RunSharded(ctx context.Context, job Job, shards int) (*Result, error) {
+	job.Config = en.config(job.Config)
+	return runSharded(ctx, job, shards, en.arbiter())
+}
+
+// runSharded is the shared sharded-execution core: used by Engine.RunSharded
+// and by the Config.Shards dispatch of the one-shot Graph methods (which
+// pass a private arbiter so the shards respect the one Config budget).
+func runSharded(ctx context.Context, job Job, shards int, arb *memtrack.Arbiter) (*Result, error) {
+	cfg := job.Config
+	cfg.Shards = 0
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if job.Graph == nil {
+		return nil, fmt.Errorf("kaleido: sharded job without a graph")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	ctx = ctxOrBackground(ctx)
+	g := job.Graph.g
+
+	// Seed ranges balanced by degree mass; FSM shards the edge id range.
+	var bounds []int
+	if job.App == AppFSM {
+		bounds = g.DegreeMassEdgeRanges(shards)
+	} else {
+		bounds = g.DegreeMassVertexRanges(shards)
+	}
+
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = defaultWorkerCount()
+	}
+	perShard := threads / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+
+	opts := make([]apps.Options, shards)
+	trackers := make([]*memtrack.Tracker, shards)
+	for i := range opts {
+		scfg := cfg
+		scfg.Threads = perShard
+		opt, tracker := scfg.appOptionsWith(arb.NewTracker())
+		opt.Seeds = &apps.SeedRange{Lo: uint32(bounds[i]), Hi: uint32(bounds[i+1])}
+		opt.Spill = &apps.SpillInfo{}
+		opts[i] = opt
+		trackers[i] = tracker
+	}
+
+	res := &Result{}
+	var err error
+	switch job.App {
+	case AppTriangles:
+		res.Count, err = apps.TriangleCountSharded(ctx, g, opts)
+	case AppCliques:
+		res.Count, err = apps.CliqueCountSharded(ctx, g, job.K, opts)
+	case AppMotifs:
+		var pats []apps.PatternCount
+		pats, err = apps.MotifCountSharded(ctx, g, job.K, opts)
+		if err == nil {
+			res.Patterns = publicCounts(pats)
+			for _, pc := range pats {
+				res.Count += pc.Count
+			}
+		}
+	case AppFSM:
+		var pats []apps.PatternCount
+		pats, res.Count, err = apps.FSMSharded(ctx, g, job.K, job.Support, opts)
+		if err == nil {
+			res.Patterns = publicCounts(pats)
+		}
+	default:
+		return nil, fmt.Errorf("kaleido: unknown app %d", job.App)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = mergeShardStats(arb, trackers, opts)
+	if cfg.Stats != nil {
+		*cfg.Stats = res.Stats
+	}
+	return res, nil
+}
+
+// mergeShardStats folds per-shard accounting into one Stats: I/O, retry and
+// spill counters sum; PeakBytes is the combined peak of the arbiter pool the
+// shards charged (for Engine jobs that pool includes sibling runs).
+func mergeShardStats(arb *memtrack.Arbiter, trackers []*memtrack.Tracker, opts []apps.Options) Stats {
+	var s Stats
+	s.PeakBytes = arb.Peak()
+	for _, t := range trackers {
+		r, w := t.IOTotals()
+		s.ReadBytes += r
+		s.WriteBytes += w
+		s.IORetries += t.IORetries()
+	}
+	for _, opt := range opts {
+		if opt.Spill == nil {
+			continue
+		}
+		s.SpilledLevels += opt.Spill.SpilledLevels
+		s.SpilledParts += opt.Spill.SpilledParts
+		s.PromotedParts += opt.Spill.PromotedParts
+		s.SpilledBytes += opt.Spill.SpilledBytes
+		s.SpilledBytesPhysical += opt.Spill.SpilledBytesPhysical
+	}
+	return s
+}
