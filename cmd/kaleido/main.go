@@ -36,6 +36,8 @@ func main() {
 	budget := flag.String("budget", "", "memory budget for intermediate data (e.g. 512MiB); empty = in-memory")
 	spill := flag.String("spill", os.TempDir(), "spill directory for hybrid storage")
 	predict := flag.Bool("predict", true, "prediction-based load balancing for spilled levels")
+	compress := flag.Bool("compress", true, "delta+varint codec for spilled parts")
+	compressResident := flag.Bool("compress-resident", true, "compressed-mem residency tier under a memory budget")
 	iso := flag.String("iso", "eigen", "isomorphism backend: eigen | bliss | exact")
 	flag.Parse()
 
@@ -70,6 +72,12 @@ func main() {
 		}
 		cfg.MemoryBudget = b
 		cfg.SpillDir = *spill
+	}
+	if !*compress {
+		cfg.Compression = kaleido.CompressionOff
+	}
+	if !*compressResident {
+		cfg.ResidentCompression = kaleido.CompressionOff
 	}
 
 	// Ctrl-C cancels the run: workers notice within one block of work, the
@@ -118,6 +126,10 @@ func main() {
 		float64(stats.PeakBytes)/(1<<20),
 		float64(stats.ReadBytes)/(1<<20),
 		float64(stats.WriteBytes)/(1<<20))
+	if stats.SpilledParts > 0 || stats.CompressedParts > 0 {
+		fmt.Printf("residency: %d parts spilled to disk, %d parts compressed in memory\n",
+			stats.SpilledParts, stats.CompressedParts)
+	}
 }
 
 func loadGraph(ds, path string) (*kaleido.Graph, error) {

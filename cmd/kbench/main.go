@@ -12,10 +12,13 @@
 // all-disk write-byte accounting — "compress" — the delta+varint spill
 // codec's time and bytes-on-disk against raw spilling — "concurrent" —
 // N concurrent runs sharing one memory budget through a kaleido.Engine,
-// with the combined resident peak the arbiter recorded — and "shards" —
+// with the combined resident peak the arbiter recorded — "shards" —
 // prefix-range sharded execution scaling the vertex-d4 frontier count over
 // 1/2/4 degree-mass-balanced shards (one worker each), with the summed
-// embedding count pinned across shard counts. See EXPERIMENTS.md for the
+// embedding count pinned across shard counts — and "resident" — the
+// compressed-resident tier (raw-mem → compressed-mem → disk) against raw
+// spilling under a halved budget, reporting spilled/compressed part counts
+// and the physical resident-peak reduction. See EXPERIMENTS.md for the
 // paper-vs-measured record.
 //
 // `kbench -faults` runs the fault-injection campaign instead: a seeded
@@ -33,6 +36,7 @@ import (
 	"runtime"
 
 	"kaleido/internal/bench"
+	"kaleido/internal/storage"
 )
 
 func main() {
@@ -46,6 +50,8 @@ func main() {
 	faults := flag.Bool("faults", false, "run the fault-injection campaign (shorthand for -exp faults)")
 	faultP := flag.Float64("fault-p", 0, "per-op probability of each transient fault class in the faults campaign (0 = default 0.01)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault schedule seed (0 = default 42)")
+	compress := flag.Bool("compress", true, "delta+varint codec for spilled parts in budgeted experiments")
+	compressResident := flag.Bool("compress-resident", true, "compressed-mem residency tier for budgeted experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -64,6 +70,12 @@ func main() {
 		PredictSample:  *predictSample,
 		FaultP:         *faultP,
 		FaultSeed:      *faultSeed,
+	}
+	if !*compress {
+		cfg.Compression = storage.CompressionOff
+	}
+	if !*compressResident {
+		cfg.ResidentCompression = storage.CompressionOff
 	}
 	ids := []string{*exp}
 	if *faults {

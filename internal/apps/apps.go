@@ -55,6 +55,12 @@ type Options struct {
 	// Compression selects the on-disk encoding of spilled level parts
 	// (storage.CompressionAuto compresses spill files; memory stays raw).
 	Compression storage.Compression
+	// ResidentCompression enables the compressed-mem tier for budgeted runs
+	// (storage.CompressionAuto, the default): under pressure the budget
+	// governor squeezes raw resident parts into in-memory codec blocks
+	// before spilling to disk, and sealed levels are compacted wholesale.
+	// storage.CompressionOff keeps resident parts raw.
+	ResidentCompression storage.Compression
 	// FS routes all spill I/O; nil means the real filesystem. Fault
 	// campaigns inject a vfs.FaultFS here.
 	FS      vfs.FS
@@ -100,11 +106,19 @@ type SpillInfo struct {
 	// PromotedParts counts disk parts promoted back to memory after an
 	// in-place filter or a pop left the (shared) budget with headroom.
 	PromotedParts int
+	// CompressedParts counts raw resident parts squeezed into
+	// compressed-mem blocks (by the build governor under pressure and by
+	// cold-level compaction).
+	CompressedParts int
 	// SpilledBytes is the logical size (raw word bytes) of the spilled
 	// parts; SpilledBytesPhysical is what they occupied on disk — smaller
 	// when spill compression is on.
 	SpilledBytes         int64
 	SpilledBytesPhysical int64
+	// ResidentBytesLogical is the raw word footprint the memory-resident
+	// level data stood for at run end — larger than the tracked resident
+	// bytes when compressed-mem parts were live.
+	ResidentBytesLogical int64
 }
 
 func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config {
@@ -114,9 +128,10 @@ func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config
 		SpillWatermark: o.SpillWatermark,
 		Predict:        o.Predict, PredictSample: o.PredictSample,
 		BufSize: o.BufSize, BlockSize: o.BlockSize,
-		Compression: o.Compression,
-		FS:          o.FS,
-		Tracker:     o.Tracker,
+		Compression:         o.Compression,
+		ResidentCompression: o.ResidentCompression,
+		FS:                  o.FS,
+		Tracker:             o.Tracker,
 	}
 }
 
@@ -128,8 +143,10 @@ func captureSpill(opt Options, e *explore.Explorer) {
 			SpilledLevels:        e.SpilledLevels(),
 			SpilledParts:         e.SpilledParts(),
 			PromotedParts:        e.PromotedParts(),
+			CompressedParts:      e.CompressedParts(),
 			SpilledBytes:         e.SpilledBytes(),
 			SpilledBytesPhysical: e.SpilledBytesPhysical(),
+			ResidentBytesLogical: e.ResidentBytesLogical(),
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"kaleido/internal/graph"
 	"kaleido/internal/memtrack"
 	"kaleido/internal/rstream"
+	"kaleido/internal/storage"
 )
 
 // bgCtx is the uncancellable context of the harness's own runs: experiments
@@ -35,6 +36,14 @@ type RunConfig struct {
 	// sweep the governor watermark and the §4.2 sampling budget.
 	SpillWatermark float64
 	PredictSample  int
+
+	// Compression and ResidentCompression select the spill codec and the
+	// compressed-mem residency tier for the budgeted experiments (table4,
+	// fig16, fig17, sinks). Zero values = both on (storage.CompressionAuto).
+	// The "compress" and "resident" experiments sweep these dimensions
+	// themselves and ignore the knobs.
+	Compression         storage.Compression
+	ResidentCompression storage.Compression
 
 	// FaultP and FaultSeed parameterize the "faults" campaign: the
 	// per-operation probability of each transient fault class (EIO read,
@@ -87,7 +96,7 @@ func (r Result) Render() string {
 // Experiments lists the available experiment ids in paper order, followed by
 // the engine experiments that go beyond the paper's evaluation.
 func Experiments() []string {
-	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks", "compress", "concurrent", "faults", "shards"}
+	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks", "compress", "resident", "concurrent", "faults", "shards"}
 }
 
 // Run executes one experiment by id.
@@ -115,6 +124,8 @@ func Run(id string, cfg RunConfig) ([]Result, error) {
 		return sinks(cfg)
 	case "compress":
 		return compress(cfg)
+	case "resident":
+		return resident(cfg)
 	case "concurrent":
 		return concurrent(cfg)
 	case "faults":

@@ -46,6 +46,7 @@ func engineExplorer(tb testing.TB, g *graph.Graph, c expandCase) *explore.Explor
 	if c.budget > 0 {
 		cfg.MemoryBudget = c.budget
 		cfg.SpillDir = tb.TempDir()
+		cfg.ResidentCompression = c.residentComp
 	}
 	ex, err := explore.New(cfg)
 	if err != nil {
@@ -76,6 +77,11 @@ type expandCase struct {
 	threads int
 	predict bool  // enable §4.2 candidate-size prediction
 	budget  int64 // memory budget; > 0 spills every level to disk (out-of-core)
+	// residentComp selects the compressed-mem residency tier for budgeted
+	// cases. The raw spill cases pin CompressionOff so they keep measuring
+	// the disk path the budget was sized for; vertex-d4-budget leaves the
+	// Auto default and measures the tier avoiding that spill.
+	residentComp storage.Compression
 }
 
 func expandCases() []expandCase {
@@ -83,13 +89,19 @@ func expandCases() []expandCase {
 		{name: "vertex-d3", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4},
 		{name: "vertex-d4", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 3, threads: 4},
 		{name: "edge-d3", mode: explore.EdgeInduced, n: 2000, m: 6000, seed: 7, depth: 2, threads: 4},
-		{name: "vertex-d3-disk", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4, budget: 1},
+		{name: "vertex-d3-disk", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4, budget: 1, residentComp: storage.CompressionOff},
 		// The hybrid case sizes the budget so the governor sends roughly
 		// half of the ~2.2 MB leaf level to disk and keeps the rest
 		// resident (the §4.1 half-memory-half-disk configuration); its
 		// throughput must land strictly between vertex-d3 (all-mem) and
 		// vertex-d3-disk (all-disk).
-		{name: "vertex-d3-hybrid", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4, budget: 1_350_000},
+		{name: "vertex-d3-hybrid", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 2, threads: 4, budget: 1_350_000, residentComp: storage.CompressionOff},
+		// The budgeted d4 case sizes the budget below the ~179 MB raw leaf
+		// level but above its compressed-mem footprint: with the resident
+		// tier on (the default) the whole level stays memory-resident in
+		// codec blocks, where the same budget under raw residency spills
+		// parts to disk (TestBudgetBenchCaseAvoidsSpill pins this split).
+		{name: "vertex-d4-budget", mode: explore.VertexInduced, n: 4000, m: 16000, seed: 42, depth: 3, threads: 4, budget: 140 << 20},
 	}
 }
 
@@ -346,6 +358,108 @@ func TestHybridBenchCasePlacement(t *testing.T) {
 	}
 }
 
+// expandToDepth runs a fresh explorer of the vertex-d4-budget case to its
+// full depth under the given resident-compression mode, returning the final
+// explorer for inspection (caller closes it).
+func budgetCaseExplorer(tb testing.TB, rc storage.Compression) *explore.Explorer {
+	tb.Helper()
+	var c expandCase
+	for _, ec := range expandCases() {
+		if ec.name == "vertex-d4-budget" {
+			c = ec
+		}
+	}
+	if c.name == "" {
+		tb.Fatal("vertex-d4-budget case missing")
+	}
+	g := engineGraph(tb, c.n, c.m, c.seed)
+	ex, err := explore.New(explore.Config{
+		Graph: g, Mode: c.mode, Threads: c.threads,
+		MemoryBudget: c.budget, SpillDir: tb.TempDir(), ResidentCompression: rc,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := ex.InitVertices(nil); err != nil {
+		ex.Close()
+		tb.Fatal(err)
+	}
+	for ex.Depth() < c.depth+1 {
+		if err := ex.Expand(bgCtx, nil, nil); err != nil {
+			ex.Close()
+			tb.Fatal(err)
+		}
+	}
+	return ex
+}
+
+// TestBudgetBenchCaseAvoidsSpill pins the vertex-d4-budget case to its
+// intent: under its budget the compressed-resident tier (the default) keeps
+// the whole leaf level memory-resident, where raw residency must spill parts
+// — so the benchmark measures compression buying back the disk round-trip.
+func TestBudgetBenchCaseAvoidsSpill(t *testing.T) {
+	if raceEnabled {
+		t.Skip("depth-4 budget case: minutes under the race detector; the compressed-resident ladder is race-covered by the explore and apps suites")
+	}
+	comp := budgetCaseExplorer(t, storage.CompressionAuto)
+	defer comp.Close()
+	raw := budgetCaseExplorer(t, storage.CompressionOff)
+	defer raw.Close()
+	if comp.Count() != raw.Count() {
+		t.Errorf("embedding counts differ: %d compressed-resident vs %d raw", comp.Count(), raw.Count())
+	}
+	if n := raw.SpilledParts(); n == 0 {
+		t.Error("raw residency spilled nothing — the budget is not tight, resize the case")
+	}
+	if n := comp.SpilledParts(); n > 0 {
+		t.Errorf("compressed residency spilled %d parts — the budget no longer fits the compressed level", n)
+	}
+	if n := comp.CompressedParts(); n == 0 {
+		t.Error("compressed-resident run compressed no parts")
+	}
+}
+
+// TestCompressedResidentBytesGuard pins the compressed-resident tier's
+// headline win: on a budget tight enough that every level lives under
+// pressure, the resident level data must stand for at least 2x its physical
+// footprint (logical bytes per resident byte). Count identity with raw runs
+// is covered by TestBudgetBenchCaseAvoidsSpill and the apps conformance
+// suite.
+func TestCompressedResidentBytesGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("depth-4 budget case: minutes under the race detector; the compressed-resident ladder is race-covered by the explore and apps suites")
+	}
+	g := engineGraph(t, 4000, 16000, 42)
+	ex, err := explore.New(explore.Config{
+		Graph: g, Mode: explore.VertexInduced, Threads: 4,
+		MemoryBudget: 4 << 20, SpillDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	if err := ex.InitVertices(nil); err != nil {
+		t.Fatal(err)
+	}
+	for ex.Depth() < 4 {
+		if err := ex.Expand(bgCtx, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ex.CompressedParts() == 0 {
+		t.Fatal("tight budget compressed no parts")
+	}
+	logical, resident := ex.ResidentBytesLogical(), ex.Bytes()
+	if resident <= 0 {
+		t.Fatalf("resident bytes %d", resident)
+	}
+	if ratio := float64(logical) / float64(resident); ratio < 2 {
+		t.Errorf("resident stretch %.2fx (%d logical / %d resident) — below the 2x goal", ratio, logical, resident)
+	} else {
+		t.Logf("resident stretch %.2fx (%d logical / %d resident)", ratio, logical, resident)
+	}
+}
+
 // runDiskCase expands the vertex-d3-disk case once under the given
 // compression mode, returning the produced embedding count and the logical /
 // physical spilled byte totals.
@@ -364,6 +478,9 @@ func runDiskCase(tb testing.TB, comp storage.Compression) (produced int, logical
 	ex, err := explore.New(explore.Config{
 		Graph: g, Mode: c.mode, Threads: c.threads,
 		MemoryBudget: c.budget, SpillDir: tb.TempDir(), Compression: comp,
+		// Raw residency: this guard isolates the spill codec's bytes-on-disk
+		// win, so the compressed-mem tier must not absorb any of the spill.
+		ResidentCompression: storage.CompressionOff,
 	})
 	if err != nil {
 		tb.Fatal(err)
@@ -526,11 +643,15 @@ func TestBenchThroughputGuard(t *testing.T) {
 		// Best of three damps scheduler noise; only a sustained slowdown
 		// beyond the tolerance fails.
 		best := float64(0)
+		bestAllocs := int64(-1)
 		produced := 0
 		for run := 0; run < 3; run++ {
 			r, p := measure()
 			if ns := float64(r.NsPerOp()); best == 0 || ns < best {
 				best = ns
+			}
+			if a := r.AllocsPerOp(); bestAllocs < 0 || a < bestAllocs {
+				bestAllocs = a
 			}
 			produced = p
 		}
@@ -544,8 +665,15 @@ func TestBenchThroughputGuard(t *testing.T) {
 		} else {
 			t.Logf("%s: %.1fms/op (snapshot %.1fms/op)", name, best/1e6, want.NsPerOp/1e6)
 		}
+		// Allocation regression: the hot paths pool their buffers, so a
+		// doubling of allocs/op means a pool stopped being reused (a much
+		// cheaper symptom to catch here than as GC time in production).
+		if want.AllocsPerOp > 0 && bestAllocs > 2*want.AllocsPerOp {
+			t.Errorf("%s: %d allocs/op vs snapshot %d — >2x allocation regression",
+				name, bestAllocs, want.AllocsPerOp)
+		}
 	}
-	guarded := map[string]bool{"vertex-d3": true, "edge-d3": true, "vertex-d3-disk": true, "vertex-d3-hybrid": true}
+	guarded := map[string]bool{"vertex-d3": true, "edge-d3": true, "vertex-d3-disk": true, "vertex-d3-hybrid": true, "vertex-d4-budget": true}
 	for _, c := range expandCases() {
 		if !guarded[c.name] {
 			continue

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this binary was built with the race detector;
+// the depth-4 budget tests skip themselves under it (see their comments).
+const raceEnabled = true

@@ -45,7 +45,11 @@ func TestCompressionPlacementConformance(t *testing.T) {
 	}
 	for _, comp := range []storage.Compression{storage.CompressionAuto, storage.CompressionOff} {
 		for bi, budget := range budgets {
-			cfg := Config{Graph: g, Mode: VertexInduced, Threads: 3, Compression: comp}
+			cfg := Config{Graph: g, Mode: VertexInduced, Threads: 3, Compression: comp,
+				// Pin raw residency: this test is about the placement
+				// of *spilled* bytes, so the compressed-mem tier must
+				// not absorb the contrived budget pressure.
+				ResidentCompression: storage.CompressionOff}
 			if budget > 0 {
 				cfg.MemoryBudget, cfg.SpillDir = budget, t.TempDir()
 			}

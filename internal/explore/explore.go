@@ -90,8 +90,17 @@ type Config struct {
 
 	// Compression selects the encoding of spilled level parts. The zero
 	// value (storage.CompressionAuto) compresses everything that goes to
-	// disk; memory-resident parts always stay raw.
+	// disk; raw memory-resident parts are unaffected.
 	Compression storage.Compression
+
+	// ResidentCompression enables the compressed-mem tier for budgeted
+	// runs: under pressure the budget governor squeezes the largest raw
+	// resident parts into in-memory codec blocks before resorting to disk
+	// spill, levels sealed below the walker-stack top are compacted
+	// wholesale, and promotions off disk land compressed. The zero value
+	// (storage.CompressionAuto) enables it; storage.CompressionOff keeps
+	// every resident part raw. Unbudgeted runs never compress residents.
+	ResidentCompression storage.Compression
 
 	// FS is the filesystem the spill path goes through. nil means the real
 	// one (vfs.OS); tests and fault campaigns inject a vfs.FaultFS here.
@@ -122,6 +131,7 @@ type Explorer struct {
 	promotedParts int     // cumulative disk parts promoted back to memory
 	spilledBytes  int64   // cumulative logical bytes of finished levels' disk parts
 	spilledPhys   int64   // cumulative physical (on-disk) bytes of the same parts
+	compParts     int     // cumulative raw resident parts squeezed to compressed-mem
 	ledger        []int64 // tracker bytes charged per level
 	closed        bool
 
@@ -391,13 +401,44 @@ func (e *Explorer) SpilledBytes() int64 { return e.spilledBytes }
 // delta+varint encoding on.
 func (e *Explorer) SpilledBytesPhysical() int64 { return e.spilledPhys }
 
+// CompressedParts reports how many raw resident parts were squeezed into
+// compressed-mem blocks (cumulative): by the build governor under pressure
+// and by cold-level compaction after an Expand seals the previous top.
+// Parts promoted off disk into the compressed-mem tier are counted by
+// PromotedParts, not here.
+func (e *Explorer) CompressedParts() int { return e.compParts }
+
+// ResidentBytesLogical reports the raw word footprint the currently
+// memory-resident level data stands for — what Bytes would report if every
+// compressed-mem part were decompressed. The gap between the two is the
+// budget stretch the compressed-resident tier is buying right now.
+func (e *Explorer) ResidentBytesLogical() int64 {
+	if e.c == nil {
+		return 0
+	}
+	var b int64
+	for l := 1; l <= e.c.Depth(); l++ {
+		if h, ok := e.c.Level(l).(*storage.HybridLevel); ok {
+			b += h.ResidentBytesLogical()
+		} else {
+			b += e.c.Level(l).Bytes()
+		}
+	}
+	return b
+}
+
 // LevelStat describes the storage placement of one live CSE level.
 type LevelStat struct {
-	Len, Groups   int
-	MemParts      int   // memory-resident parts holding data
-	DiskParts     int   // disk-resident parts
-	ResidentBytes int64 // in-memory footprint (arrays + sparse indexes)
-	DiskBytes     int64 // logical on-disk footprint (raw word size)
+	Len, Groups int
+	MemParts    int // memory-resident parts holding data (raw or compressed)
+	// CompressedParts is the compressed-mem subset of MemParts.
+	CompressedParts int
+	DiskParts       int   // disk-resident parts
+	ResidentBytes   int64 // in-memory footprint (arrays + sparse indexes)
+	// ResidentBytesLogical is the raw word footprint the resident parts
+	// stand for — equal to ResidentBytes when none are compressed.
+	ResidentBytesLogical int64
+	DiskBytes            int64 // logical on-disk footprint (raw word size)
 	// DiskBytesPhysical is the bytes the disk parts actually occupy —
 	// smaller than DiskBytes when the spill files are compressed.
 	DiskBytesPhysical int64
@@ -411,25 +452,26 @@ func (e *Explorer) LevelStats() []LevelStat {
 	out := make([]LevelStat, e.c.Depth())
 	for i := range out {
 		l := e.c.Level(i + 1)
-		mp, dp, db, dbp := levelPlacement(l)
+		mp, cp, dp, db, dbp, rbl := levelPlacement(l)
 		out[i] = LevelStat{
 			Len: l.Len(), Groups: l.Groups(),
-			MemParts: mp, DiskParts: dp,
-			ResidentBytes: l.Bytes(), DiskBytes: db, DiskBytesPhysical: dbp,
+			MemParts: mp, CompressedParts: cp, DiskParts: dp,
+			ResidentBytes: l.Bytes(), ResidentBytesLogical: rbl,
+			DiskBytes: db, DiskBytesPhysical: dbp,
 		}
 	}
 	return out
 }
 
 // levelPlacement classifies a level's parts by residency.
-func levelPlacement(l cse.LevelData) (memParts, diskParts int, diskBytes, diskBytesPhysical int64) {
+func levelPlacement(l cse.LevelData) (memParts, compressedParts, diskParts int, diskBytes, diskBytesPhysical, residentLogical int64) {
 	switch v := l.(type) {
 	case *storage.HybridLevel:
-		return v.MemParts(), v.DiskParts(), v.DiskBytes(), v.DiskBytesPhysical()
+		return v.MemParts(), v.CompressedParts(), v.DiskParts(), v.DiskBytes(), v.DiskBytesPhysical(), v.ResidentBytesLogical()
 	case *storage.DiskLevel:
-		return 0, v.NumParts(), v.DiskBytes(), v.DiskBytesPhysical()
+		return 0, 0, v.NumParts(), v.DiskBytes(), v.DiskBytesPhysical(), v.Bytes()
 	default:
-		return 1, 0, 0, 0
+		return 1, 0, 0, 0, 0, l.Bytes()
 	}
 }
 
@@ -468,6 +510,30 @@ func (e *Explorer) promoteLevel(l int, h *storage.HybridLevel) error {
 	return err
 }
 
+// compactColdLevel compresses the raw resident parts of the level an Expand
+// just buried under the new top. Sealed below the walker-stack top, that
+// level is henceforth only read through sequential cursors — where block
+// decode is nearly free — so with resident compression on it is squeezed
+// wholesale and the reclaimed bytes are returned to the shared budget for
+// the hotter levels above it.
+func (e *Explorer) compactColdLevel() {
+	if e.cfg.ResidentCompression == storage.CompressionOff || e.cfg.MemoryBudget <= 0 {
+		return
+	}
+	l := e.c.Depth() - 1
+	if l < 1 {
+		return
+	}
+	h, ok := e.c.Level(l).(*storage.HybridLevel)
+	if !ok {
+		return
+	}
+	if n, _ := h.CompressResident(); n > 0 {
+		e.compParts += n
+		e.rechargeLevel(l, h.Bytes())
+	}
+}
+
 // promoteLevels promotes disk-resident parts of every live hybrid level, top
 // level first (its data is the hottest: the next expansion reads it), while
 // the shared budget watermark keeps headroom. Each promotion recomputes the
@@ -476,7 +542,7 @@ func (e *Explorer) promoteLevel(l int, h *storage.HybridLevel) error {
 func (e *Explorer) promoteLevels() error {
 	for l := e.c.Depth(); l >= 1; l-- {
 		h, ok := e.c.Level(l).(*storage.HybridLevel)
-		if !ok || h.DiskParts() == 0 {
+		if !ok || (h.DiskParts() == 0 && h.CompressedParts() == 0) {
 			continue
 		}
 		if err := e.promoteLevel(l, h); err != nil {
@@ -609,7 +675,8 @@ func (e *Explorer) hybridBuilderFor(nparts int, baseBytes int64) (*storage.Hybri
 	if e.hybridBuilder == nil {
 		hb, err := storage.NewHybridLevelBuilder(
 			e.fs, e.runDir, e.levelSeq, nparts, e.queue, e.cfg.BlockSize, e.cfg.Tracker,
-			budget, &e.pressure, e.watermarkBytes(), e.cfg.Compression)
+			budget, &e.pressure, e.watermarkBytes(), e.cfg.Compression,
+			e.cfg.ResidentCompression)
 		if err != nil {
 			return nil, err
 		}

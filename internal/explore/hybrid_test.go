@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"kaleido/internal/memtrack"
+	"kaleido/internal/storage"
 )
 
 // TestPartialSpillBetweenLevelSizes is the acceptance property of the
@@ -38,6 +39,10 @@ func TestPartialSpillBetweenLevelSizes(t *testing.T) {
 	hy, err := New(Config{
 		Graph: g, Mode: VertexInduced, Threads: 4,
 		MemoryBudget: budget, SpillDir: t.TempDir(),
+		// Raw residency only: the test pins the partial *disk* spill a
+		// between-levels budget forces, which resident compression would
+		// otherwise absorb in memory.
+		ResidentCompression: storage.CompressionOff,
 	})
 	if err != nil {
 		t.Fatal(err)

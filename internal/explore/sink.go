@@ -96,13 +96,16 @@ func (s *StoreSink) finish(e *Explorer) error {
 		lvl.Close()
 		return err
 	}
-	if _, dp, db, dbp := levelPlacement(lvl); dp > 0 {
+	_, cp, dp, db, dbp, _ := levelPlacement(lvl)
+	if dp > 0 {
 		e.spilled++
 		e.spilledParts += dp
 		e.spilledBytes += db
 		e.spilledPhys += dbp
 	}
+	e.compParts += cp // parts the governor squeezed during this build
 	e.charge(lvl.Bytes())
+	e.compactColdLevel()
 	if s.parents > 0 {
 		e.prevFanout, e.lastFanout = e.lastFanout, float64(lvl.Len())/float64(s.parents)
 	}

@@ -824,25 +824,33 @@ func readCompFile(f vfs.File, phys int64, vert bool, dst []uint32) error {
 	if err := retryReadAt(f, buf, 0, nil, nil); err != nil {
 		return err
 	}
+	return decodeAllBlocks(buf, vert, dst, f.Name())
+}
+
+// decodeAllBlocks decodes a complete sequence of codec blocks from buf into
+// dst, whose length must equal the sequence's logical value count. name
+// labels corruption errors — a file path or memBlockPath for resident
+// blocks.
+func decodeAllBlocks(buf []byte, vert bool, dst []uint32, name string) error {
 	blk := make([]uint32, codecBlockVals)
 	pos, got, b := 0, 0, 0
 	for pos < len(buf) {
 		vals, consumed, err := decodeCodecBlock(buf[pos:], vert, blk)
 		if err != nil {
-			return corruptAt(f.Name(), b, err)
+			return corruptAt(name, b, err)
 		}
 		if consumed == 0 {
-			return corruptAt(f.Name(), b, fmt.Errorf("truncated compressed block at byte %d", pos))
+			return corruptAt(name, b, fmt.Errorf("truncated compressed block at byte %d", pos))
 		}
 		pos += consumed
 		b++
 		if got+len(vals) > len(dst) {
-			return corruptAt(f.Name(), b-1, fmt.Errorf("compressed file decodes past %d values", len(dst)))
+			return corruptAt(name, b-1, fmt.Errorf("compressed blocks decode past %d values", len(dst)))
 		}
 		got += copy(dst[got:], vals)
 	}
 	if got != len(dst) {
-		return corruptAt(f.Name(), b, fmt.Errorf("compressed file decoded %d values, want %d", got, len(dst)))
+		return corruptAt(name, b, fmt.Errorf("compressed blocks decoded %d values, want %d", got, len(dst)))
 	}
 	return nil
 }

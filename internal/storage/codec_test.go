@@ -430,7 +430,7 @@ func buildHybridCompressed(t *testing.T, groups [][]uint32, nparts int, spillPar
 	q := NewWriteQueue(64, tracker)
 	t.Cleanup(func() { q.Close() })
 	mb := cse.NewMemLevelBuilder(nparts)
-	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 2, nparts, q, 128, tracker, 1<<40, nil, 0, CompressionAuto)
+	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 2, nparts, q, 128, tracker, 1<<40, nil, 0, CompressionAuto, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -583,7 +583,7 @@ func TestHybridCompressedMidBuildSpill(t *testing.T) {
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
 	const nparts = 8
-	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 3, nparts, q, 0, tracker, totalBytes/2, nil, 0, CompressionAuto)
+	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 3, nparts, q, 0, tracker, totalBytes/2, nil, 0, CompressionAuto, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,22 +34,31 @@ type HybridLevel struct {
 	tracker     *memtrack.Tracker
 	fs          vfs.FS
 	comp        bool // encoding of disk parts, incl. future rewrites
+	rcomp       bool // keep resident parts compressed (promote lands compressed-mem, rewrites re-encode)
 	closed      bool
 }
 
 var _ cse.LevelData = (*HybridLevel)(nil)
 
-// hybridPart is one part of a hybrid level: either resident (verts+bounds
-// populated, files nil) or on disk (vf/cf+chunkCum populated, slices nil).
+// hybridPart is one part of a hybrid level in one of three residency states:
+// raw memory (verts+bounds populated), compressed memory (cverts/ccnts hold
+// encoded codec blocks, comp indexes them — see resident.go), or disk
+// (vf/cf+chunkCum populated). The state ladder under pressure is raw-mem →
+// compressed-mem → disk, and the reverse on recovery.
 type hybridPart struct {
-	// Memory residency.
+	// Raw memory residency.
 	verts  []uint32
 	bounds []uint64 // global end boundary of each local group; len = numGroups
 
+	// Compressed memory residency: the same codec blocks a compressed spill
+	// file holds, resident. comp's offsets index into these slices.
+	cverts []byte
+	ccnts  []byte
+
 	// Disk residency.
 	vf, cf   vfs.File
-	chunkCum []uint64  // chunkCum[j] = children in local groups [0, j·CntChunk)
-	comp     *partComp // compressed-block directory, nil for raw files
+	chunkCum []uint64  // chunkCum[j] = children in local groups [0, j·CntChunk); also kept compressed-mem
+	comp     *partComp // compressed-block directory, nil for raw representations
 
 	numVerts  int
 	numGroups int
@@ -68,17 +77,13 @@ func (h *HybridLevel) Groups() int { return h.totalGroups }
 // Predicted implements cse.LevelData.
 func (h *HybridLevel) Predicted() []cse.PredSeg { return h.pred }
 
-// Bytes reports the resident footprint: the full arrays of memory parts plus
-// the sparse indexes of disk parts.
+// Bytes reports the resident footprint: the full arrays of raw memory parts,
+// the encoded blocks plus directory of compressed-mem parts, and the sparse
+// indexes of disk parts.
 func (h *HybridLevel) Bytes() int64 {
 	var b int64
 	for i := range h.parts {
-		p := &h.parts[i]
-		if p.onDisk() {
-			b += int64(len(p.chunkCum))*8 + p.comp.dirBytes()
-		} else {
-			b += int64(len(p.verts))*4 + int64(len(p.bounds))*8
-		}
+		b += h.parts[i].residentBytes()
 	}
 	return b + int64(len(h.pred))*16
 }
@@ -118,7 +123,8 @@ func (h *HybridLevel) DiskBytesPhysical() int64 {
 }
 
 // MemParts counts the memory-resident parts holding data (empty parts carry
-// no placement information and are not counted).
+// no placement information and are not counted). Compressed-mem parts are
+// memory residents and count here too; CompressedParts reports the subset.
 func (h *HybridLevel) MemParts() int {
 	n := 0
 	for i := range h.parts {
@@ -157,6 +163,7 @@ func (h *HybridLevel) Close() error {
 			poolPutU32(p.verts)
 			poolPutU64(p.bounds)
 			p.verts, p.bounds = nil, nil
+			p.cverts, p.ccnts, p.comp = nil, nil, nil
 			continue
 		}
 		for _, f := range []vfs.File{p.vf, p.cf} {
@@ -193,14 +200,18 @@ func (h *HybridLevel) partIndexForGroup(g int) int {
 	return sort.Search(len(h.parts), func(x int) bool { return h.parts[x].groupBase > g }) - 1
 }
 
-// UnitAt implements cse.LevelData: a slice index for memory parts, one
-// bounded pread for disk parts.
+// UnitAt implements cse.LevelData: a slice index for raw memory parts, one
+// resident block decode for compressed-mem parts, one bounded pread for disk
+// parts.
 func (h *HybridLevel) UnitAt(i int) (uint32, error) {
 	if i < 0 || i >= h.totalVerts {
 		return 0, fmt.Errorf("storage: unit %d out of range %d", i, h.totalVerts)
 	}
 	p := &h.parts[h.partIndexForVert(i)]
 	li := i - p.vertBase
+	if p.compressed() {
+		return p.residentUnit(li)
+	}
 	if !p.onDisk() {
 		return p.verts[li], nil
 	}
@@ -208,13 +219,14 @@ func (h *HybridLevel) UnitAt(i int) (uint32, error) {
 }
 
 // ParentOf implements cse.LevelData: binary search over the resident bounds
-// for memory parts, sparse index plus one bounded cnt read for disk parts.
+// for raw memory parts, sparse index plus one bounded cnt decode (resident
+// blocks or a disk read) for the other residencies.
 func (h *HybridLevel) ParentOf(i int) (int, error) {
 	if i < 0 || i >= h.totalVerts {
 		return 0, fmt.Errorf("storage: parent of %d out of range %d", i, h.totalVerts)
 	}
 	p := &h.parts[h.partIndexForVert(i)]
-	if !p.onDisk() {
+	if !p.onDisk() && !p.compressed() {
 		// First local group whose end boundary exceeds i.
 		j := sort.Search(len(p.bounds), func(x int) bool { return p.bounds[x] > uint64(i) })
 		return p.groupBase + j, nil
@@ -228,7 +240,7 @@ func (h *HybridLevel) ParentOf(i int) (int, error) {
 	}
 	sc := cntPool.Get().(*cntScratch)
 	defer cntPool.Put(sc)
-	cnts, err := readPartCnts(p.cf, p.comp, lo, hi, h.tracker, sc)
+	cnts, err := p.partCnts(lo, hi, h.tracker, sc)
 	if err != nil {
 		return 0, err
 	}
@@ -242,15 +254,15 @@ func (h *HybridLevel) ParentOf(i int) (int, error) {
 	return p.groupBase + hi - 1, nil
 }
 
-// offAtLocal returns the global offs value at local group lg of a disk part
-// (the global vert index where lg's children start).
+// offAtLocal returns the global offs value at local group lg of a disk or
+// compressed-mem part (the global vert index where lg's children start).
 func (p *hybridPart) offAtLocal(lg int, tracker *memtrack.Tracker) (uint64, error) {
 	j := lg / CntChunk
 	cum := p.chunkCum[j]
 	if lg > j*CntChunk {
 		sc := cntPool.Get().(*cntScratch)
 		defer cntPool.Put(sc)
-		cnts, err := readPartCnts(p.cf, p.comp, j*CntChunk, lg, tracker, sc)
+		cnts, err := p.partCnts(j*CntChunk, lg, tracker, sc)
 		if err != nil {
 			return 0, err
 		}
@@ -271,7 +283,7 @@ func (h *HybridLevel) GroupStart(g int) (uint64, error) {
 	}
 	p := &h.parts[h.partIndexForGroup(g)]
 	lg := g - p.groupBase
-	if !p.onDisk() {
+	if !p.onDisk() && !p.compressed() {
 		if lg == 0 {
 			return uint64(p.vertBase), nil
 		}
@@ -347,13 +359,25 @@ func (c *hybridVertBlocks) NextBlock() ([]uint32, bool) {
 			continue
 		}
 		take := min(c.end, pEnd) - c.next
+		from := c.next - p.vertBase
+		if p.compressed() {
+			b0 := from / codecBlockVals
+			b1 := (from + take - 1) / codecBlockVals
+			off := p.comp.vOffs[b0]
+			c.dv = &memCompVertBlocks{
+				buf:       p.cverts[off:p.comp.vertEnd(b1)],
+				skip:      from - b0*codecBlockVals,
+				remaining: take,
+				blk:       b0,
+			}
+			continue
+		}
 		if !p.onDisk() {
-			blk := p.verts[c.next-p.vertBase : c.next-p.vertBase+take]
+			blk := p.verts[from : from+take]
 			c.next += take
 			c.pi++
 			return blk, true
 		}
-		from := c.next - p.vertBase
 		if p.comp != nil {
 			b0 := from / codecBlockVals
 			b1 := (from + take - 1) / codecBlockVals
@@ -429,7 +453,7 @@ func (c *hybridBoundBlocks) NextBlock() ([]uint64, bool) {
 			c.pi++
 			continue
 		}
-		if !p.onDisk() {
+		if !p.onDisk() && !p.compressed() {
 			blk := p.bounds[lf:]
 			c.g += len(blk)
 			c.pi++
@@ -439,6 +463,17 @@ func (c *hybridBoundBlocks) NextBlock() ([]uint64, bool) {
 		if err != nil {
 			c.err = err
 			return nil, false
+		}
+		if p.compressed() {
+			b0 := lf / codecBlockVals
+			c.dv = &memCompBoundBlocks{
+				buf:       p.ccnts[p.comp.cOffs[b0]:],
+				skip:      lf - b0*codecBlockVals,
+				remaining: p.numGroups - lf,
+				cum:       base,
+				blk:       b0,
+			}
+			continue
 		}
 		if p.comp != nil {
 			b0 := lf / codecBlockVals
@@ -492,9 +527,10 @@ type PartRewriter struct {
 	p *hybridPart
 
 	// Memory compaction.
-	w   int // write index into p.verts
-	g   int // local group index
-	cnt uint32
+	w      int // write index into p.verts
+	g      int // local group index
+	cnt    uint32
+	recomp bool // part was compressed-mem; FinishRewrite re-encodes it
 
 	// Disk restream.
 	dw  *diskPartWriter
@@ -553,6 +589,15 @@ func verifyPartFiles(vf, cf vfs.File, numVerts, numGroups int, comp *partComp) e
 func (h *HybridLevel) RewritePart(i int, q *WriteQueue) (*PartRewriter, error) {
 	p := &h.parts[i]
 	r := &PartRewriter{p: p}
+	if p.compressed() {
+		// Decompress for the in-place pass (a transient raw copy of one
+		// part); FinishRewrite re-encodes the compacted result.
+		if err := h.decompressPart(i); err != nil {
+			return nil, err
+		}
+		r.recomp = true
+		return r, nil
+	}
 	if !p.onDisk() {
 		return r, nil
 	}
@@ -667,6 +712,11 @@ func (h *HybridLevel) FinishRewrite(rws []*PartRewriter, q *WriteQueue) error {
 				cum += p.bounds[g]
 				p.bounds[g] = cum
 			}
+			if r.recomp {
+				// The part entered the pass compressed-mem; re-encode the
+				// compacted result so the level keeps its squeezed footprint.
+				h.CompressPart(i)
+			}
 		}
 		total += p.numVerts
 	}
@@ -675,22 +725,25 @@ func (h *HybridLevel) FinishRewrite(rws []*PartRewriter, q *WriteQueue) error {
 	return swapErr
 }
 
-// promoteCost returns the resident bytes a disk part would occupy back in
-// memory, net of the sparse index and block directory it frees: verts as
-// uint32s plus one uint64 bound per group. The cost is the decoded (raw)
-// footprint regardless of the on-disk encoding — promotion always
-// materializes raw arrays.
+// promoteCost returns the extra resident bytes fully decoding the part costs,
+// net of whatever it currently holds: the raw arrays minus the sparse index,
+// block directory and (for compressed-mem parts) the encoded blocks it frees.
 func (p *hybridPart) promoteCost() int64 {
-	return int64(p.numVerts)*4 + int64(p.numGroups)*8 - int64(len(p.chunkCum))*8 - p.comp.dirBytes()
+	freed := int64(len(p.chunkCum))*8 + p.comp.dirBytes() + int64(len(p.cverts)+len(p.ccnts))
+	return p.logicalBytes() - freed
 }
 
-// PromotePart loads disk part i back into memory: the vert file is read into
-// a pooled array, the cnt file is decoded into global group bounds, and the
-// backing files are removed. Bases must already be final (promotion happens
-// between operations, e.g. after FinishRewrite), since the rebuilt bounds
-// are global. On a read error the part is left on disk, untouched.
+// PromotePart materializes part i as raw arrays in memory: a compressed-mem
+// part is decoded in place; a disk part's vert file is read into a pooled
+// array, its cnt file decoded into global group bounds, and the backing
+// files removed. Bases must already be final (promotion happens between
+// operations, e.g. after FinishRewrite), since the rebuilt bounds are
+// global. On a read error the part is left where it was, untouched.
 func (h *HybridLevel) PromotePart(i int) error {
 	p := &h.parts[i]
+	if p.compressed() {
+		return h.decompressPart(i)
+	}
 	if !p.onDisk() {
 		return nil
 	}
@@ -765,12 +818,16 @@ func (h *HybridLevel) PromotePart(i int) error {
 	return first
 }
 
-// Promote moves disk parts back to memory, smallest on-disk (physical)
-// footprint first — the cheapest reads — as long as each part's decoded
-// resident cost fits the remaining headroom. This is the recovery path after
-// an in-place filter or a PopTop left the (shared) budget with headroom:
-// parts migrated under build-time pressure may now fit again. Returns how
-// many parts were promoted.
+// Promote climbs the recovery ladder while headroom allows, and returns how
+// many part transitions it made. This is the recovery path after an in-place
+// filter or a PopTop left the (shared) budget with headroom: parts demoted
+// under build-time pressure may now fit again.
+//
+// Phase one takes parts off disk, smallest physical read first — into
+// compressed-mem when the level keeps compressed residents and the part is
+// encoded (a verbatim byte load, densest use of headroom), to raw arrays
+// otherwise. Phase two spends any remaining headroom decompressing
+// compressed-mem parts back to raw zero-copy arrays, smallest decode first.
 func (h *HybridLevel) Promote(headroom int64) (int, error) {
 	promoted := 0
 	for {
@@ -780,12 +837,43 @@ func (h *HybridLevel) Promote(headroom int64) (int, error) {
 			if !p.onDisk() {
 				continue
 			}
-			c := p.promoteCost()
+			c := p.offDiskCost(h.rcomp)
 			if c > headroom {
 				continue
 			}
 			if phys := p.diskBytesPhysical(); best < 0 || phys < bestPhys {
 				best, bestCost, bestPhys = i, c, phys
+			}
+		}
+		if best < 0 {
+			break
+		}
+		p := &h.parts[best]
+		var err error
+		if h.rcomp && p.comp != nil {
+			err = h.promotePartCompressed(best)
+		} else {
+			err = h.PromotePart(best)
+		}
+		if err != nil {
+			return promoted, err
+		}
+		headroom -= bestCost
+		promoted++
+	}
+	for {
+		best, bestCost, bestSize := -1, int64(0), int64(0)
+		for i := range h.parts {
+			p := &h.parts[i]
+			if !p.compressed() {
+				continue
+			}
+			c := p.promoteCost()
+			if c > headroom {
+				continue
+			}
+			if size := int64(len(p.cverts) + len(p.ccnts)); best < 0 || size < bestSize {
+				best, bestCost, bestSize = i, c, size
 			}
 		}
 		if best < 0 {
@@ -845,6 +933,7 @@ type HybridLevelBuilder struct {
 	blockSize int
 	tracker   *memtrack.Tracker
 	compress  Compression
+	rcompress Compression
 	fs        vfs.FS
 	gov       governor
 	parts     []hybridPartWriter
@@ -860,16 +949,19 @@ type HybridLevelBuilder struct {
 // tracker's live bytes drop back under it, so a transient spike does not
 // condemn the whole remainder of the level to disk. Part files are created
 // lazily, only when a part actually migrates. compress selects the on-disk
-// encoding of migrated parts; memory-resident parts always stay raw. fs is
-// the filesystem the spill files live on (nil = the real one).
-func NewHybridLevelBuilder(fs vfs.FS, dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker, memBudget int64, pressure *atomic.Bool, pressureLimit int64, compress Compression) (*HybridLevelBuilder, error) {
+// encoding of migrated parts. residentCompress enables the compressed-mem
+// tier: under pressure the governor squeezes the largest flushed raw parts
+// into resident codec blocks before resorting to disk spill, and the
+// finished level keeps compressed residents (promotions land compressed).
+// fs is the filesystem the spill files live on (nil = the real one).
+func NewHybridLevelBuilder(fs vfs.FS, dir string, level, nparts int, q *WriteQueue, blockSize int, tracker *memtrack.Tracker, memBudget int64, pressure *atomic.Bool, pressureLimit int64, compress, residentCompress Compression) (*HybridLevelBuilder, error) {
 	fs = vfs.OrOS(fs)
 	if err := fs.MkdirAll(dir); err != nil {
 		return nil, wrapIO("mkdir", dir, err)
 	}
 	b := &HybridLevelBuilder{
 		dir: dir, level: level, queue: q, blockSize: blockSize, tracker: tracker,
-		compress: compress, fs: fs,
+		compress: compress, rcompress: residentCompress, fs: fs,
 		parts: make([]hybridPartWriter, nparts),
 	}
 	b.gov.budget = memBudget
@@ -965,6 +1057,31 @@ func (g *governor) spillOver(budget int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for g.inflight.Load()-g.pending.Load() > budget {
+		if g.b.rcompress.enabled() {
+			// Squeeze the largest flushed raw part into resident codec
+			// blocks before spilling anything: compression frees most of a
+			// part's bytes for no I/O at all. Only flushed parts are
+			// eligible — their owner is done appending, so the raw arrays
+			// are quiescent (the same discipline as the inline migrate
+			// below).
+			var cv *hybridPartWriter
+			var cvBytes int64
+			for i := range g.b.parts {
+				p := &g.b.parts[i]
+				if p.spillReq.Load() || p.rcompressed.Load() || !p.flushed.Load() {
+					continue
+				}
+				if bb := p.bytes.Load(); bb > cvBytes {
+					cv, cvBytes = p, bb
+				}
+			}
+			if cv != nil {
+				g.mu.Unlock()
+				cv.compressResident()
+				g.mu.Lock()
+				continue
+			}
+		}
 		var victim *hybridPartWriter
 		var victimBytes int64
 		for i := range g.b.parts {
@@ -1009,6 +1126,15 @@ type hybridPartWriter struct {
 	// Memory stage (owner-only until flushed).
 	verts  []uint32
 	counts []uint32
+
+	// Compressed-resident stage: the governor squeezed the flushed raw
+	// arrays into codec blocks (see compressResident). rcompressed records
+	// the attempt; rcomp != nil records that it actually took.
+	cverts, ccnts         []byte
+	rcomp                 *partComp
+	rchunkCum             []uint64
+	cnumVerts, cnumGroups int
+	rcompressed           atomic.Bool
 
 	// Placement control.
 	bytes    atomic.Int64
@@ -1129,32 +1255,46 @@ func (p *hybridPartWriter) migrate() error {
 	if err != nil {
 		return err
 	}
-	p.dw = newDiskPartWriter(b.queue, vf, cf, newPartComp(b.compress))
-	// Bulk-drain the accumulated arrays: straight-line encodes into queue
-	// buffers (no per-group bookkeeping — this runs on the critical path of
-	// whichever worker triggered the migration), then seed the disk writer's
-	// counters and sparse index so subsequent appends continue seamlessly.
-	// The compressed path seals full codec blocks and leaves the partial
-	// tails open in the writer, so later appends extend the same blocks.
-	if p.dw.comp != nil {
-		p.dw.appendVertsComp(p.verts)
-		p.dw.appendCntsComp(p.counts)
+	if p.rcomp != nil {
+		// The part was governor-compressed after its Flush: the resident
+		// blocks ARE the compressed on-disk format, so stream the bytes out
+		// verbatim and adopt the directory. No appends follow a Flush, so
+		// the writer never extends these files.
+		p.dw = newDiskPartWriter(b.queue, vf, cf, p.rcomp)
+		p.dw.vbuf = appendQueueBytes(b.queue, vf, p.dw.vbuf, p.cverts)
+		p.dw.cbuf = appendQueueBytes(b.queue, cf, p.dw.cbuf, p.ccnts)
+		p.dw.numVerts = p.cnumVerts
+		p.dw.numGroups = p.cnumGroups
+		p.dw.chunkCum = p.rchunkCum
+		p.cverts, p.ccnts, p.rcomp, p.rchunkCum = nil, nil, nil, nil
 	} else {
-		p.dw.vbuf = bulkEncode(b.queue, vf, p.dw.vbuf, p.verts)
-		p.dw.cbuf = bulkEncode(b.queue, cf, p.dw.cbuf, p.counts)
-	}
-	p.dw.numVerts = len(p.verts)
-	p.dw.numGroups = len(p.counts)
-	var cum uint64
-	for j, c := range p.counts {
-		if j%CntChunk == 0 {
-			p.dw.chunkCum = append(p.dw.chunkCum, cum)
+		p.dw = newDiskPartWriter(b.queue, vf, cf, newPartComp(b.compress))
+		// Bulk-drain the accumulated arrays: straight-line encodes into queue
+		// buffers (no per-group bookkeeping — this runs on the critical path of
+		// whichever worker triggered the migration), then seed the disk writer's
+		// counters and sparse index so subsequent appends continue seamlessly.
+		// The compressed path seals full codec blocks and leaves the partial
+		// tails open in the writer, so later appends extend the same blocks.
+		if p.dw.comp != nil {
+			p.dw.appendVertsComp(p.verts)
+			p.dw.appendCntsComp(p.counts)
+		} else {
+			p.dw.vbuf = bulkEncode(b.queue, vf, p.dw.vbuf, p.verts)
+			p.dw.cbuf = bulkEncode(b.queue, cf, p.dw.cbuf, p.counts)
 		}
-		cum += uint64(c)
+		p.dw.numVerts = len(p.verts)
+		p.dw.numGroups = len(p.counts)
+		var cum uint64
+		for j, c := range p.counts {
+			if j%CntChunk == 0 {
+				p.dw.chunkCum = append(p.dw.chunkCum, cum)
+			}
+			cum += uint64(c)
+		}
+		poolPutU32(p.verts)
+		poolPutU32(p.counts)
+		p.verts, p.counts = nil, nil
 	}
-	poolPutU32(p.verts)
-	poolPutU32(p.counts)
-	p.verts, p.counts = nil, nil
 	p.b.gov.noteFree(p.bytes.Swap(0))
 	p.b.gov.pending.Add(-p.claimed)
 	p.claimed = 0
@@ -1270,7 +1410,7 @@ func (b *HybridLevelBuilder) Finish() (cse.LevelData, error) {
 			return nil, err
 		}
 	}
-	h := &HybridLevel{blockSize: b.blockSize, tracker: b.tracker, fs: b.fs, comp: b.compress.enabled()}
+	h := &HybridLevel{blockSize: b.blockSize, tracker: b.tracker, fs: b.fs, comp: b.compress.enabled(), rcomp: b.rcompress.enabled()}
 	sawPred, sawPlainNonEmpty := false, false
 	for i := range b.parts {
 		p := &b.parts[i]
@@ -1285,6 +1425,12 @@ func (b *HybridLevelBuilder) Finish() (cse.LevelData, error) {
 			}
 			hp.vf, hp.cf, hp.chunkCum, hp.comp = p.dw.vf, p.dw.cf, p.dw.chunkCum, p.dw.comp
 			hp.numVerts, hp.numGroups = p.dw.numVerts, p.dw.numGroups
+		} else if p.rcomp != nil {
+			// Governor-compressed resident part: hand the encoded blocks and
+			// their directory straight to the level.
+			hp.cverts, hp.ccnts, hp.comp, hp.chunkCum = p.cverts, p.ccnts, p.rcomp, p.rchunkCum
+			hp.numVerts, hp.numGroups = p.cnumVerts, p.cnumGroups
+			p.cverts, p.ccnts, p.rcomp, p.rchunkCum = nil, nil, nil, nil
 		} else {
 			hp.verts = p.verts
 			p.verts = nil // owned by the level now; recycled at its Close
@@ -1342,6 +1488,9 @@ func (b *HybridLevelBuilder) Reset(level, nparts int, memBudget int64) {
 		p := &b.parts[i]
 		p.b, p.idx = b, i
 		p.verts, p.counts = nil, nil
+		p.cverts, p.ccnts, p.rcomp, p.rchunkCum = nil, nil, nil, nil
+		p.cnumVerts, p.cnumGroups = 0, 0
+		p.rcompressed.Store(false)
 		p.bytes.Store(0)
 		// All-disk regime: skip the pointless memory stay, the first append
 		// migrates with an empty replay (as in NewHybridLevelBuilder).

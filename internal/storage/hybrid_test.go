@@ -23,7 +23,7 @@ func buildHybridMixed(t *testing.T, groups [][]uint32, nparts int, spillParts ma
 	t.Cleanup(func() { q.Close() })
 
 	mb := cse.NewMemLevelBuilder(nparts)
-	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 2, nparts, q, 128, tracker, 1<<40, nil, 0, CompressionOff)
+	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 2, nparts, q, 128, tracker, 1<<40, nil, 0, CompressionOff, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestHybridMidBuildSpill(t *testing.T) {
 	defer q.Close()
 	budget := totalBytes / 2
 	const nparts = 8
-	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 3, nparts, q, 0, tracker, budget, nil, 0, CompressionOff)
+	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 3, nparts, q, 0, tracker, budget, nil, 0, CompressionOff, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestHybridPressureSpill(t *testing.T) {
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
 	var pressure atomic.Bool
-	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 4, 2, q, 0, tracker, 1<<40, &pressure, 0, CompressionOff)
+	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 4, 2, q, 0, tracker, 1<<40, &pressure, 0, CompressionOff, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestHybridPressureClears(t *testing.T) {
 	defer q.Close()
 	var pressure atomic.Bool
 	pressure.Store(true) // spike already over: live (0) < limit
-	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 7, 1, q, 0, tracker, 1<<40, &pressure, 1<<20, CompressionOff)
+	hb, err := NewHybridLevelBuilder(nil, t.TempDir(), 7, 1, q, 0, tracker, 1<<40, &pressure, 1<<20, CompressionOff, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +345,7 @@ func TestHybridCloseRemovesOnlyDiskParts(t *testing.T) {
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
 	dir := t.TempDir()
-	hb, err := NewHybridLevelBuilder(nil, dir, 5, 3, q, 0, tracker, 1<<40, nil, 0, CompressionOff)
+	hb, err := NewHybridLevelBuilder(nil, dir, 5, 3, q, 0, tracker, 1<<40, nil, 0, CompressionOff, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,7 +491,7 @@ func TestHybridAllMemFinish(t *testing.T) {
 	q := NewWriteQueue(0, tracker)
 	defer q.Close()
 	dir := t.TempDir()
-	hb, err := NewHybridLevelBuilder(nil, dir, 6, 2, q, 0, tracker, 1<<40, nil, 0, CompressionOff)
+	hb, err := NewHybridLevelBuilder(nil, dir, 6, 2, q, 0, tracker, 1<<40, nil, 0, CompressionOff, CompressionOff)
 	if err != nil {
 		t.Fatal(err)
 	}

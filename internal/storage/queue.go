@@ -16,10 +16,21 @@
 // whole-block decode) that decode whole-block into the pooled prefetch
 // buffers. Version-1 blocks — the pre-checksum format — are cleanly
 // rejected, not decoded: spill files are single-run scratch, so no
-// cross-version reader is needed. Resident parts stay raw — the
-// representation follows the placement — and the per-part block directory
-// gives the cursors and the random-access readers block-granular seeks into
-// the compressed streams.
+// cross-version reader is needed. The per-part block directory gives the
+// cursors and the random-access readers block-granular seeks into the
+// compressed streams.
+//
+// Residency is three-state (resident.go): raw-mem (plain []uint32 slices,
+// zero-copy reads) → compressed-mem (the same codec blocks held in memory,
+// decoded by the cursors without any file handle or vfs traffic, charged
+// to the budget at physical size) → disk. The governor compresses the
+// largest sealed raw parts in place (CompressPart) before spilling, and
+// because the in-memory and on-disk encodings are byte-identical, a
+// compressed part migrates to disk — and is promoted back — as a verbatim
+// block copy. ResidentCompression (a second Compression knob on the
+// builder) gates the middle state; CompressedParts and
+// ResidentBytesLogical expose the transition count and the raw footprint
+// the resident bytes stand for.
 //
 // The spill path is hardened against I/O failure: all file access goes
 // through the vfs seam (package vfs) so tests inject faults; transient write

@@ -1,0 +1,479 @@
+package storage
+
+// Compressed-resident tier: the third residency state of a hybridPart,
+// between raw memory and disk. A compressed-mem part holds its vert and cnt
+// data as the same v2 codec blocks a compressed spill file holds — delta
+// +varint vert blocks, frame-of-reference cnt blocks, one partComp directory
+// indexing them — but in two in-memory byte slices instead of a file pair.
+// Reads decode blocks exactly like the disk path, minus the vfs: no
+// syscalls, no retries, no fault injection surface. The CRC32C carried by
+// every block is still verified on decode (it is hardware-accelerated and
+// catches resident bit rot the same way it catches disk rot).
+//
+// The ladder is raw-mem → compressed-mem → disk under pressure, and the
+// reverse on recovery: a compressed disk part is promoted off disk by
+// reading its file bytes verbatim (the on-disk format IS the in-memory
+// compressed format), and decompressed to raw arrays only when headroom
+// allows the full decoded footprint.
+
+import (
+	"fmt"
+
+	"kaleido/internal/memtrack"
+	"kaleido/internal/storage/vfs"
+)
+
+// memBlockPath labels corruption errors from compressed-mem blocks, which
+// have no backing file to name.
+const memBlockPath = "(compressed-mem)"
+
+// compressed reports whether p is in the compressed-mem state: encoded
+// blocks resident (comp directory set) with no backing files.
+func (p *hybridPart) compressed() bool { return p.vf == nil && p.comp != nil }
+
+// residentBytes is the part's contribution to the level's resident
+// footprint: full arrays for raw parts, encoded blocks plus directory for
+// compressed-mem parts, sparse indexes only for disk parts.
+func (p *hybridPart) residentBytes() int64 {
+	if p.onDisk() {
+		return int64(len(p.chunkCum))*8 + p.comp.dirBytes()
+	}
+	if p.compressed() {
+		return int64(len(p.cverts)+len(p.ccnts)) + int64(len(p.chunkCum))*8 + p.comp.dirBytes()
+	}
+	return int64(len(p.verts))*4 + int64(len(p.bounds))*8
+}
+
+// logicalBytes is the raw word footprint the part would have fully decoded
+// in memory: verts as uint32s plus one uint64 bound per group.
+func (p *hybridPart) logicalBytes() int64 {
+	return int64(p.numVerts)*4 + int64(p.numGroups)*8
+}
+
+// encodeResidentVerts appends vals to dst as framed vert codec blocks,
+// recording each block's start offset in comp.
+func encodeResidentVerts(dst []byte, vals []uint32, comp *partComp, scratch *[]byte) []byte {
+	for off := 0; off < len(vals); off += codecBlockVals {
+		end := min(off+codecBlockVals, len(vals))
+		comp.vOffs = append(comp.vOffs, comp.physVerts)
+		n0 := len(dst)
+		dst = appendVertBlock(dst, vals[off:end], scratch)
+		comp.physVerts += int64(len(dst) - n0)
+	}
+	return dst
+}
+
+// encodeResidentCnts is encodeResidentVerts for the cnt stream.
+func encodeResidentCnts(dst []byte, vals []uint32, comp *partComp, scratch *[]byte) []byte {
+	for off := 0; off < len(vals); off += codecBlockVals {
+		end := min(off+codecBlockVals, len(vals))
+		comp.cOffs = append(comp.cOffs, comp.physCnts)
+		n0 := len(dst)
+		dst = appendCntBlock(dst, vals[off:end], scratch)
+		comp.physCnts += int64(len(dst) - n0)
+	}
+	return dst
+}
+
+// cntChunkCum builds the sparse index over a part's per-group child counts:
+// chunkCum[j] = children in local groups [0, j·CntChunk).
+func cntChunkCum(counts []uint32) []uint64 {
+	var chunkCum []uint64
+	var cum uint64
+	for j, c := range counts {
+		if j%CntChunk == 0 {
+			chunkCum = append(chunkCum, cum)
+		}
+		cum += uint64(c)
+	}
+	return chunkCum
+}
+
+// CompressPart encodes raw memory part i into the compressed-mem state and
+// returns the resident bytes freed. Parts already compressed, on disk,
+// empty, or that would not shrink are left untouched (freed 0). The caller
+// owns the accounting: the level's Bytes changes by -freed.
+func (h *HybridLevel) CompressPart(i int) int64 {
+	p := &h.parts[i]
+	if p.onDisk() || p.compressed() || (p.numVerts == 0 && p.numGroups == 0) {
+		return 0
+	}
+	old := p.residentBytes()
+	comp := &partComp{}
+	var scratch []byte
+	cverts := encodeResidentVerts(nil, p.verts, comp, &scratch)
+	// The cnt blocks encode local per-group counts (as on disk); recover
+	// them from the global end boundaries.
+	cnts := poolGetU32()
+	if cap(cnts) < p.numGroups {
+		cnts = make([]uint32, 0, p.numGroups)
+	}
+	prev := uint64(p.vertBase)
+	for g := 0; g < p.numGroups; g++ {
+		cnts = append(cnts, uint32(p.bounds[g]-prev))
+		prev = p.bounds[g]
+	}
+	ccnts := encodeResidentCnts(nil, cnts, comp, &scratch)
+	chunkCum := cntChunkCum(cnts)
+	poolPutU32(cnts)
+	now := int64(len(cverts)+len(ccnts)) + int64(len(chunkCum))*8 + comp.dirBytes()
+	if now >= old {
+		return 0 // incompressible; raw stays the cheaper representation
+	}
+	poolPutU32(p.verts)
+	poolPutU64(p.bounds)
+	p.verts, p.bounds = nil, nil
+	p.cverts, p.ccnts, p.comp, p.chunkCum = cverts, ccnts, comp, chunkCum
+	return old - now
+}
+
+// CompressResident compresses every raw memory part of the level — the
+// cold-level compaction pass run once a level is sealed below the top of the
+// walker stack, where it is only ever read sequentially. Returns the parts
+// compressed and the resident bytes freed.
+func (h *HybridLevel) CompressResident() (parts int, freed int64) {
+	for i := range h.parts {
+		if f := h.CompressPart(i); f > 0 {
+			parts++
+			freed += f
+		}
+	}
+	return parts, freed
+}
+
+// CompressedParts counts the compressed-mem parts. They are a subset of
+// MemParts: compressed-mem is a memory residency.
+func (h *HybridLevel) CompressedParts() int {
+	n := 0
+	for i := range h.parts {
+		if h.parts[i].compressed() {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentBytesLogical reports the raw word footprint of the memory-resident
+// parts (raw and compressed-mem) plus prediction segments — what Bytes would
+// report with resident compression off. The ratio ResidentBytesLogical/Bytes
+// is the budget stretch the compressed-resident tier buys.
+func (h *HybridLevel) ResidentBytesLogical() int64 {
+	var b int64
+	for i := range h.parts {
+		p := &h.parts[i]
+		if p.onDisk() {
+			continue
+		}
+		b += p.logicalBytes()
+	}
+	return b + int64(len(h.pred))*16
+}
+
+// decompressPart materializes compressed-mem part i back into raw arrays.
+// Bases must already be final (the rebuilt bounds are global). On a decode
+// error the part is left compressed, untouched.
+func (h *HybridLevel) decompressPart(i int) error {
+	p := &h.parts[i]
+	verts := poolGetU32()
+	if cap(verts) < p.numVerts {
+		verts = make([]uint32, p.numVerts)
+	}
+	verts = verts[:p.numVerts]
+	cnts := poolGetU32()
+	if cap(cnts) < p.numGroups {
+		cnts = make([]uint32, p.numGroups)
+	}
+	cnts = cnts[:p.numGroups]
+	fail := func(err error) error {
+		poolPutU32(verts)
+		poolPutU32(cnts)
+		return fmt.Errorf("storage: decompress of resident part: %w", err)
+	}
+	if err := decodeAllBlocks(p.cverts, true, verts, memBlockPath); err != nil {
+		return fail(err)
+	}
+	if err := decodeAllBlocks(p.ccnts, false, cnts, memBlockPath); err != nil {
+		return fail(err)
+	}
+	bounds := poolGetU64(p.numGroups)
+	off := uint64(p.vertBase)
+	for j, c := range cnts {
+		off += uint64(c)
+		bounds[j] = off
+	}
+	poolPutU32(cnts)
+	p.cverts, p.ccnts, p.comp, p.chunkCum = nil, nil, nil, nil
+	p.verts, p.bounds = verts, bounds
+	return nil
+}
+
+// offDiskCost is the resident-byte delta of taking disk part p off disk:
+// into compressed-mem when the level keeps compressed residents and the part
+// is encoded (its file bytes land in RAM as-is), otherwise the full decoded
+// footprint net of the freed indexes.
+func (p *hybridPart) offDiskCost(rcomp bool) int64 {
+	if rcomp && p.comp != nil {
+		return p.comp.physVerts + p.comp.physCnts
+	}
+	return p.promoteCost()
+}
+
+// promotePartCompressed moves compressed disk part i to compressed-mem by
+// reading its file bytes verbatim — the on-disk block format is the
+// compressed-mem format — keeping the directory and sparse index. On a read
+// error the part is left on disk, untouched.
+func (h *HybridLevel) promotePartCompressed(i int) error {
+	p := &h.parts[i]
+	cverts := make([]byte, p.comp.physVerts)
+	if len(cverts) > 0 {
+		if err := retryReadAt(p.vf, cverts, 0, nil, h.tracker); err != nil {
+			return fmt.Errorf("storage: promote read of %s: %w", p.vf.Name(), err)
+		}
+	}
+	ccnts := make([]byte, p.comp.physCnts)
+	if len(ccnts) > 0 {
+		if err := retryReadAt(p.cf, ccnts, 0, nil, h.tracker); err != nil {
+			return fmt.Errorf("storage: promote read of %s: %w", p.cf.Name(), err)
+		}
+	}
+	if h.tracker != nil {
+		h.tracker.ReadIO(int64(len(cverts) + len(ccnts)))
+	}
+	fs := vfs.OrOS(h.fs)
+	var first error
+	for _, f := range []vfs.File{p.vf, p.cf} {
+		name := f.Name()
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := fs.Remove(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.vf, p.cf = nil, nil
+	p.cverts, p.ccnts = cverts, ccnts
+	return first
+}
+
+// residentUnit decodes the single unit at local index li of a compressed-mem
+// part: one block decode from the resident byte slice, no I/O.
+func (p *hybridPart) residentUnit(li int) (uint32, error) {
+	b := li / codecBlockVals
+	sc := cntPool.Get().(*cntScratch)
+	defer cntPool.Put(sc)
+	if cap(sc.blk) < codecBlockVals {
+		sc.blk = make([]uint32, codecBlockVals)
+	}
+	vals, consumed, err := decodeCodecBlock(p.cverts[p.comp.vOffs[b]:p.comp.vertEnd(b)], true, sc.blk[:codecBlockVals])
+	if err != nil {
+		return 0, corruptAt(memBlockPath, b, err)
+	}
+	if consumed == 0 {
+		return 0, corruptAt(memBlockPath, b, fmt.Errorf("truncated vert block"))
+	}
+	k := li - b*codecBlockVals
+	if k >= len(vals) {
+		return 0, corruptAt(memBlockPath, b, fmt.Errorf("block holds %d units, need index %d", len(vals), k))
+	}
+	return vals[k], nil
+}
+
+// residentCnts decodes the cnt range [lo, hi) of a compressed-mem part from
+// its resident blocks — readPartCnts minus the file read.
+func (p *hybridPart) residentCnts(lo, hi int, sc *cntScratch) ([]uint32, error) {
+	b0 := lo / codecBlockVals
+	b1 := (hi - 1) / codecBlockVals
+	buf := p.ccnts[p.comp.cOffs[b0]:p.comp.cntEnd(b1)]
+	want := hi - lo
+	if cap(sc.out) < want {
+		sc.out = make([]uint32, 0, want)
+	}
+	out := sc.out[:0]
+	if cap(sc.blk) < codecBlockVals {
+		sc.blk = make([]uint32, codecBlockVals)
+	}
+	pos := 0
+	for b := b0; b <= b1; b++ {
+		vals, consumed, err := decodeCodecBlock(buf[pos:], false, sc.blk[:codecBlockVals])
+		if err != nil {
+			return nil, corruptAt(memBlockPath, b, err)
+		}
+		if consumed == 0 {
+			return nil, corruptAt(memBlockPath, b, fmt.Errorf("truncated cnt block"))
+		}
+		pos += consumed
+		start := lo - b*codecBlockVals
+		if start < 0 {
+			start = 0
+		}
+		stop := hi - b*codecBlockVals
+		if stop > len(vals) {
+			stop = len(vals)
+		}
+		if stop > start {
+			out = append(out, vals[start:stop]...)
+		}
+	}
+	sc.out = out
+	if len(out) != want {
+		return nil, corruptAt(memBlockPath, b0, fmt.Errorf("cnt blocks [%d,%d] decoded %d entries, want %d", b0, b1, len(out), want))
+	}
+	return out, nil
+}
+
+// partCnts dispatches a bounded cnt read across the part's residency: raw
+// slice math never reaches here (callers binary-search bounds directly);
+// compressed-mem decodes resident blocks; disk goes through readPartCnts.
+func (p *hybridPart) partCnts(lo, hi int, tracker *memtrack.Tracker, sc *cntScratch) ([]uint32, error) {
+	if p.onDisk() {
+		return readPartCnts(p.cf, p.comp, lo, hi, tracker, sc)
+	}
+	return p.residentCnts(lo, hi, sc)
+}
+
+// memCompVertBlocks streams vert codec blocks out of a compressed-mem part's
+// resident bytes: compVertBlocks without the blockStream — every block is
+// already contiguous in memory, so there is no carry, no prefetch and no vfs.
+type memCompVertBlocks struct {
+	buf       []byte
+	dec       []uint32
+	skip      int
+	remaining int
+	blk       int
+	err       error
+}
+
+func (c *memCompVertBlocks) NextBlock() ([]uint32, bool) {
+	if c.err != nil || c.remaining <= 0 {
+		return nil, false
+	}
+	if cap(c.dec) < codecBlockVals {
+		c.dec = make([]uint32, codecBlockVals)
+	}
+	for {
+		vals, consumed, err := decodeCodecBlock(c.buf, true, c.dec[:codecBlockVals])
+		if err != nil {
+			c.err = corruptAt(memBlockPath, c.blk, err)
+			return nil, false
+		}
+		if consumed == 0 {
+			c.err = corruptAt(memBlockPath, c.blk, fmt.Errorf("truncated compressed vert stream (%d units missing)", c.remaining))
+			return nil, false
+		}
+		c.buf = c.buf[consumed:]
+		c.blk++
+		if c.skip >= len(vals) {
+			c.skip -= len(vals)
+			continue
+		}
+		out := vals[c.skip:]
+		c.skip = 0
+		if len(out) > c.remaining {
+			out = out[:c.remaining]
+		}
+		c.remaining -= len(out)
+		if len(out) == 0 {
+			continue
+		}
+		return out, true
+	}
+}
+
+func (c *memCompVertBlocks) Err() error { return c.err }
+
+func (c *memCompVertBlocks) Close() error { return nil }
+
+// memCompBoundBlocks streams a compressed-mem part's cnt blocks as global
+// group-end boundaries, like compBoundBlocks: skipped leading cnt values do
+// not advance cum — the starting base already accounts for them.
+type memCompBoundBlocks struct {
+	buf       []byte
+	dec       []uint32
+	out       []uint64
+	skip      int
+	remaining int
+	cum       uint64
+	blk       int
+	err       error
+}
+
+func (c *memCompBoundBlocks) NextBlock() ([]uint64, bool) {
+	if c.err != nil || c.remaining <= 0 {
+		return nil, false
+	}
+	if cap(c.dec) < codecBlockVals {
+		c.dec = make([]uint32, codecBlockVals)
+	}
+	for {
+		vals, consumed, err := decodeCodecBlock(c.buf, false, c.dec[:codecBlockVals])
+		if err != nil {
+			c.err = corruptAt(memBlockPath, c.blk, err)
+			return nil, false
+		}
+		if consumed == 0 {
+			c.err = corruptAt(memBlockPath, c.blk, fmt.Errorf("truncated compressed cnt stream (%d groups missing)", c.remaining))
+			return nil, false
+		}
+		c.buf = c.buf[consumed:]
+		c.blk++
+		if c.skip >= len(vals) {
+			c.skip -= len(vals)
+			continue
+		}
+		vals = vals[c.skip:]
+		c.skip = 0
+		if len(vals) > c.remaining {
+			vals = vals[:c.remaining]
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		if cap(c.out) < len(vals) {
+			c.out = make([]uint64, codecBlockVals)
+		}
+		out := c.out[:len(vals)]
+		cum := c.cum
+		for i, v := range vals {
+			cum += uint64(v)
+			out[i] = cum
+		}
+		c.cum = cum
+		c.remaining -= len(out)
+		return out, true
+	}
+}
+
+func (c *memCompBoundBlocks) Err() error { return c.err }
+
+func (c *memCompBoundBlocks) Close() error { return nil }
+
+// compressResident squeezes a flushed, still-raw part writer into encoded
+// codec blocks in place — the governor's step before any disk spill. Only
+// the governor calls this, and only after the owner's Flush, so the raw
+// arrays are quiescent. The attempt is recorded even when the part is
+// incompressible, so the governor does not retry it forever.
+func (p *hybridPartWriter) compressResident() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.migrated || p.rcompressed.Load() {
+		return
+	}
+	p.rcompressed.Store(true)
+	comp := &partComp{}
+	var scratch []byte
+	cverts := encodeResidentVerts(nil, p.verts, comp, &scratch)
+	ccnts := encodeResidentCnts(nil, p.counts, comp, &scratch)
+	chunkCum := cntChunkCum(p.counts)
+	now := int64(len(cverts)+len(ccnts)) + int64(len(chunkCum))*8 + comp.dirBytes()
+	old := p.bytes.Load()
+	if now >= old {
+		return // incompressible; the spill path can still take it
+	}
+	p.cnumVerts, p.cnumGroups = len(p.verts), len(p.counts)
+	p.cverts, p.ccnts, p.rcomp, p.rchunkCum = cverts, ccnts, comp, chunkCum
+	poolPutU32(p.verts)
+	poolPutU32(p.counts)
+	p.verts, p.counts = nil, nil
+	p.bytes.Store(now)
+	p.b.gov.noteFree(old - now)
+}

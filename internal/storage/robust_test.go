@@ -30,7 +30,7 @@ func buildDiskOn(t *testing.T, fs vfs.FS, groups [][]uint32, nparts int) (*DiskL
 	}
 	per := (len(groups) + nparts - 1) / nparts
 	for i, g := range groups {
-		if err := db.Part(i / per).AppendGroup(g, nil); err != nil {
+		if err := db.Part(i/per).AppendGroup(g, nil); err != nil {
 			db.Abort()
 			return nil, tracker, err
 		}

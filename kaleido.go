@@ -120,6 +120,16 @@ type Config struct {
 	// delta+varint block codec — typically 2-4× smaller than raw — while
 	// memory-resident parts stay raw; CompressionOff writes raw words.
 	Compression Compression
+	// ResidentCompression controls the compressed-mem residency tier of
+	// budgeted runs. With the default (CompressionAuto) a part under memory
+	// pressure is first squeezed into in-memory codec blocks — the same
+	// delta+varint encoding the spill files use — and only spills to disk
+	// if that is not enough, levels sealed below the top of the walker
+	// stack are compacted wholesale, and parts promoted off disk land
+	// compressed. The effect is ≥2× more logical level bytes per byte of
+	// MemoryBudget. CompressionOff keeps every resident part raw (the
+	// pre-tier behavior). Ignored when MemoryBudget is 0.
+	ResidentCompression Compression
 	// Iso selects the isomorphism backend for pattern aggregation.
 	Iso IsoAlgo
 	// Stats, when non-nil, receives memory and I/O accounting.
@@ -215,11 +225,20 @@ type Stats struct {
 	// in-place filter or a pop shrank the resident total under the (shared)
 	// budget watermark.
 	PromotedParts int
+	// CompressedParts counts memory-resident parts squeezed into the
+	// compressed-mem tier (by the mid-build governor under pressure and by
+	// cold-level compaction). Zero with ResidentCompression off.
+	CompressedParts int
 	// SpilledBytes is the logical size (raw word bytes) of the spilled
 	// parts; SpilledBytesPhysical is what those parts actually occupied on
 	// disk. They are equal with CompressionOff; with the default codec the
 	// physical count is typically 2-4× smaller.
 	SpilledBytes, SpilledBytesPhysical int64
+	// ResidentBytesLogical is the raw word footprint the memory-resident
+	// level data stood for at run end — exceeds the tracked resident bytes
+	// while compressed-mem parts are live; the ratio is the budget stretch
+	// the compressed-resident tier bought.
+	ResidentBytesLogical int64
 	// IORetries counts transient spill I/O errors that were absorbed by the
 	// retry/backoff policy instead of failing the run. Nonzero retries with
 	// a successful result mean the storage layer rode out real (or injected)
@@ -235,16 +254,17 @@ func (c Config) appOptions() (apps.Options, *memtrack.Tracker) {
 // tracker — the child of an Engine's budget arbiter for shared runs.
 func (c Config) appOptionsWith(tracker *memtrack.Tracker) (apps.Options, *memtrack.Tracker) {
 	opt := apps.Options{
-		Threads:        c.Threads,
-		MemoryBudget:   c.MemoryBudget,
-		SpillDir:       c.SpillDir,
-		SpillWatermark: c.SpillWatermark,
-		Predict:        c.Predict,
-		PredictSample:  c.PredictSample,
-		Compression:    storage.Compression(c.Compression),
-		FS:             c.Faults.fs(),
-		Iso:            apps.IsoAlgo(c.Iso),
-		Tracker:        tracker,
+		Threads:             c.Threads,
+		MemoryBudget:        c.MemoryBudget,
+		SpillDir:            c.SpillDir,
+		SpillWatermark:      c.SpillWatermark,
+		Predict:             c.Predict,
+		PredictSample:       c.PredictSample,
+		Compression:         storage.Compression(c.Compression),
+		ResidentCompression: storage.Compression(c.ResidentCompression),
+		FS:                  c.Faults.fs(),
+		Iso:                 apps.IsoAlgo(c.Iso),
+		Tracker:             tracker,
 	}
 	if c.Stats != nil {
 		opt.Spill = &apps.SpillInfo{}
@@ -262,7 +282,9 @@ func (c Config) finish(tracker *memtrack.Tracker, spill *apps.SpillInfo) {
 	if spill != nil {
 		c.Stats.SpilledLevels, c.Stats.SpilledParts = spill.SpilledLevels, spill.SpilledParts
 		c.Stats.PromotedParts = spill.PromotedParts
+		c.Stats.CompressedParts = spill.CompressedParts
 		c.Stats.SpilledBytes, c.Stats.SpilledBytesPhysical = spill.SpilledBytes, spill.SpilledBytesPhysical
+		c.Stats.ResidentBytesLogical = spill.ResidentBytesLogical
 	}
 }
 
@@ -402,6 +424,9 @@ func (c Config) validate() error {
 	}
 	if c.Compression < CompressionAuto || c.Compression > CompressionOff {
 		return fmt.Errorf("kaleido: unknown Compression mode %d", c.Compression)
+	}
+	if c.ResidentCompression < CompressionAuto || c.ResidentCompression > CompressionOff {
+		return fmt.Errorf("kaleido: unknown ResidentCompression mode %d", c.ResidentCompression)
 	}
 	return nil
 }

@@ -55,17 +55,18 @@ func newMiner(ctx context.Context, g *Graph, mode Mode, cfg Config, tracker *mem
 		return nil, err
 	}
 	e, err := explore.New(explore.Config{
-		Graph:          g.g,
-		Mode:           modeOf(mode),
-		Threads:        cfg.Threads,
-		MemoryBudget:   cfg.MemoryBudget,
-		SpillDir:       cfg.SpillDir,
-		SpillWatermark: cfg.SpillWatermark,
-		Predict:        cfg.Predict,
-		PredictSample:  cfg.PredictSample,
-		Compression:    storage.Compression(cfg.Compression),
-		FS:             cfg.Faults.fs(),
-		Tracker:        tracker,
+		Graph:               g.g,
+		Mode:                modeOf(mode),
+		Threads:             cfg.Threads,
+		MemoryBudget:        cfg.MemoryBudget,
+		SpillDir:            cfg.SpillDir,
+		SpillWatermark:      cfg.SpillWatermark,
+		Predict:             cfg.Predict,
+		PredictSample:       cfg.PredictSample,
+		Compression:         storage.Compression(cfg.Compression),
+		ResidentCompression: storage.Compression(cfg.ResidentCompression),
+		FS:                  cfg.Faults.fs(),
+		Tracker:             tracker,
 	})
 	if err != nil {
 		return nil, err
@@ -196,17 +197,31 @@ func (m *Miner) SpilledBytes() int64 { return m.e.SpilledBytes() }
 // default delta+varint spill codec.
 func (m *Miner) SpilledBytesPhysical() int64 { return m.e.SpilledBytesPhysical() }
 
+// CompressedParts reports how many memory-resident CSE level parts were
+// squeezed into the compressed-mem tier, cumulatively (by the mid-build
+// governor under pressure and by cold-level compaction). Zero with
+// ResidentCompression off.
+func (m *Miner) CompressedParts() int { return m.e.CompressedParts() }
+
+// ResidentBytesLogical reports the raw word footprint the currently resident
+// level data stands for — exceeds Bytes while compressed-mem parts are live;
+// the ratio is the budget stretch the compressed-resident tier is buying.
+func (m *Miner) ResidentBytesLogical() int64 { return m.e.ResidentBytesLogical() }
+
 // LevelStat describes the storage placement of one live CSE level.
 type LevelStat struct {
 	// Len and Groups are the level's embedding and parent-group counts.
 	Len, Groups int
-	// MemParts and DiskParts count the level's parts by residency.
-	MemParts, DiskParts int
+	// MemParts and DiskParts count the level's parts by residency;
+	// CompressedParts is the compressed-mem subset of MemParts.
+	MemParts, CompressedParts, DiskParts int
 	// ResidentBytes is the in-memory footprint (arrays plus the sparse
-	// indexes of disk parts); DiskBytes is the logical on-disk footprint
+	// indexes of disk parts); ResidentBytesLogical is the raw word
+	// footprint the resident parts stand for (equal to ResidentBytes when
+	// none are compressed); DiskBytes is the logical on-disk footprint
 	// (raw word size); DiskBytesPhysical is the bytes the disk parts
 	// actually occupy — smaller than DiskBytes when spill compression is on.
-	ResidentBytes, DiskBytes, DiskBytesPhysical int64
+	ResidentBytes, ResidentBytesLogical, DiskBytes, DiskBytesPhysical int64
 }
 
 // LevelStats reports the placement of every live CSE level, base first —
@@ -217,9 +232,9 @@ func (m *Miner) LevelStats() []LevelStat {
 	for i, s := range in {
 		out[i] = LevelStat{
 			Len: s.Len, Groups: s.Groups,
-			MemParts: s.MemParts, DiskParts: s.DiskParts,
-			ResidentBytes: s.ResidentBytes, DiskBytes: s.DiskBytes,
-			DiskBytesPhysical: s.DiskBytesPhysical,
+			MemParts: s.MemParts, CompressedParts: s.CompressedParts, DiskParts: s.DiskParts,
+			ResidentBytes: s.ResidentBytes, ResidentBytesLogical: s.ResidentBytesLogical,
+			DiskBytes: s.DiskBytes, DiskBytesPhysical: s.DiskBytesPhysical,
 		}
 	}
 	return out
