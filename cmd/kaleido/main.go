@@ -9,20 +9,31 @@
 // Graphs come either from a named synthetic dataset (-dataset citeseer|mico|
 // patent|youtube) or from an edge-list file (-graph), with lines "u v" and
 // optional "v label=L".
+//
+// The flags build a service.JobSpec — the same job encoding the kaleidod
+// daemon accepts over HTTP — and both run paths execute that one spec, so a
+// CLI invocation and a daemon submission of the same job cannot drift:
+//
+//	kaleido -app motif -k 4 -dataset mico -print-spec   # emit the JSON spec
+//	kaleido -app motif -k 4 -dataset mico -serve        # run it through an
+//	        in-process kaleidod HTTP server instead of directly (smoke parity)
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"time"
 
 	"kaleido"
+	"kaleido/internal/service"
 )
 
 func main() {
@@ -39,45 +50,52 @@ func main() {
 	compress := flag.Bool("compress", true, "delta+varint codec for spilled parts")
 	compressResident := flag.Bool("compress-resident", true, "compressed-mem residency tier under a memory budget")
 	iso := flag.String("iso", "eigen", "isomorphism backend: eigen | bliss | exact")
+	minCount := flag.Uint64("min-count", 0, "drop motif/fsm patterns below this count")
+	topK := flag.Int("top-k", 0, "keep only the first K patterns after sorting (0 = all)")
+	printSpec := flag.Bool("print-spec", false, "print the job as a kaleidod JobSpec (JSON) and exit")
+	serve := flag.Bool("serve", false, "run the job through an in-process kaleidod HTTP server (parity check)")
 	flag.Parse()
 
-	g, err := loadGraph(*dsName, *graphPath)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("graph: %d vertices, %d edges, %d labels, avg degree %.1f\n",
-		g.N(), g.M(), g.NumLabels(), g.AvgDegree())
-
-	var stats kaleido.Stats
-	cfg := kaleido.Config{
-		Threads: *threads,
-		Shards:  *shards,
-		Predict: *predict,
-		Stats:   &stats,
-	}
-	switch *iso {
-	case "eigen":
-		cfg.Iso = kaleido.IsoEigen
-	case "bliss":
-		cfg.Iso = kaleido.IsoBliss
-	case "exact":
-		cfg.Iso = kaleido.IsoEigenExact
-	default:
-		fatal(fmt.Errorf("unknown iso backend %q", *iso))
+	spec := service.JobSpec{
+		App:       *app,
+		K:         *k,
+		Support:   *support,
+		Dataset:   *dsName,
+		GraphPath: *graphPath,
+		Threads:   *threads,
+		Shards:    *shards,
+		Budget:    *budget,
+		Iso:       *iso,
+		MinCount:  *minCount,
+		TopK:      *topK,
 	}
 	if *budget != "" {
-		b, err := parseBytes(*budget)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.MemoryBudget = b
-		cfg.SpillDir = *spill
+		spec.SpillDir = *spill
+	}
+	// The tri-state spec knobs stay nil (= on) unless the flag turned them
+	// off, keeping the emitted JSON minimal.
+	off := false
+	if !*predict {
+		spec.Predict = &off
 	}
 	if !*compress {
-		cfg.Compression = kaleido.CompressionOff
+		spec.Compress = &off
 	}
 	if !*compressResident {
-		cfg.ResidentCompression = kaleido.CompressionOff
+		spec.CompressResident = &off
+	}
+
+	if *printSpec {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := spec.Validate(); err != nil {
+			fatal(err)
+		}
+		enc.Encode(&spec)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		fatal(err)
 	}
 
 	// Ctrl-C cancels the run: workers notice within one block of work, the
@@ -87,40 +105,18 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	switch *app {
-	case "tc":
-		n, err := g.Triangles(ctx, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("triangles: %d\n", n)
-	case "clique":
-		n, err := g.Cliques(ctx, *k, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%d-cliques: %d\n", *k, n)
-	case "motif":
-		res, err := g.Motifs(ctx, *k, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%d-motifs: %d shapes\n", *k, len(res))
-		for _, pc := range res {
-			fmt.Printf("  %-40s %12d\n", pc.Pattern, pc.Count)
-		}
-	case "fsm":
-		res, err := g.FSM(ctx, *k, *support, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%d-FSM (support %d): %d frequent patterns\n", *k, *support, len(res))
-		for _, pc := range res {
-			fmt.Printf("  %-40s count=%-10d support>=%d\n", pc.Pattern, pc.Count, pc.Support)
-		}
-	default:
-		fatal(fmt.Errorf("unknown app %q (have tc, clique, motif, fsm)", *app))
+	var res *service.JobResult
+	var err error
+	if *serve {
+		res, err = runServed(ctx, &spec)
+	} else {
+		res, err = runDirect(ctx, &spec)
 	}
+	if err != nil {
+		fatal(err)
+	}
+	printResult(&spec, res)
+	stats := res.Stats
 	fmt.Printf("elapsed: %.2fs  peak intermediate: %.1f MB  io: %.1f MB read / %.1f MB written\n",
 		time.Since(start).Seconds(),
 		float64(stats.PeakBytes)/(1<<20),
@@ -132,38 +128,133 @@ func main() {
 	}
 }
 
-func loadGraph(ds, path string) (*kaleido.Graph, error) {
-	switch {
-	case ds != "" && path != "":
-		return nil, fmt.Errorf("use either -dataset or -graph, not both")
-	case ds != "":
-		cache, _ := os.UserCacheDir()
-		if cache != "" {
-			cache += "/kaleido-datasets"
+// runDirect executes the spec on a private engine carrying the spec's own
+// budget — the classic one-shot CLI path.
+func runDirect(ctx context.Context, spec *service.JobSpec) (*service.JobResult, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	g, err := loadGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	eng := &kaleido.Engine{
+		MemoryBudget: cfg.MemoryBudget,
+		SpillDir:     cfg.SpillDir,
+	}
+	var stats kaleido.Stats
+	return service.Execute(ctx, eng, g, spec, &stats)
+}
+
+// runServed executes the spec through an in-process kaleidod HTTP server —
+// the same submit/poll/result round trip a daemon client makes, over an
+// engine configured like runDirect's. It exists as a smoke-parity check:
+// both paths execute the identical JobSpec, so their results must match.
+func runServed(ctx context.Context, spec *service.JobSpec) (*service.JobResult, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	eng := &kaleido.Engine{
+		MemoryBudget: cfg.MemoryBudget,
+		SpillDir:     cfg.SpillDir,
+	}
+	cache, _ := os.UserCacheDir()
+	if cache != "" {
+		cache += "/kaleido-datasets"
+	}
+	srv := service.NewServer(eng, cache, 1)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var job service.Job
+	if err := decodeJSON(resp, http.StatusAccepted, &job); err != nil {
+		return nil, err
+	}
+	fmt.Printf("served: job %s submitted\n", job.ID)
+	for {
+		select {
+		case <-ctx.Done():
+			http.Post(ts.URL+"/jobs/"+job.ID+"/cancel", "application/json", nil)
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
 		}
-		return kaleido.Dataset(ds, cache)
-	case path != "":
-		return kaleido.LoadEdgeListFile(path)
-	default:
-		return nil, fmt.Errorf("need -dataset or -graph (datasets: %s)", strings.Join(kaleido.DatasetNames(), ", "))
+		resp, err := http.Get(ts.URL + "/jobs/" + job.ID)
+		if err != nil {
+			return nil, err
+		}
+		if err := decodeJSON(resp, http.StatusOK, &job); err != nil {
+			return nil, err
+		}
+		switch job.State {
+		case service.StateDone:
+			resp, err := http.Get(ts.URL + "/jobs/" + job.ID + "/result")
+			if err != nil {
+				return nil, err
+			}
+			var res service.JobResult
+			if err := decodeJSON(resp, http.StatusOK, &res); err != nil {
+				return nil, err
+			}
+			return &res, nil
+		case service.StateFailed, service.StateCanceled:
+			return nil, fmt.Errorf("kaleido: served job %s: %s", job.State, job.Error)
+		}
 	}
 }
 
-func parseBytes(s string) (int64, error) {
-	mult := int64(1)
-	upper := strings.ToUpper(s)
-	for suffix, m := range map[string]int64{"KIB": 1 << 10, "MIB": 1 << 20, "GIB": 1 << 30, "KB": 1000, "MB": 1000000, "GB": 1000000000} {
-		if strings.HasSuffix(upper, suffix) {
-			mult = m
-			upper = strings.TrimSuffix(upper, suffix)
-			break
+func decodeJSON(resp *http.Response, want int, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("kaleido: HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func printResult(spec *service.JobSpec, res *service.JobResult) {
+	switch spec.App {
+	case "tc":
+		fmt.Printf("triangles: %d\n", res.Count)
+	case "clique":
+		fmt.Printf("%d-cliques: %d\n", spec.K, res.Count)
+	case "motif":
+		fmt.Printf("%d-motifs: %d shapes\n", spec.K, res.TotalPatterns)
+		for _, pc := range res.Patterns {
+			fmt.Printf("  %-40s %12d\n", pc.Pattern, pc.Count)
+		}
+	case "fsm":
+		fmt.Printf("%d-FSM (support %d): %d frequent patterns\n", spec.K, spec.Support, res.TotalPatterns)
+		for _, pc := range res.Patterns {
+			fmt.Printf("  %-40s count=%-10d support>=%d\n", pc.Pattern, pc.Count, spec.Support)
 		}
 	}
-	v, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad byte size %q: %w", s, err)
+}
+
+func loadGraph(spec *service.JobSpec) (*kaleido.Graph, error) {
+	cache, _ := os.UserCacheDir()
+	if cache != "" {
+		cache += "/kaleido-datasets"
 	}
-	return v * mult, nil
+	g, err := spec.LoadGraph(cache)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("graph: %d vertices, %d edges, %d labels, avg degree %.1f\n",
+		g.N(), g.M(), g.NumLabels(), g.AvgDegree())
+	return g, nil
 }
 
 func fatal(err error) {

@@ -15,11 +15,13 @@
 // with the combined resident peak the arbiter recorded — "shards" —
 // prefix-range sharded execution scaling the vertex-d4 frontier count over
 // 1/2/4 degree-mass-balanced shards (one worker each), with the summed
-// embedding count pinned across shard counts — and "resident" — the
+// embedding count pinned across shard counts — "resident" — the
 // compressed-resident tier (raw-mem → compressed-mem → disk) against raw
 // spilling under a halved budget, reporting spilled/compressed part counts
-// and the physical resident-peak reduction. See EXPERIMENTS.md for the
-// paper-vs-measured record.
+// and the physical resident-peak reduction — and "service" — N jobs
+// submitted to an in-process kaleidod HTTP daemon against the same N direct
+// Engine runs, with the admission queue's wait columns and the counts pinned
+// across both paths. See EXPERIMENTS.md for the paper-vs-measured record.
 //
 // `kbench -faults` runs the fault-injection campaign instead: a seeded
 // vfs.FaultFS injects transient spill faults (EIO, short writes) across the

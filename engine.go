@@ -3,6 +3,7 @@ package kaleido
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"kaleido/internal/apps"
 	"kaleido/internal/memtrack"
@@ -37,9 +38,128 @@ type Engine struct {
 	// spilling starts (0 = the default 0.9), applied to the combined
 	// resident bytes of all runs.
 	SpillWatermark float64
+	// QueueLimit bounds the admission queue of Admit (0 = the default 64):
+	// past it new requests fail fast with ErrQueueFull instead of queueing.
+	QueueLimit int
+	// AdmitWatermark is the fraction of MemoryBudget that admitted work —
+	// live bytes plus outstanding reservations plus a new run's projected
+	// bytes — may plan to fill (0 = the default 0.8). Keeping it under
+	// SpillWatermark means an admitted run starts into real headroom.
+	AdmitWatermark float64
 
 	once sync.Once
 	arb  *memtrack.Arbiter
+
+	// Admission queue state (admission.go).
+	admitMu  sync.Mutex
+	waiters  []*admitWaiter
+	admitSeq uint64
+
+	// Cumulative run accounting behind Stats(). The byte-level counters
+	// (live/peak/reserved, I/O, spilled bytes, retries) live on the arbiter;
+	// these cover what the arbiter does not see: run lifecycles and the
+	// part-transition counts reported per run through SpillInfo.
+	activeRuns      atomic.Int64
+	completedRuns   atomic.Int64
+	failedRuns      atomic.Int64
+	spilledLevels   atomic.Int64
+	spilledParts    atomic.Int64
+	promotedParts   atomic.Int64
+	compressedParts atomic.Int64
+}
+
+// EngineStats is one race-clean snapshot of an Engine's aggregate state: the
+// shared pool, the run lifecycle counts, and the cumulative spill/promote/
+// retry counters of every run the engine has vended. Metrics endpoints and
+// benchmarks read this one view instead of poking fields mid-run.
+type EngineStats struct {
+	// MemoryBudget echoes the engine's shared budget (0 = unbudgeted).
+	MemoryBudget int64
+	// LiveBytes and PeakBytes are the combined resident bytes of all vended
+	// runs, current and high-watermark. ReservedBytes is the headroom held
+	// by granted admissions whose runs have not yet allocated it.
+	LiveBytes, PeakBytes, ReservedBytes int64
+	// ActiveRuns counts runs currently executing (including live Miners);
+	// QueuedRuns counts Admit requests waiting for headroom.
+	ActiveRuns, QueuedRuns int
+	// CompletedRuns and FailedRuns count finished runs by outcome
+	// (cancellation counts as failed — the run did not produce a result).
+	CompletedRuns, FailedRuns int64
+	// Cumulative part-residency transitions across all runs: levels that
+	// spilled at least one part, parts migrated to disk, disk parts promoted
+	// back, raw parts squeezed into compressed-mem blocks.
+	SpilledLevels, SpilledParts, PromotedParts, CompressedParts int64
+	// SpilledBytes is the cumulative logical size of the spilled parts,
+	// SpilledBytesPhysical what they occupied on disk.
+	SpilledBytes, SpilledBytesPhysical int64
+	// ReadBytes and WriteBytes are cumulative hybrid-storage I/O.
+	ReadBytes, WriteBytes int64
+	// IORetries counts transient spill I/O errors absorbed by the retry
+	// policy across all runs.
+	IORetries int64
+}
+
+// Stats returns an aggregate snapshot of the engine: pool bytes, run
+// lifecycle counts, and cumulative spill accounting. Safe to call
+// concurrently with running jobs; counters from runs still in flight appear
+// when those runs finish (Miners: when they Close).
+func (en *Engine) Stats() EngineStats {
+	arb := en.arbiter()
+	sl, sp := arb.SpillTotals()
+	r, w := arb.IOTotals()
+	en.admitMu.Lock()
+	queued := len(en.waiters)
+	en.admitMu.Unlock()
+	return EngineStats{
+		MemoryBudget:         en.MemoryBudget,
+		LiveBytes:            arb.Live(),
+		PeakBytes:            arb.Peak(),
+		ReservedBytes:        arb.Reserved(),
+		ActiveRuns:           int(en.activeRuns.Load()),
+		QueuedRuns:           queued,
+		CompletedRuns:        en.completedRuns.Load(),
+		FailedRuns:           en.failedRuns.Load(),
+		SpilledLevels:        en.spilledLevels.Load(),
+		SpilledParts:         en.spilledParts.Load(),
+		PromotedParts:        en.promotedParts.Load(),
+		CompressedParts:      en.compressedParts.Load(),
+		SpilledBytes:         sl,
+		SpilledBytesPhysical: sp,
+		ReadBytes:            r,
+		WriteBytes:           w,
+		IORetries:            arb.IORetries(),
+	}
+}
+
+// beginRun/endRun bracket every run the engine vends. endRun folds the run's
+// part-transition counts into the cumulative totals and wakes the admission
+// queue — a finished run is the main headroom-freeing event.
+func (en *Engine) beginRun() { en.activeRuns.Add(1) }
+
+func (en *Engine) endRun(spill *apps.SpillInfo, err error) {
+	en.activeRuns.Add(-1)
+	if err != nil {
+		en.failedRuns.Add(1)
+	} else {
+		en.completedRuns.Add(1)
+	}
+	if spill != nil {
+		en.spilledLevels.Add(int64(spill.SpilledLevels))
+		en.spilledParts.Add(int64(spill.SpilledParts))
+		en.promotedParts.Add(int64(spill.PromotedParts))
+		en.compressedParts.Add(int64(spill.CompressedParts))
+	}
+	en.kickAdmission()
+}
+
+// endRunStats is endRun for sharded runs, whose accounting arrives merged.
+func (en *Engine) endRunStats(s *Stats, err error) {
+	spill := &apps.SpillInfo{}
+	if s != nil {
+		spill.SpilledLevels, spill.SpilledParts = s.SpilledLevels, s.SpilledParts
+		spill.PromotedParts, spill.CompressedParts = s.PromotedParts, s.CompressedParts
+	}
+	en.endRun(spill, err)
 }
 
 // arbiter lazily creates the shared budget arbiter, so a literal
@@ -71,66 +191,101 @@ func (en *Engine) PeakBytes() int64 { return en.arbiter().Peak() }
 
 // NewMiner creates a Miner whose intermediate data charges the engine's
 // shared budget pool. Close the Miner to release its share (and any spilled
-// files).
+// files); the Miner counts as an active run until then.
 func (en *Engine) NewMiner(ctx context.Context, g *Graph, mode Mode, cfg Config) (*Miner, error) {
 	cfg = en.config(cfg)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return newMiner(ctx, g, mode, cfg, en.arbiter().NewTracker())
+	en.beginRun()
+	m, err := newMiner(ctx, g, mode, cfg, en.arbiter().NewTracker())
+	if err != nil {
+		en.endRun(nil, err)
+		return nil, err
+	}
+	m.en = en
+	return m, nil
+}
+
+// engineSpill ensures every engine-vended run carries spill accounting, so
+// Engine.Stats accumulates it whether or not the caller asked for Stats.
+func engineSpill(opt *apps.Options) *apps.SpillInfo {
+	if opt.Spill == nil {
+		opt.Spill = &apps.SpillInfo{}
+	}
+	return opt.Spill
+}
+
+// runShardedEngine is the engine-accounted sharded dispatch shared by
+// Engine.RunSharded and the app methods' Config.Shards branch.
+func (en *Engine) runShardedEngine(ctx context.Context, job Job, shards int) (*Result, error) {
+	en.beginRun()
+	res, err := runSharded(ctx, job, shards, en.arbiter())
+	if res != nil {
+		en.endRunStats(&res.Stats, err)
+	} else {
+		en.endRunStats(nil, err)
+	}
+	return res, err
 }
 
 // Triangles is Graph.Triangles charged against the engine's shared budget.
-func (en *Engine) Triangles(ctx context.Context, g *Graph, cfg Config) (uint64, error) {
+func (en *Engine) Triangles(ctx context.Context, g *Graph, cfg Config) (_ uint64, err error) {
 	cfg = en.config(cfg)
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
 	if cfg.Shards > 1 {
-		res, err := runSharded(ctx, Job{Graph: g, App: AppTriangles, Config: cfg}, cfg.Shards, en.arbiter())
+		res, err := en.runShardedEngine(ctx, Job{Graph: g, App: AppTriangles, Config: cfg}, cfg.Shards)
 		if err != nil {
 			return 0, err
 		}
 		return res.Count, nil
 	}
 	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
-	defer cfg.finish(tracker, opt.Spill)
+	spill := engineSpill(&opt)
+	en.beginRun()
+	defer func() { cfg.finish(tracker, spill); en.endRun(spill, err) }()
 	return apps.TriangleCount(ctxOrBackground(ctx), g.g, opt)
 }
 
 // Cliques is Graph.Cliques charged against the engine's shared budget.
-func (en *Engine) Cliques(ctx context.Context, g *Graph, k int, cfg Config) (uint64, error) {
+func (en *Engine) Cliques(ctx context.Context, g *Graph, k int, cfg Config) (_ uint64, err error) {
 	cfg = en.config(cfg)
 	if err := cfg.validate(); err != nil {
 		return 0, err
 	}
 	if cfg.Shards > 1 {
-		res, err := runSharded(ctx, Job{Graph: g, App: AppCliques, K: k, Config: cfg}, cfg.Shards, en.arbiter())
+		res, err := en.runShardedEngine(ctx, Job{Graph: g, App: AppCliques, K: k, Config: cfg}, cfg.Shards)
 		if err != nil {
 			return 0, err
 		}
 		return res.Count, nil
 	}
 	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
-	defer cfg.finish(tracker, opt.Spill)
+	spill := engineSpill(&opt)
+	en.beginRun()
+	defer func() { cfg.finish(tracker, spill); en.endRun(spill, err) }()
 	return apps.CliqueCount(ctxOrBackground(ctx), g.g, k, opt)
 }
 
 // Motifs is Graph.Motifs charged against the engine's shared budget.
-func (en *Engine) Motifs(ctx context.Context, g *Graph, k int, cfg Config) ([]PatternCount, error) {
+func (en *Engine) Motifs(ctx context.Context, g *Graph, k int, cfg Config) (_ []PatternCount, err error) {
 	cfg = en.config(cfg)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Shards > 1 {
-		sres, err := runSharded(ctx, Job{Graph: g, App: AppMotifs, K: k, Config: cfg}, cfg.Shards, en.arbiter())
+		sres, err := en.runShardedEngine(ctx, Job{Graph: g, App: AppMotifs, K: k, Config: cfg}, cfg.Shards)
 		if err != nil {
 			return nil, err
 		}
 		return sres.Patterns, nil
 	}
 	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
-	defer cfg.finish(tracker, opt.Spill)
+	spill := engineSpill(&opt)
+	en.beginRun()
+	defer func() { cfg.finish(tracker, spill); en.endRun(spill, err) }()
 	res, err := apps.MotifCount(ctxOrBackground(ctx), g.g, k, opt)
 	if err != nil {
 		return nil, err
@@ -139,20 +294,22 @@ func (en *Engine) Motifs(ctx context.Context, g *Graph, k int, cfg Config) ([]Pa
 }
 
 // FSM is Graph.FSM charged against the engine's shared budget.
-func (en *Engine) FSM(ctx context.Context, g *Graph, k int, support uint64, cfg Config) ([]PatternCount, error) {
+func (en *Engine) FSM(ctx context.Context, g *Graph, k int, support uint64, cfg Config) (_ []PatternCount, err error) {
 	cfg = en.config(cfg)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Shards > 1 {
-		sres, err := runSharded(ctx, Job{Graph: g, App: AppFSM, K: k, Support: support, Config: cfg}, cfg.Shards, en.arbiter())
+		sres, err := en.runShardedEngine(ctx, Job{Graph: g, App: AppFSM, K: k, Support: support, Config: cfg}, cfg.Shards)
 		if err != nil {
 			return nil, err
 		}
 		return sres.Patterns, nil
 	}
 	opt, tracker := cfg.appOptionsWith(en.arbiter().NewTracker())
-	defer cfg.finish(tracker, opt.Spill)
+	spill := engineSpill(&opt)
+	en.beginRun()
+	defer func() { cfg.finish(tracker, spill); en.endRun(spill, err) }()
 	res, err := apps.FSM(ctxOrBackground(ctx), g.g, k, support, opt)
 	if err != nil {
 		return nil, err

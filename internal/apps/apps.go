@@ -119,6 +119,10 @@ type SpillInfo struct {
 	// level data stood for at run end — larger than the tracked resident
 	// bytes when compressed-mem parts were live.
 	ResidentBytesLogical int64
+	// Levels is the final placement snapshot of the run's live CSE levels
+	// (base level first), taken just before the explorer closed — the
+	// per-level view a metrics endpoint can report after the run is gone.
+	Levels []explore.LevelStat
 }
 
 func (o Options) exploreConfig(g *graph.Graph, mode explore.Mode) explore.Config {
@@ -147,6 +151,7 @@ func captureSpill(opt Options, e *explore.Explorer) {
 			SpilledBytes:         e.SpilledBytes(),
 			SpilledBytesPhysical: e.SpilledBytesPhysical(),
 			ResidentBytesLogical: e.ResidentBytesLogical(),
+			Levels:               e.LevelStats(),
 		}
 	}
 }

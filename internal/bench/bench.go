@@ -96,7 +96,7 @@ func (r Result) Render() string {
 // Experiments lists the available experiment ids in paper order, followed by
 // the engine experiments that go beyond the paper's evaluation.
 func Experiments() []string {
-	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks", "compress", "resident", "concurrent", "faults", "shards"}
+	return []string{"table2", "table3", "fig11", "fig12", "fig13", "fig14", "table4", "fig16", "fig17", "sinks", "compress", "resident", "concurrent", "faults", "shards", "service"}
 }
 
 // Run executes one experiment by id.
@@ -132,6 +132,8 @@ func Run(id string, cfg RunConfig) ([]Result, error) {
 		return faults(cfg)
 	case "shards":
 		return shardsExp(cfg)
+	case "service":
+		return serviceExp(cfg)
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
 	}

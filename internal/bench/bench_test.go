@@ -7,7 +7,7 @@ import (
 
 func TestExperimentsListed(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("experiments = %v", ids)
 	}
 	if _, err := Run("nope", RunConfig{}); err == nil {
@@ -84,6 +84,27 @@ func TestShardsSmoke(t *testing.T) {
 	for _, row := range res[0].Rows {
 		if row[3] != want {
 			t.Fatalf("embedding totals differ across shard counts: %v", res[0].Rows)
+		}
+	}
+}
+
+// TestServiceSmoke runs the mining-as-a-service experiment at -quick scale:
+// every served job must match the direct Engine run's count, and the shared
+// budget must hold across the burst.
+func TestServiceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	res, err := Run("service", RunConfig{Threads: 4, Quick: true, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Rows) != 2 {
+		t.Fatalf("results = %+v", res)
+	}
+	for _, row := range res[0].Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("served counts diverged from direct runs: %v", row)
 		}
 	}
 }

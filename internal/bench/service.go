@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kaleido"
+	"kaleido/internal/service"
+)
+
+// serviceExp measures the mining-as-a-service path: N identical 4-motif jobs
+// submitted to an in-process kaleidod HTTP server — each passing the
+// admission controller, the shared dataset cache and the job-lifecycle
+// machinery — against the same N runs issued directly on an Engine. Every
+// job's projection claims the whole budget, so admission serializes them;
+// the queue-wait columns show the controller pacing the burst while the
+// combined resident peak stays under the one budget, and the count column
+// pins service results to the direct runs'.
+func serviceExp(cfg RunConfig) ([]Result, error) {
+	g, err := kaleido.Synthetic(600, 2400, 8, 42)
+	if err != nil {
+		return nil, err
+	}
+	scratch, err := os.MkdirTemp(cfg.SpillDir, "svc")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+	path := filepath.Join(scratch, "graph.txt")
+	if err := writeEdgeList(path, g); err != nil {
+		return nil, err
+	}
+	spec := service.JobSpec{App: "motif", K: 4, GraphPath: path, Threads: cfg.Threads}
+
+	// Budget from a solo in-memory run, as in the concurrent experiment: one
+	// run nearly fills it, so a burst of jobs must drain through admission.
+	var solo kaleido.Stats
+	ref, err := service.Execute(bgCtx, &kaleido.Engine{}, g, &spec, &solo)
+	if err != nil {
+		return nil, err
+	}
+	budget := solo.PeakBytes
+
+	res := Result{
+		ID:     "service",
+		Title:  fmt.Sprintf("N jobs through kaleidod vs direct Engine runs, one %.1f MB budget", float64(budget)/(1<<20)),
+		Header: []string{"Jobs", "direct t", "served t", "avg wait ms", "max wait ms", "peak/budget", "counts match"},
+	}
+	counts := []int{1, 2, 4}
+	if cfg.Quick {
+		counts = []int{1, 2}
+	}
+	for _, n := range counts {
+		// Direct baseline: the same spec executed n times straight on a
+		// budgeted Engine, no HTTP, no admission, no cache.
+		dir := filepath.Join(scratch, fmt.Sprintf("direct%d", n))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		eng := &kaleido.Engine{MemoryBudget: budget, SpillDir: dir, Threads: cfg.Threads}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			var stats kaleido.Stats
+			out, err := service.Execute(bgCtx, eng, g, &spec, &stats)
+			if err != nil {
+				return nil, err
+			}
+			if out.Count != ref.Count {
+				return nil, fmt.Errorf("bench: direct run %d counted %d, want %d", i, out.Count, ref.Count)
+			}
+		}
+		direct := time.Since(start).Seconds()
+		os.RemoveAll(dir)
+
+		// Served: submit the n jobs at once; admission paces them.
+		dir = filepath.Join(scratch, fmt.Sprintf("served%d", n))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		eng = &kaleido.Engine{MemoryBudget: budget, SpillDir: dir, Threads: cfg.Threads}
+		srv := service.NewServer(eng, "", 2)
+		ts := httptest.NewServer(srv)
+		jobSpec := spec
+		jobSpec.ProjectedBytes = budget
+		body, err := json.Marshal(&jobSpec)
+		if err != nil {
+			ts.Close()
+			return nil, err
+		}
+		start = time.Now()
+		ids := make([]string, n)
+		for i := range ids {
+			job, err := postBenchJob(ts.URL, body)
+			if err != nil {
+				ts.Close()
+				return nil, err
+			}
+			ids[i] = job.ID
+		}
+		match := true
+		var waitTotal, waitMax int64
+		for _, id := range ids {
+			job, err := waitBenchJob(ts.URL, id)
+			if err != nil {
+				ts.Close()
+				return nil, err
+			}
+			if job.State != service.StateDone || job.Result == nil || job.Result.Count != ref.Count {
+				match = false
+			}
+			waitTotal += job.QueueWaitMS
+			if job.QueueWaitMS > waitMax {
+				waitMax = job.QueueWaitMS
+			}
+		}
+		served := time.Since(start).Seconds()
+		peak := eng.PeakBytes()
+		ts.Close()
+		os.RemoveAll(dir)
+
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprintf("%.2f", direct),
+			fmt.Sprintf("%.2f", served),
+			fmt.Sprintf("%.1f", float64(waitTotal)/float64(n)),
+			fmt.Sprint(waitMax),
+			fmt.Sprintf("%.0f%%", 100*float64(peak)/float64(budget)),
+			fmt.Sprint(match),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"budget = one solo run's tracked peak; every job's projection claims all of it, so admission serializes the burst",
+		"wait columns are the admission queue's pacing — the direct baseline pays it as sequential wall time instead",
+		"counts match = every served job equals the direct run's embedding count")
+	return []Result{res}, nil
+}
+
+// writeEdgeList dumps g (labels, then edges) in the LoadEdgeListFile format.
+func writeEdgeList(path string, g *kaleido.Graph) error {
+	var buf bytes.Buffer
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(&buf, "%d label=%d\n", v, g.Label(uint32(v)))
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if u > uint32(v) {
+				fmt.Fprintf(&buf, "%d %d\n", v, u)
+			}
+		}
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+func postBenchJob(url string, body []byte) (*service.Job, error) {
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("bench: submit: HTTP %d", resp.StatusCode)
+	}
+	var job service.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+func waitBenchJob(url, id string) (*service.Job, error) {
+	deadline := time.Now().Add(10 * time.Minute)
+	for {
+		resp, err := http.Get(url + "/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var job service.Job
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch job.State {
+		case service.StateDone, service.StateFailed, service.StateCanceled:
+			return &job, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bench: job %s stuck in %s", id, job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -88,6 +88,12 @@ func New() *Tracker {
 type Arbiter struct {
 	Tracker
 	budget int64
+
+	// reserved is the sum of outstanding admission reservations: bytes a
+	// queued-then-released run is projected to allocate but has not yet.
+	// Reservations never charge Live (they must not trigger the spill
+	// governor); they only narrow the headroom admission decisions see.
+	reserved atomic.Int64
 }
 
 // NewArbiter creates an arbiter for one shared budget (0 = unbudgeted, the
@@ -101,6 +107,43 @@ func NewArbiter(budget int64) *Arbiter {
 
 // Budget returns the shared budget the arbiter was created with.
 func (a *Arbiter) Budget() int64 { return a.budget }
+
+// Reservation is a claim on future budget headroom, held by an admission
+// controller from the moment a run is released until the run completes. It
+// does not charge Live — a reservation must never trigger spilling in the
+// sibling runs — it only reduces the headroom later admission decisions see,
+// so N runs released in quick succession cannot all be admitted against the
+// same free bytes before any of them has allocated.
+type Reservation struct {
+	a        *Arbiter
+	n        int64
+	released atomic.Bool
+}
+
+// Reserve claims n bytes of budget headroom and returns the handle that
+// gives them back. Negative n is treated as zero.
+func (a *Arbiter) Reserve(n int64) *Reservation {
+	if n < 0 {
+		n = 0
+	}
+	a.reserved.Add(n)
+	return &Reservation{a: a, n: n}
+}
+
+// Release returns the reservation's bytes to the headroom pool. Safe to call
+// more than once; only the first call has an effect.
+func (r *Reservation) Release() {
+	if r == nil || !r.released.CompareAndSwap(false, true) {
+		return
+	}
+	r.a.reserved.Add(-r.n)
+}
+
+// Bytes returns the size the reservation was taken out for.
+func (r *Reservation) Bytes() int64 { return r.n }
+
+// Reserved returns the sum of outstanding reservations.
+func (a *Arbiter) Reserved() int64 { return a.reserved.Load() }
 
 // NewTracker vends a child tracker whose allocations charge both itself and
 // the arbiter's combined pool.

@@ -209,3 +209,50 @@ func TestArbiterConcurrent(t *testing.T) {
 		t.Fatalf("combined live = %d, want 0", a.Live())
 	}
 }
+
+func TestArbiterReservations(t *testing.T) {
+	a := NewArbiter(1000)
+	if a.Reserved() != 0 {
+		t.Fatalf("fresh arbiter reserved = %d", a.Reserved())
+	}
+	r1 := a.Reserve(300)
+	r2 := a.Reserve(-5) // negative clamps to zero
+	if a.Reserved() != 300 {
+		t.Fatalf("reserved = %d, want 300", a.Reserved())
+	}
+	if r1.Bytes() != 300 || r2.Bytes() != 0 {
+		t.Fatalf("reservation sizes = %d, %d", r1.Bytes(), r2.Bytes())
+	}
+	// Reservations narrow headroom without charging Live — they must never
+	// look like resident bytes to the spill governor.
+	if a.Live() != 0 {
+		t.Fatalf("reservation charged Live: %d", a.Live())
+	}
+	r1.Release()
+	r1.Release() // idempotent
+	r2.Release()
+	if a.Reserved() != 0 {
+		t.Fatalf("reserved after release = %d, want 0", a.Reserved())
+	}
+	var nilRes *Reservation
+	nilRes.Release() // nil-safe
+}
+
+func TestArbiterReservationsConcurrent(t *testing.T) {
+	a := NewArbiter(1 << 30)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r := a.Reserve(7)
+				r.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Reserved() != 0 {
+		t.Fatalf("reserved = %d, want 0", a.Reserved())
+	}
+}

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"sync"
+
+	"kaleido"
+)
+
+// GraphCache loads each input graph once and shares it across jobs. Entries
+// are keyed by source (JobSpec.GraphKey: "dataset:name" or "file:path") and
+// refcounted: a graph is pinned while any job holds it, and unreferenced
+// entries are evicted least-recently-used once the cache exceeds its limit.
+// Concurrent first acquisitions of the same key coalesce — one loads, the
+// rest wait on the same entry — so a burst of jobs over one dataset pays one
+// load, not N.
+type GraphCache struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[string]*cacheEntry
+	useSeq  int64
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key      string
+	refs     int
+	lastUsed int64         // useSeq at last acquire/release; LRU recency
+	ready    chan struct{} // closed when the load completes
+	g        *kaleido.Graph
+	err      error
+}
+
+// NewGraphCache creates a cache keeping at most limit unreferenced graphs
+// resident (referenced graphs are always resident; limit <= 0 means evict
+// every graph as soon as its last reference drops).
+func NewGraphCache(limit int) *GraphCache {
+	return &GraphCache{limit: limit, entries: make(map[string]*cacheEntry)}
+}
+
+// Acquire returns the graph for key, loading it with load on first use. The
+// returned release must be called when the job is done with the graph
+// (idempotence is the caller's job — release exactly once). A failed load is
+// not cached: the entry is dropped so the next Acquire retries.
+func (c *GraphCache) Acquire(key string, load func() (*kaleido.Graph, error)) (*kaleido.Graph, func(), error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		e.refs++
+		c.useSeq++
+		e.lastUsed = c.useSeq
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The loader we piggybacked on failed; it already dropped the
+			// entry, so just report the error.
+			return nil, nil, e.err
+		}
+		return e.g, func() { c.release(e) }, nil
+	}
+	e = &cacheEntry{key: key, refs: 1, ready: make(chan struct{})}
+	c.useSeq++
+	e.lastUsed = c.useSeq
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.g, e.err = load()
+	if e.err != nil {
+		c.mu.Lock()
+		// Drop the failed entry (it may already have waiters; they read
+		// e.err after ready closes and never call release).
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		close(e.ready)
+		return nil, nil, e.err
+	}
+	close(e.ready)
+	return e.g, func() { c.release(e) }, nil
+}
+
+func (c *GraphCache) release(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.refs--
+	c.useSeq++
+	e.lastUsed = c.useSeq
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used unreferenced entries until at most
+// limit of them remain. Referenced entries never evict.
+func (c *GraphCache) evictLocked() {
+	for {
+		idle := 0
+		var victim *cacheEntry
+		for _, e := range c.entries {
+			if e.refs > 0 {
+				continue
+			}
+			idle++
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victim = e
+			}
+		}
+		if idle <= c.limit || victim == nil {
+			return
+		}
+		delete(c.entries, victim.key)
+		c.evictions++
+	}
+}
+
+// CacheStats is a snapshot of the cache's effectiveness counters.
+type CacheStats struct {
+	// Entries counts resident graphs; Pinned counts those currently held by
+	// at least one job.
+	Entries int `json:"entries"`
+	Pinned  int `json:"pinned"`
+	// Hits and Misses count Acquire calls by whether the graph was already
+	// resident (or loading); Evictions counts unreferenced graphs dropped by
+	// the LRU limit.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *GraphCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Entries: len(c.entries),
+		Hits:    c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+	for _, e := range c.entries {
+		if e.refs > 0 {
+			s.Pinned++
+		}
+	}
+	return s
+}

@@ -1,0 +1,311 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"kaleido"
+)
+
+// JobSpec is the wire description of one mining job — the single encoding
+// shared by the kaleidod HTTP API and the kaleido CLI flags, so a flag added
+// to one cannot silently drift from the other. The zero value of every field
+// means "default"; the tri-state knobs (Predict, Compress, CompressResident)
+// use *bool so that an absent JSON field and an explicit false are
+// distinguishable, matching the CLI flags that default to true.
+type JobSpec struct {
+	// App selects the application: "tc", "clique", "motif" or "fsm".
+	App string `json:"app"`
+	// K is the embedding size of clique/motif/fsm jobs (ignored by tc).
+	K int `json:"k,omitempty"`
+	// Support is the FSM MNI support threshold.
+	Support uint64 `json:"support,omitempty"`
+	// Dataset names a built-in synthetic dataset (citeseer, mico, patent,
+	// youtube); GraphPath points at an edge-list file. Exactly one must be
+	// set.
+	Dataset   string `json:"dataset,omitempty"`
+	GraphPath string `json:"graph,omitempty"`
+	// Threads is the worker count (0 = all CPUs); Shards splits the run into
+	// that many concurrent prefix-range sub-runs (0/1 = unsharded).
+	Threads int `json:"threads,omitempty"`
+	Shards  int `json:"shards,omitempty"`
+	// Budget is a human byte size ("512MiB") capping resident intermediate
+	// data. Only standalone (CLI) execution honors it — jobs run through an
+	// Engine charge the engine's shared budget instead.
+	Budget string `json:"budget,omitempty"`
+	// SpillDir receives spilled level parts of a standalone budgeted run
+	// (daemon jobs spill into the engine's directory).
+	SpillDir string `json:"spill_dir,omitempty"`
+	// Predict, Compress and CompressResident gate the §4.2 predictor, the
+	// spill codec and the compressed-resident tier. nil means on.
+	Predict          *bool `json:"predict,omitempty"`
+	Compress         *bool `json:"compress,omitempty"`
+	CompressResident *bool `json:"compress_resident,omitempty"`
+	// Iso selects the isomorphism backend: "eigen" (default), "bliss" or
+	// "exact".
+	Iso string `json:"iso,omitempty"`
+
+	// Priority orders the admission queue (higher first); QueueDeadlineMS
+	// bounds the queue wait (0 = wait indefinitely). ProjectedBytes overrides
+	// the engine's own resident-bytes projection (0 = project from the
+	// graph). All three are daemon-only: standalone runs start immediately.
+	Priority        int   `json:"priority,omitempty"`
+	QueueDeadlineMS int64 `json:"queue_deadline_ms,omitempty"`
+	ProjectedBytes  int64 `json:"projected_bytes,omitempty"`
+
+	// Result filters for pattern-producing apps (motif, fsm): MinCount drops
+	// patterns below that count, TopK keeps only the first K after the
+	// deterministic sort. 0 disables either.
+	MinCount uint64 `json:"min_count,omitempty"`
+	TopK     int    `json:"top_k,omitempty"`
+}
+
+// boolOr resolves a tri-state knob: nil means the default (true).
+func boolOr(p *bool, def bool) bool {
+	if p == nil {
+		return def
+	}
+	return *p
+}
+
+// Validate checks the spec for early, friendly errors — the same checks for
+// an HTTP submission and a CLI invocation.
+func (s *JobSpec) Validate() error {
+	if _, err := s.AppID(); err != nil {
+		return err
+	}
+	switch s.App {
+	case "clique", "motif", "fsm":
+		if s.K < 2 {
+			return fmt.Errorf("service: app %q needs k >= 2 (got %d)", s.App, s.K)
+		}
+	}
+	if s.Dataset != "" && s.GraphPath != "" {
+		return fmt.Errorf("service: use either dataset or graph, not both")
+	}
+	if s.Dataset == "" && s.GraphPath == "" {
+		return fmt.Errorf("service: need dataset or graph (datasets: %s)",
+			strings.Join(kaleido.DatasetNames(), ", "))
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("service: negative shards %d", s.Shards)
+	}
+	if s.Budget != "" {
+		if _, err := ParseBytes(s.Budget); err != nil {
+			return err
+		}
+	}
+	if _, err := s.isoAlgo(); err != nil {
+		return err
+	}
+	if s.QueueDeadlineMS < 0 {
+		return fmt.Errorf("service: negative queue_deadline_ms %d", s.QueueDeadlineMS)
+	}
+	if s.TopK < 0 {
+		return fmt.Errorf("service: negative top_k %d", s.TopK)
+	}
+	return nil
+}
+
+// AppID maps the wire app name to the engine's App id.
+func (s *JobSpec) AppID() (kaleido.App, error) {
+	switch s.App {
+	case "tc":
+		return kaleido.AppTriangles, nil
+	case "clique":
+		return kaleido.AppCliques, nil
+	case "motif":
+		return kaleido.AppMotifs, nil
+	case "fsm":
+		return kaleido.AppFSM, nil
+	}
+	return 0, fmt.Errorf("service: unknown app %q (have tc, clique, motif, fsm)", s.App)
+}
+
+func (s *JobSpec) isoAlgo() (kaleido.IsoAlgo, error) {
+	switch s.Iso {
+	case "", "eigen":
+		return kaleido.IsoEigen, nil
+	case "bliss":
+		return kaleido.IsoBliss, nil
+	case "exact":
+		return kaleido.IsoEigenExact, nil
+	}
+	return 0, fmt.Errorf("service: unknown iso backend %q (have eigen, bliss, exact)", s.Iso)
+}
+
+// Config translates the spec into a run Config. The budget fields are filled
+// from Budget/SpillDir; Engine-dispatched runs override them with the
+// engine's shared budget, so the translation is safe for both paths.
+func (s *JobSpec) Config() (kaleido.Config, error) {
+	iso, err := s.isoAlgo()
+	if err != nil {
+		return kaleido.Config{}, err
+	}
+	cfg := kaleido.Config{
+		Threads: s.Threads,
+		Shards:  s.Shards,
+		Predict: boolOr(s.Predict, true),
+		Iso:     iso,
+	}
+	if !boolOr(s.Compress, true) {
+		cfg.Compression = kaleido.CompressionOff
+	}
+	if !boolOr(s.CompressResident, true) {
+		cfg.ResidentCompression = kaleido.CompressionOff
+	}
+	if s.Budget != "" {
+		b, err := ParseBytes(s.Budget)
+		if err != nil {
+			return kaleido.Config{}, err
+		}
+		cfg.MemoryBudget = b
+		cfg.SpillDir = s.SpillDir
+		if cfg.SpillDir == "" {
+			cfg.SpillDir = os.TempDir()
+		}
+	}
+	return cfg, nil
+}
+
+// GraphKey is the dataset-cache key of the spec's input graph: the same
+// source string always yields the same loaded graph, so jobs naming the same
+// dataset or file share one in-memory copy.
+func (s *JobSpec) GraphKey() string {
+	if s.Dataset != "" {
+		return "dataset:" + s.Dataset
+	}
+	return "file:" + s.GraphPath
+}
+
+// LoadGraph loads the spec's input graph. cacheDir is the on-disk cache for
+// generated datasets ("" regenerates every call); it is unrelated to the
+// in-memory GraphCache, which should wrap this call via GraphKey.
+func (s *JobSpec) LoadGraph(cacheDir string) (*kaleido.Graph, error) {
+	if s.Dataset != "" {
+		return kaleido.Dataset(s.Dataset, cacheDir)
+	}
+	return kaleido.LoadEdgeListFile(s.GraphPath)
+}
+
+// Deadline resolves QueueDeadlineMS against now (zero time = no deadline).
+func (s *JobSpec) Deadline(now time.Time) time.Time {
+	if s.QueueDeadlineMS <= 0 {
+		return time.Time{}
+	}
+	return now.Add(time.Duration(s.QueueDeadlineMS) * time.Millisecond)
+}
+
+// ParseBytes parses a human byte size: a plain integer, or one with a KB/MB/
+// GB (decimal) or KiB/MiB/GiB (binary) suffix, case-insensitive.
+func ParseBytes(s string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	suffixes := []struct {
+		suf string
+		m   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1000}, {"MB", 1000 * 1000}, {"GB", 1000 * 1000 * 1000},
+	}
+	for _, sm := range suffixes {
+		if strings.HasSuffix(upper, sm.suf) {
+			mult = sm.m
+			upper = strings.TrimSuffix(upper, sm.suf)
+			break
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("service: bad byte size %q: %w", s, err)
+	}
+	return v * mult, nil
+}
+
+// PatternResult is one pattern row of a motif/FSM result, rendered for the
+// wire.
+type PatternResult struct {
+	Pattern string `json:"pattern"`
+	Count   uint64 `json:"count"`
+	Support uint64 `json:"support,omitempty"`
+}
+
+// JobResult is a finished job's output.
+type JobResult struct {
+	// Count is the scalar result: triangles, cliques, total motif
+	// embeddings, or FSM final-level embeddings visited.
+	Count uint64 `json:"count"`
+	// Patterns holds the (filtered) pattern aggregates of motif/FSM jobs.
+	Patterns []PatternResult `json:"patterns,omitempty"`
+	// TotalPatterns is the pattern count before MinCount/TopK filtering.
+	TotalPatterns int `json:"total_patterns,omitempty"`
+	// Stats is the run's memory and I/O accounting.
+	Stats kaleido.Stats `json:"stats"`
+}
+
+// Execute runs the spec's job on eng over g, filling stats (which must be
+// non-nil to collect accounting; it is wired into the run Config). It is the
+// single dispatch both the daemon's job runner and the CLI's -serve parity
+// path use, so a daemon job and a direct Engine call of the same spec produce
+// identical results.
+func Execute(ctx context.Context, eng *kaleido.Engine, g *kaleido.Graph, spec *JobSpec, stats *kaleido.Stats) (*JobResult, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Stats = stats
+	res := &JobResult{}
+	var pats []kaleido.PatternCount
+	switch spec.App {
+	case "tc":
+		res.Count, err = eng.Triangles(ctx, g, cfg)
+	case "clique":
+		res.Count, err = eng.Cliques(ctx, g, spec.K, cfg)
+	case "motif":
+		pats, err = eng.Motifs(ctx, g, spec.K, cfg)
+		for _, pc := range pats {
+			res.Count += pc.Count
+		}
+	case "fsm":
+		pats, err = eng.FSM(ctx, g, spec.K, spec.Support, cfg)
+		res.Count = uint64(len(pats))
+	default:
+		err = fmt.Errorf("service: unknown app %q", spec.App)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.TotalPatterns = len(pats)
+	res.Patterns = filterPatterns(pats, spec.MinCount, spec.TopK)
+	if stats != nil {
+		res.Stats = *stats
+	}
+	return res, nil
+}
+
+// filterPatterns applies the spec's result filters to the deterministically
+// sorted pattern list: MinCount first, then TopK.
+func filterPatterns(pats []kaleido.PatternCount, minCount uint64, topK int) []PatternResult {
+	out := make([]PatternResult, 0, len(pats))
+	for _, pc := range pats {
+		if pc.Count < minCount {
+			continue
+		}
+		out = append(out, PatternResult{
+			Pattern: pc.Pattern.String(),
+			Count:   pc.Count,
+			Support: pc.Support,
+		})
+		if topK > 0 && len(out) == topK {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -244,6 +244,12 @@ type Stats struct {
 	// a successful result mean the storage layer rode out real (or injected)
 	// faults.
 	IORetries int64
+	// Levels is the final placement snapshot of the run's live CSE levels
+	// (base level first), captured just before the run released them — the
+	// per-level residency view that outlives the run, for metrics endpoints
+	// and post-mortems. Empty for sharded runs (each shard's levels are
+	// private) and for custom Miners (read Miner.LevelStats live instead).
+	Levels []LevelStat
 }
 
 func (c Config) appOptions() (apps.Options, *memtrack.Tracker) {
@@ -285,6 +291,7 @@ func (c Config) finish(tracker *memtrack.Tracker, spill *apps.SpillInfo) {
 		c.Stats.CompressedParts = spill.CompressedParts
 		c.Stats.SpilledBytes, c.Stats.SpilledBytesPhysical = spill.SpilledBytes, spill.SpilledBytesPhysical
 		c.Stats.ResidentBytesLogical = spill.ResidentBytesLogical
+		c.Stats.Levels = publicLevelStats(spill.Levels)
 	}
 }
 

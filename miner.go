@@ -2,7 +2,9 @@ package kaleido
 
 import (
 	"context"
+	"sync"
 
+	"kaleido/internal/apps"
 	"kaleido/internal/eigen"
 	"kaleido/internal/explore"
 	"kaleido/internal/memtrack"
@@ -38,6 +40,11 @@ type Miner struct {
 	e    *explore.Explorer
 	cfg  Config
 	mode Mode
+
+	// en, when the Miner was vended by an Engine, receives the run-lifecycle
+	// accounting at Close (once, even though Close is idempotent).
+	en     *Engine
+	enOnce sync.Once
 }
 
 // NewMiner creates a Miner over g. ctx only gates creation; each exploration
@@ -227,7 +234,15 @@ type LevelStat struct {
 // LevelStats reports the placement of every live CSE level, base first —
 // the part-level view of the half-memory-half-disk hybrid storage.
 func (m *Miner) LevelStats() []LevelStat {
-	in := m.e.LevelStats()
+	return publicLevelStats(m.e.LevelStats())
+}
+
+// publicLevelStats converts the internal level placement snapshot to the
+// public type; shared by Miner.LevelStats and the Stats.Levels capture.
+func publicLevelStats(in []explore.LevelStat) []LevelStat {
+	if len(in) == 0 {
+		return nil
+	}
 	out := make([]LevelStat, len(in))
 	for i, s := range in {
 		out[i] = LevelStat{
@@ -305,5 +320,19 @@ func (m *Miner) AggregatePatterns(ctx context.Context) ([]PatternCount, error) {
 	return out, nil
 }
 
-// Close releases the Miner's resources, removing any spilled levels.
-func (m *Miner) Close() error { return m.e.Close() }
+// Close releases the Miner's resources, removing any spilled levels. A Miner
+// vended by an Engine stops counting as an active run and folds its spill
+// accounting into Engine.Stats on the first Close.
+func (m *Miner) Close() error {
+	if m.en != nil {
+		m.enOnce.Do(func() {
+			m.en.endRun(&apps.SpillInfo{
+				SpilledLevels:   m.e.SpilledLevels(),
+				SpilledParts:    m.e.SpilledParts(),
+				PromotedParts:   m.e.PromotedParts(),
+				CompressedParts: m.e.CompressedParts(),
+			}, nil)
+		})
+	}
+	return m.e.Close()
+}

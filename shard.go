@@ -61,7 +61,7 @@ type Result struct {
 // divided across the shards. Cancelling ctx cancels every shard.
 func (en *Engine) RunSharded(ctx context.Context, job Job, shards int) (*Result, error) {
 	job.Config = en.config(job.Config)
-	return runSharded(ctx, job, shards, en.arbiter())
+	return en.runShardedEngine(ctx, job, shards)
 }
 
 // runSharded is the shared sharded-execution core: used by Engine.RunSharded
@@ -165,8 +165,10 @@ func mergeShardStats(arb *memtrack.Arbiter, trackers []*memtrack.Tracker, opts [
 		s.SpilledLevels += opt.Spill.SpilledLevels
 		s.SpilledParts += opt.Spill.SpilledParts
 		s.PromotedParts += opt.Spill.PromotedParts
+		s.CompressedParts += opt.Spill.CompressedParts
 		s.SpilledBytes += opt.Spill.SpilledBytes
 		s.SpilledBytesPhysical += opt.Spill.SpilledBytesPhysical
+		s.ResidentBytesLogical += opt.Spill.ResidentBytesLogical
 	}
 	return s
 }
